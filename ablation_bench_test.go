@@ -1,0 +1,169 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// the correlation-aware optimizer vs the independence assumption,
+// randomized vs deterministic policies at small budgets, reissue
+// cancellation ("tied requests"), and server interference. Each
+// reports the achieved tail latency as a custom metric (p95_ms or
+// p99_ms) alongside the usual time/op.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BenchmarkAblationCorrelatedOptimizer measures the value of the
+// Section 4.2 conditional-CDF optimizer on the Correlated workload:
+// the "independent" variant ignores the X-Y correlation and reissues
+// too late with too much probability.
+func BenchmarkAblationCorrelatedOptimizer(b *testing.B) {
+	const k, budget = 0.95, 0.10
+	wl, err := workload.Correlated(workload.Options{Queries: 20000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := wl.RunDetailed(core.SingleD{D: 0})
+
+	b.Run("correlated", func(b *testing.B) {
+		var p95 float64
+		for i := 0; i < b.N; i++ {
+			pol, _, err := core.ComputeOptimalSingleRCorrelated(
+				probe.Log.PrimaryTimes(), probe.Pairs, k, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p95 = metrics.TailLatency(wl.RunDetailed(pol).Log.ResponseTimes(), 95)
+		}
+		b.ReportMetric(p95, "p95_ms")
+	})
+	b.Run("independent", func(b *testing.B) {
+		var p95 float64
+		for i := 0; i < b.N; i++ {
+			pol, _, err := core.ComputeOptimalSingleR(
+				probe.Log.PrimaryTimes(), probe.Log.ReissueTimes(), k, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p95 = metrics.TailLatency(wl.RunDetailed(pol).Log.ResponseTimes(), 95)
+		}
+		b.ReportMetric(p95, "p95_ms")
+	})
+}
+
+// BenchmarkAblationRandomization compares SingleR against SingleD at
+// a budget below 1-k, where Section 2.4 proves SingleD cannot help.
+func BenchmarkAblationRandomization(b *testing.B) {
+	const k, budget = 0.95, 0.02
+	wl, err := workload.Independent(workload.Options{Queries: 20000, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe := wl.RunDetailed(core.SingleD{D: 0})
+	rx := probe.Log.PrimaryTimes()
+
+	b.Run("singler", func(b *testing.B) {
+		var p95 float64
+		for i := 0; i < b.N; i++ {
+			pol, _, err := core.ComputeOptimalSingleR(rx, probe.Log.ReissueTimes(), k, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p95 = metrics.TailLatency(wl.RunDetailed(pol).Log.ResponseTimes(), 95)
+		}
+		b.ReportMetric(p95, "p95_ms")
+	})
+	b.Run("singled", func(b *testing.B) {
+		var p95 float64
+		for i := 0; i < b.N; i++ {
+			pol, err := core.OptimalSingleD(rx, budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p95 = metrics.TailLatency(wl.RunDetailed(pol).Log.ResponseTimes(), 95)
+		}
+		b.ReportMetric(p95, "p95_ms")
+	})
+}
+
+// BenchmarkAblationCancellation measures what the tied-requests
+// extension buys under aggressive immediate reissue at 50%
+// utilization.
+func BenchmarkAblationCancellation(b *testing.B) {
+	dist := stats.NewExponential(0.1)
+	for _, cancel := range []bool{false, true} {
+		name := "keep-redundant"
+		if cancel {
+			name = "cancel-on-complete"
+		}
+		b.Run(name, func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Config{
+					Servers:          10,
+					ArrivalRate:      cluster.ArrivalRateForUtilization(0.5, 10, dist.Mean()),
+					Queries:          15000,
+					Warmup:           1500,
+					Source:           cluster.DistSource{Dist: dist},
+					Seed:             21,
+					CancelOnComplete: cancel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := c.RunDetailed(core.Immediate{N: 1})
+				p99 = metrics.TailLatency(res.Log.ResponseTimes(), 99)
+			}
+			b.ReportMetric(p99, "p99_ms")
+		})
+	}
+}
+
+// BenchmarkAblationInterference contrasts the system experiments'
+// baseline P99 with and without the background-interference model the
+// reproduction adds to match the paper's testbed regime.
+func BenchmarkAblationInterference(b *testing.B) {
+	times, err := experiments.RedisServiceTimes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mean float64
+	for _, v := range times {
+		mean += v
+	}
+	mean /= float64(len(times))
+
+	for _, withIv := range []bool{false, true} {
+		name := "pristine"
+		var iv *cluster.Interference
+		if withIv {
+			name = "interference"
+			iv = experiments.SystemInterference()
+		}
+		b.Run(name, func(b *testing.B) {
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Config{
+					Servers:      10,
+					ArrivalRate:  cluster.ArrivalRateForUtilization(0.4, 10, mean),
+					Queries:      15000,
+					Warmup:       1500,
+					Source:       &cluster.TraceSource{Times: times},
+					Discipline:   cluster.RoundRobin,
+					Interference: iv,
+					Seed:         23,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := c.RunDetailed(core.None{})
+				p99 = metrics.TailLatency(res.Log.ResponseTimes(), 99)
+			}
+			b.ReportMetric(p99, "p99_ms")
+		})
+	}
+}

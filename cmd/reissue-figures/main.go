@@ -1,0 +1,243 @@
+// Command reissue-figures regenerates the data behind every figure in
+// the paper's evaluation (Figures 2-9). Each figure's data series is
+// printed as an aligned table (or CSV with -csv).
+//
+// Examples:
+//
+//	reissue-figures -fig 3a            # one figure
+//	reissue-figures -fig all           # everything (takes minutes)
+//	reissue-figures -fig 7a -scale test  # reduced size for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure id: 2a 2b 3a 3b 3c 4 5a 5b 5c 6 7a 7b 7c 8 9, extensions x1 x2 x3 x4, or all")
+		scale = flag.String("scale", "paper", "experiment scale: paper or test")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "paper":
+		sc = experiments.DefaultScale()
+	case "test":
+		sc = experiments.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "reissue-figures: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	if err := run(os.Stdout, *fig, sc, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "reissue-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, fig string, sc experiments.Scale, csv bool) error {
+	emit := func(tables ...*experiments.Table) error {
+		for _, t := range tables {
+			var err error
+			if csv {
+				_, err = fmt.Fprintf(w, "# Figure %s: %s\n", t.ID, t.Title)
+				if err == nil {
+					err = t.RenderCSV(w)
+				}
+			} else {
+				err = t.Render(w)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	want := func(id string) bool { return fig == "all" || strings.EqualFold(fig, id) }
+	matched := false
+
+	if want("2a") {
+		matched = true
+		t, err := experiments.Figure2a(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("2b") {
+		matched = true
+		t, err := experiments.Figure2b(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("3a") || want("3b") || want("3c") || want("3") {
+		matched = true
+		for _, kind := range []experiments.WorkloadKind{
+			experiments.Independent, experiments.CorrelatedWL, experiments.Queueing,
+		} {
+			res, err := experiments.Figure3(kind, sc)
+			if err != nil {
+				return err
+			}
+			var tabs []*experiments.Table
+			if want("3a") || want("3") {
+				tabs = append(tabs, res.Reduction)
+			}
+			if want("3b") || want("3") {
+				tabs = append(tabs, res.Remediation)
+			}
+			if want("3c") || want("3") {
+				tabs = append(tabs, res.PolicyShape)
+			}
+			if err := emit(tabs...); err != nil {
+				return err
+			}
+		}
+	}
+	if want("4") || want("4a") || want("4b") {
+		matched = true
+		a, b, err := experiments.Figure4(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(a, b); err != nil {
+			return err
+		}
+	}
+	if want("5a") {
+		matched = true
+		t, err := experiments.Figure5a(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("5b") {
+		matched = true
+		t, err := experiments.Figure5b(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("5c") {
+		matched = true
+		t, err := experiments.Figure5c(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("6") {
+		matched = true
+		for _, c := range []struct {
+			dist  stats.Dist
+			label string
+		}{
+			{stats.NewLogNormal(1, 1), "LogNormal(1,1)"},
+			{stats.NewExponential(0.1), "Exp(0.1)"},
+		} {
+			p95, p99, err := experiments.Figure6(c.dist, c.label, sc)
+			if err != nil {
+				return err
+			}
+			if err := emit(p95, p99); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range []string{"7a", "7b", "7c"} {
+		if !want(id) {
+			continue
+		}
+		matched = true
+		for _, kind := range []experiments.SystemKind{experiments.Redis, experiments.Lucene} {
+			var t *experiments.Table
+			var err error
+			switch id {
+			case "7a":
+				t, err = experiments.Figure7a(kind, sc)
+			case "7b":
+				t, err = experiments.Figure7b(kind, sc)
+			case "7c":
+				t, err = experiments.Figure7c(kind, sc)
+			}
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+	}
+	if want("8") {
+		matched = true
+		t, err := experiments.Figure8(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	if want("9") {
+		matched = true
+		t, err := experiments.Figure9()
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	type extension struct {
+		id string
+		fn func(experiments.Scale) (*experiments.Table, error)
+	}
+	for _, ext := range []extension{
+		{"x1", experiments.ExtensionOnlineTracking},
+		{"x2", experiments.ExtensionCancellation},
+		{"x3", experiments.ExtensionBurstiness},
+		{"x4", experiments.ExtensionFanOut},
+	} {
+		if !want(ext.id) {
+			continue
+		}
+		matched = true
+		t, err := ext.fn(sc)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+
+	if !matched {
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyScale() experiments.Scale {
+	return experiments.Scale{Queries: 1500, AdaptiveTrials: 2, Seed: 2}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "9", tinyScale(), false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 9") {
+		t.Fatalf("output missing figure header:\n%s", buf.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "2b", tinyScale(), true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trial,predicted,actual") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "nope", tinyScale(), false); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunFigureGroups(t *testing.T) {
+	// The sub-id selectors must match their group harnesses.
+	for _, fig := range []string{"4a", "5a"} {
+		var buf bytes.Buffer
+		if err := run(&buf, fig, tinyScale(), false); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", fig)
+		}
+	}
+}

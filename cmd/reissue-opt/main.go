@@ -1,0 +1,82 @@
+// Command reissue-opt computes the optimal SingleR reissue policy
+// from a response-time log, implementing the paper's data-driven
+// parameter search (Section 4).
+//
+// The input is a CSV log in the format written by the trace package
+// (and by cmd/reissue-sim -log). Example:
+//
+//	reissue-opt -log responses.csv -k 99 -budget 0.02 -correlated
+//
+// prints the reissue delay d and probability q of the optimal policy
+// together with its predicted tail latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/rangequery"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		logPath    = flag.String("log", "", "path to a response-time log in trace CSV format (required)")
+		k          = flag.Float64("k", 99, "target tail-latency percentile, e.g. 99")
+		budget     = flag.Float64("budget", 0.05, "reissue budget as a fraction of requests, e.g. 0.05")
+		correlated = flag.Bool("correlated", false, "use the correlation-aware optimizer (needs reissued queries in the log)")
+	)
+	flag.Parse()
+	if err := run(*logPath, *k, *budget, *correlated); err != nil {
+		fmt.Fprintln(os.Stderr, "reissue-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(logPath string, k, budget float64, correlated bool) error {
+	if logPath == "" {
+		return fmt.Errorf("-log is required")
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	if log.Len() == 0 {
+		return fmt.Errorf("log %s is empty", logPath)
+	}
+
+	var pol core.SingleR
+	var pred core.Prediction
+	if correlated {
+		var pairs []rangequery.Point
+		for _, r := range log.Records {
+			if r.Reissued {
+				pairs = append(pairs, rangequery.Point{X: r.Primary, Y: r.Reissue})
+			}
+		}
+		if len(pairs) == 0 {
+			return fmt.Errorf("log has no reissued queries; run without -correlated")
+		}
+		pol, pred, err = core.ComputeOptimalSingleRCorrelated(log.PrimaryTimes(), pairs, k/100, budget)
+	} else {
+		pol, pred, err = core.ComputeOptimalSingleR(log.PrimaryTimes(), log.ReissueTimes(), k/100, budget)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("samples:               %d (%d reissued)\n", log.Len(), len(log.ReissueTimes()))
+	fmt.Printf("optimal policy:        %v\n", pol)
+	fmt.Printf("  reissue delay d:     %.6g\n", pol.D)
+	fmt.Printf("  reissue prob  q:     %.6g\n", pol.Q)
+	fmt.Printf("predicted P%.4g:       %.6g\n", k, pred.TailLatency)
+	fmt.Printf("predicted reissue rate: %.4f (budget %.4f)\n", pred.Budget, budget)
+	return nil
+}

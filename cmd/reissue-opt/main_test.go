@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func writeLog(t *testing.T, reissued bool) string {
+	t.Helper()
+	r := stats.NewRNG(1)
+	d := stats.NewPareto(1.1, 2)
+	log := &trace.Log{}
+	for i := 0; i < 2000; i++ {
+		x := d.Sample(r)
+		rec := trace.Record{
+			ID: int64(i), Primary: x, PrimaryDone: true, Response: x,
+		}
+		if reissued && r.Bool(0.3) {
+			rec.Reissued = true
+			rec.ReissueDelay = 1
+			rec.Reissue = d.Sample(r)
+			rec.ReissueDone = true
+			if rec.ReissueDelay+rec.Reissue < x {
+				rec.Response = rec.ReissueDelay + rec.Reissue
+			}
+		}
+		log.Add(rec)
+	}
+	path := filepath.Join(t.TempDir(), "log.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := log.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIndependent(t *testing.T) {
+	path := writeLog(t, false)
+	if err := run(path, 99, 0.05, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCorrelated(t *testing.T) {
+	path := writeLog(t, true)
+	if err := run(path, 95, 0.10, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 99, 0.05, false); err == nil {
+		t.Error("missing -log accepted")
+	}
+	if err := run("/nonexistent/file.csv", 99, 0.05, false); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Correlated mode without any reissued queries must refuse.
+	path := writeLog(t, false)
+	err := run(path, 99, 0.05, true)
+	if err == nil || !strings.Contains(err.Error(), "no reissued queries") {
+		t.Errorf("correlated without pairs: %v", err)
+	}
+	// Empty log.
+	empty := filepath.Join(t.TempDir(), "empty.csv")
+	f, _ := os.Create(empty)
+	(&trace.Log{}).WriteCSV(f)
+	f.Close()
+	if err := run(empty, 99, 0.05, false); err == nil {
+		t.Error("empty log accepted")
+	}
+	// Invalid percentile propagates from the optimizer.
+	if err := run(path, 200, 0.05, false); err == nil {
+		t.Error("k=200 accepted")
+	}
+}

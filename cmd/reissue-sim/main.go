@@ -1,0 +1,125 @@
+// Command reissue-sim runs one cluster simulation under a chosen
+// reissue policy and prints latency statistics; with -log it also
+// writes the per-query response-time log that reissue-opt consumes.
+//
+// Examples:
+//
+//	# the paper's Queueing workload with no reissue, 40k queries
+//	reissue-sim -workload queueing -queries 40000
+//
+//	# SingleR(d=12, q=0.8) on the Redis-like workload at 40% util
+//	reissue-sim -workload redis -util 0.4 -d 12 -q 0.8
+//
+//	# deterministic delayed reissue (SingleD) on Lucene at 20% util
+//	reissue-sim -workload lucene -util 0.2 -d 60 -q 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "queueing", "workload: independent, correlated, queueing, redis, lucene")
+		util    = flag.Float64("util", 0.30, "target utilization for finite-server workloads")
+		queries = flag.Int("queries", 40000, "measured queries per run")
+		seed    = flag.Uint64("seed", 0x0511, "random seed")
+		d       = flag.Float64("d", 0, "reissue delay (policy parameter)")
+		q       = flag.Float64("q", 0, "reissue probability; 0 disables reissue, 1 = SingleD")
+		lb      = flag.String("lb", "random", "load balancer: random, min2, minall")
+		disc    = flag.String("discipline", "fifo", "queue discipline: fifo, prio-fifo, prio-lifo, round-robin")
+		logPath = flag.String("log", "", "write the per-query response log to this CSV file")
+	)
+	flag.Parse()
+	if err := run(*wl, *util, *queries, *seed, *d, *q, *lb, *disc, *logPath); err != nil {
+		fmt.Fprintln(os.Stderr, "reissue-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName, discName, logPath string) error {
+	sys, err := buildSystem(wl, util, queries, seed, lbName, discName)
+	if err != nil {
+		return err
+	}
+
+	var pol core.Policy = core.None{}
+	if q > 0 {
+		pol = core.SingleR{D: d, Q: q}
+		if err := (core.SingleR{D: d, Q: q}).Validate(); err != nil {
+			return err
+		}
+	}
+
+	res := sys.RunDetailed(pol)
+	rts := res.Log.ResponseTimes()
+	s := stats.Summarize(rts)
+
+	fmt.Printf("workload:      %s (%d queries, seed %#x)\n", wl, queries, seed)
+	fmt.Printf("policy:        %v\n", pol)
+	fmt.Printf("reissue rate:  %.4f\n", res.ReissueRate)
+	if res.Utilization == res.Utilization { // not NaN
+		fmt.Printf("utilization:   %.3f\n", res.Utilization)
+	}
+	fmt.Printf("mean:          %.3f\n", s.Mean)
+	for _, k := range []float64{50, 90, 95, 99, 99.9} {
+		fmt.Printf("P%-5.4g        %.3f\n", k, metrics.TailLatency(rts, k))
+	}
+	if pol != (core.Policy)(core.None{}) {
+		p99 := metrics.TailLatency(rts, 99)
+		fmt.Printf("remediation:   %.3f (at P99)\n", metrics.RemediationRate(res.Outcomes, p99))
+	}
+
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Log.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("log written:   %s (%d records)\n", logPath, res.Log.Len())
+	}
+	return nil
+}
+
+func buildSystem(wl string, util float64, queries int, seed uint64, lbName, discName string) (*cluster.Cluster, error) {
+	lb, err := cluster.LoadBalancerByName(lbName)
+	if err != nil {
+		return nil, err
+	}
+	disc, err := cluster.DisciplineByName(discName)
+	if err != nil {
+		return nil, err
+	}
+	opts := workload.Options{
+		Queries: queries, Seed: seed, Utilization: util,
+		LB: lb, Discipline: disc,
+	}
+	switch wl {
+	case "independent":
+		return workload.Independent(opts)
+	case "correlated":
+		return workload.Correlated(opts)
+	case "queueing":
+		return workload.Queueing(opts)
+	case "redis":
+		return experiments.NewSystemCluster(experiments.Redis, util,
+			experiments.Scale{Queries: queries, Seed: seed})
+	case "lucene":
+		return experiments.NewSystemCluster(experiments.Lucene, util,
+			experiments.Scale{Queries: queries, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown workload %q", wl)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunQueueingWorkload(t *testing.T) {
+	if err := run("queueing", 0.3, 2000, 1, 0, 0, "random", "fifo", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPolicyAndLog(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "out.csv")
+	if err := run("independent", 0.3, 2000, 1, 5, 0.5, "random", "fifo", logPath); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 2000 {
+		t.Fatalf("log has %d records", log.Len())
+	}
+	if log.ReissueRate() == 0 {
+		t.Fatal("policy never reissued")
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	for _, wl := range []string{"independent", "correlated"} {
+		if err := run(wl, 0.3, 500, 1, 0, 0, "random", "fifo", ""); err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+	}
+	if err := run("queueing", 0.2, 500, 1, 1, 1, "min2", "prio-fifo", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 0.3, 100, 1, 0, 0, "random", "fifo", ""); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run("queueing", 0.3, 100, 1, 0, 0, "bogus", "fifo", ""); err == nil {
+		t.Error("unknown LB accepted")
+	}
+	if err := run("queueing", 0.3, 100, 1, 0, 0, "random", "bogus", ""); err == nil {
+		t.Error("unknown discipline accepted")
+	}
+	if err := run("queueing", 0.3, 100, 1, -1, 0.5, "random", "fifo", ""); err == nil {
+		t.Error("negative delay accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Optimal Reissue
+// Policies for Reducing Tail Latency" (Kaler, He, Elnikety — SPAA
+// 2017).
+//
+// The paper's contribution — the SingleR reissue-policy family, its
+// optimality theorems, the data-driven parameter optimizer, and the
+// adaptive refinement and budget-search procedures — lives in
+// internal/core. The substrates it is evaluated on (a discrete-event
+// cluster simulator, a Redis-like set store, a Lucene-like search
+// engine, statistics and range-query structures) live in the other
+// internal packages. See DESIGN.md for the system inventory,
+// EXPERIMENTS.md for paper-vs-measured results, and bench_test.go for
+// the per-figure benchmark harness.
+package repro

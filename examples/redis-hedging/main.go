@@ -1,0 +1,64 @@
+// Redis hedging: reduce the P99 latency of a Redis-like
+// set-intersection service with a tiny reissue budget.
+//
+// This example reproduces the paper's headline Redis result in
+// miniature: a synthetic store of 1000 integer sets with log-normal
+// cardinalities, real SINTER executions, "queries of death" from
+// intersecting two huge sets, and a 10-server simulated cluster with
+// Redis's round-robin connection scheduling. A SingleR policy tuned
+// by the adaptive optimizer cuts the P99 substantially while
+// reissuing only ~2-3% of requests. Run with:
+//
+//	go run ./examples/redis-hedging
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const util = 0.40 // high load for an interactive service
+
+	fmt.Println("building synthetic Redis workload (1000 sets, 40k intersections)...")
+	sys, err := experiments.NewSystemCluster(experiments.Redis, util,
+		experiments.Scale{Queries: 20000, AdaptiveTrials: 6, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := sys.RunDetailed(core.None{})
+	rts := base.Log.ResponseTimes()
+	fmt.Printf("no reissue:   P50=%.0f ms  P99=%.0f ms  (util %.2f)\n",
+		metrics.TailLatency(rts, 50), metrics.TailLatency(rts, 99), base.Utilization)
+
+	// Tune SingleR for P99 with a 2% budget, adapting to the load the
+	// reissues themselves add.
+	ar, err := core.AdaptiveOptimize(sys, core.AdaptiveConfig{
+		K: 0.99, B: 0.02, Lambda: 0.5, Trials: 6, Correlated: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("singler:      P99=%.0f ms with policy %v (measured reissue rate %.3f)\n",
+		ar.Final.TailLatency(0.99), ar.Policy,
+		ar.Trials[len(ar.Trials)-1].ReissueRate)
+
+	// The deterministic alternative at the same budget.
+	ad, err := core.AdaptiveOptimizeSingleD(sys, core.AdaptiveConfig{
+		K: 0.99, B: 0.02, Lambda: 0.5, Trials: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("singled:      P99=%.0f ms with delay %.0f ms (measured reissue rate %.3f)\n",
+		ad.Final.TailLatency(0.99), ad.Policy.D,
+		ad.Trials[len(ad.Trials)-1].ReissueRate)
+
+	fmt.Println("\nSingleR reissues earlier (with probability < 1), so its copies have")
+	fmt.Println("time to respond before the deadline — the advantage randomization buys.")
+}

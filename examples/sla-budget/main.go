@@ -1,0 +1,48 @@
+// SLA budget: find the minimum reissue budget that meets a
+// tail-latency service-level agreement.
+//
+// Section 4.4 of the paper: "a system designer may be interested in
+// minimizing the resources required to satisfy the SLA". This example
+// runs core.MinimizeBudgetForSLA on the Queueing workload for a range
+// of P95 targets, showing how the required budget grows as the SLA
+// tightens — and where it becomes infeasible. Run with:
+//
+//	go run ./examples/sla-budget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl, err := workload.Queueing(workload.Options{Queries: 20000, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := wl.Run(core.None{}).TailLatency(0.95)
+	fmt.Printf("baseline P95 without reissue: %.0f ms\n\n", base)
+	fmt.Printf("%-14s  %-10s  %-12s  %s\n", "SLA target", "feasible", "min budget", "achieved P95")
+
+	for _, frac := range []float64{0.75, 0.50, 0.25, 0.10, 0.002} {
+		target := base * frac
+		res, err := core.MinimizeBudgetForSLA(wl, core.SLAConfig{
+			K: 0.95, Target: target, Lambda: 0.5,
+			AdaptiveSteps: 4, MaxBudget: 0.5, Tolerance: 0.01,
+			Correlated: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Feasible {
+			fmt.Printf("%8.0f ms    %-10v  %10.3f  %9.0f ms\n",
+				target, true, res.Budget, res.Latency)
+		} else {
+			fmt.Printf("%8.0f ms    %-10v  %10s  %9.0f ms (best seen)\n",
+				target, false, "-", res.Latency)
+		}
+	}
+}

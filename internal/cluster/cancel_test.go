@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// cancelConfig builds a loaded queueing cluster with aggressive
+// immediate reissue so cancellation has plenty to withdraw.
+func cancelConfig(cancel bool, seed uint64) Config {
+	dist := stats.NewExponential(0.1)
+	return Config{
+		Servers:          10,
+		ArrivalRate:      ArrivalRateForUtilization(0.5, 10, dist.Mean()),
+		Queries:          15000,
+		Warmup:           1500,
+		Source:           DistSource{Dist: dist},
+		Seed:             seed,
+		CancelOnComplete: cancel,
+	}
+}
+
+func TestCancelOnCompleteReducesLoad(t *testing.T) {
+	// With immediate reissue of everything, cancellation withdraws
+	// the copy that loses the race whenever it is still queued,
+	// lowering utilization and the tail.
+	base, err := New(cancelConfig(false, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tied, err := New(cancelConfig(true, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runBase := base.RunDetailed(core.Immediate{N: 1})
+	runTied := tied.RunDetailed(core.Immediate{N: 1})
+
+	if runTied.Utilization >= runBase.Utilization {
+		t.Fatalf("cancellation did not reduce utilization: %v >= %v",
+			runTied.Utilization, runBase.Utilization)
+	}
+	p99Base := metrics.TailLatency(runBase.Log.ResponseTimes(), 99)
+	p99Tied := metrics.TailLatency(runTied.Log.ResponseTimes(), 99)
+	if p99Tied >= p99Base {
+		t.Fatalf("cancellation did not improve P99: %v >= %v", p99Tied, p99Base)
+	}
+}
+
+func TestCancelOnCompleteBookkeeping(t *testing.T) {
+	c, err := New(cancelConfig(true, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.Immediate{N: 1})
+
+	sawCancelledReissue := false
+	for _, rec := range res.Log.Records {
+		// Every query still gets exactly one end-to-end response.
+		if rec.Response <= 0 {
+			t.Fatalf("query %d response %v", rec.ID, rec.Response)
+		}
+		// A completed copy always has a positive measured time.
+		if rec.PrimaryDone && rec.Primary <= 0 {
+			t.Fatalf("query %d primary done with time %v", rec.ID, rec.Primary)
+		}
+		if rec.Reissued && rec.ReissueDone && rec.Reissue <= 0 {
+			t.Fatalf("query %d reissue done with time %v", rec.ID, rec.Reissue)
+		}
+		// At least one copy must have completed.
+		if !rec.PrimaryDone && !(rec.Reissued && rec.ReissueDone) {
+			t.Fatalf("query %d completed with no finished copy", rec.ID)
+		}
+		if rec.Reissued && !rec.ReissueDone {
+			sawCancelledReissue = true
+		}
+	}
+	if !sawCancelledReissue {
+		t.Error("no reissue was ever cancelled under immediate reissue + cancellation")
+	}
+	// Logs exclude incomplete copies.
+	if len(res.Log.PrimaryTimes()) == len(res.Log.Records) {
+		t.Error("no primary was ever cancelled — unexpected with reissues racing")
+	}
+	for _, y := range res.Log.ReissueTimes() {
+		if y <= 0 {
+			t.Fatalf("reissue log contains non-positive %v", y)
+		}
+	}
+}
+
+func TestCancelOnCompleteNoReissueIsNoop(t *testing.T) {
+	a, err := New(cancelConfig(false, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cancelConfig(true, 29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := a.RunDetailed(core.None{})
+	rb := b.RunDetailed(core.None{})
+	for i := range ra.Log.Records {
+		if ra.Log.Records[i] != rb.Log.Records[i] {
+			t.Fatal("cancellation changed a no-reissue run")
+		}
+	}
+}
+
+func TestCancelInfiniteServersNeverCancels(t *testing.T) {
+	// With no queueing every copy starts immediately, so nothing is
+	// ever cancellable; both copies complete.
+	c, err := New(Config{
+		Queries:          2000,
+		Source:           DistSource{Dist: stats.NewExponential(1)},
+		Seed:             31,
+		CancelOnComplete: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.Immediate{N: 1})
+	for _, rec := range res.Log.Records {
+		if !rec.PrimaryDone || !rec.ReissueDone {
+			t.Fatal("copy cancelled despite infinite servers")
+		}
+	}
+}

@@ -1,0 +1,532 @@
+// Package cluster is the discrete-event cluster simulator used for
+// every experiment in the repository: n single-threaded servers with
+// configurable queue disciplines, a load balancer, an open-loop
+// Poisson arrival process, and a reissue controller that executes any
+// core.Policy — checking, like the paper's client harness, whether a
+// query already completed before actually sending its reissue.
+//
+// The simulator replaces the paper's physical 10-server testbed; see
+// DESIGN.md for the substitution argument.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/rangequery"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ServiceSource produces per-query service times. Sample returns the
+// primary request's service time and the service time a reissue of
+// the same query would have. Reset is called at the start of every
+// run so trace-backed sources replay deterministically.
+type ServiceSource interface {
+	Sample(r *stats.RNG) (primary, reissue float64)
+	Reset()
+}
+
+// DistSource draws service times from a distribution, with the
+// paper's linear correlation model for reissues: Y = Corr*X + Z where
+// Z is an independent draw (Section 5.1, Figure 4).
+type DistSource struct {
+	Dist stats.Dist
+	Corr float64
+}
+
+// Sample draws X and Y = Corr*X + Z.
+func (s DistSource) Sample(r *stats.RNG) (float64, float64) {
+	x := s.Dist.Sample(r)
+	return x, s.Corr*x + s.Dist.Sample(r)
+}
+
+// Reset is a no-op; distribution sources are stateless.
+func (DistSource) Reset() {}
+
+// TraceSource replays a fixed sequence of service times (for example,
+// measured from the kvstore or searchengine workloads), cycling when
+// exhausted. The reissue executes the same work as the primary, so it
+// gets the same service time — the strongest form of service-time
+// correlation, matching a replica re-executing an identical query.
+type TraceSource struct {
+	Times []float64
+	next  int
+}
+
+// Sample returns the next recorded service time for both copies.
+func (s *TraceSource) Sample(*stats.RNG) (float64, float64) {
+	if len(s.Times) == 0 {
+		panic("cluster: empty TraceSource")
+	}
+	t := s.Times[s.next]
+	s.next = (s.next + 1) % len(s.Times)
+	return t, t
+}
+
+// Reset rewinds the trace to the beginning.
+func (s *TraceSource) Reset() { s.next = 0 }
+
+// Config describes a simulated cluster and workload.
+type Config struct {
+	// Servers is the number of servers; 0 simulates infinitely many
+	// (no queueing — the Independent and Correlated workload models).
+	Servers int
+	// ArrivalRate is the open-loop Poisson arrival rate in queries
+	// per unit time. Ignored when Servers == 0.
+	ArrivalRate float64
+	// RateMultiplier optionally modulates the arrival rate over
+	// simulated time (non-homogeneous Poisson by local rate): the
+	// instantaneous rate at time t is ArrivalRate*RateMultiplier(t).
+	// It models the diurnal/step load variation of the paper's
+	// Section 4.4 "varying load" scenario. Must return positive
+	// values; nil means constant rate.
+	RateMultiplier func(t float64) float64
+	// OnRequestComplete, when set, is invoked each time a request
+	// copy finishes service, with whether it was a reissue, its
+	// response time, and the simulation time. Online adapters use it
+	// to observe the live response-time stream mid-run.
+	OnRequestComplete func(reissue bool, responseTime, now float64)
+	// Queries is the number of queries to simulate, excluding warmup.
+	Queries int
+	// FanOut groups queries into batches of this size that arrive
+	// simultaneously, modelling a partitioned request that fans out
+	// to FanOut sub-requests and completes when the slowest responds
+	// — the paper's motivating aggregation pattern ("the slower
+	// servers typically dominate the response time"). 0 or 1 means
+	// independent queries. Queries and Warmup must be multiples of
+	// FanOut; Result.FanOutResponses then carries the per-batch
+	// max-response times.
+	FanOut int
+	// Warmup queries are simulated before measurement starts, letting
+	// queues reach steady state. They are excluded from all metrics.
+	Warmup int
+	// Source generates service times.
+	Source ServiceSource
+	// LB selects servers; defaults to RandomLB.
+	LB LoadBalancer
+	// Discipline orders each server's queue.
+	Discipline Discipline
+	// Connections is the number of client connections (round-robin
+	// discipline only); defaults to 20.
+	Connections int
+	// Seed drives all randomness.
+	Seed uint64
+	// SpeedFactors optionally gives each server a static service-time
+	// multiplier (1 = nominal, 2 = half speed), modelling permanently
+	// heterogeneous replicas — older hardware, a degraded disk, an
+	// overloaded VM neighbour. Length must equal Servers when set.
+	SpeedFactors []float64
+	// Interference, when non-nil, models transient server slowdowns —
+	// the background tasks, CPU shortages, and co-located work the
+	// paper's introduction names as drivers of tail latency on real
+	// testbeds. Each server independently alternates between normal
+	// and slow states; requests that start service while the server
+	// is slow take Factor times longer. Hedging pays precisely
+	// because the replica serving the reissue is usually not slow at
+	// the same moment.
+	Interference *Interference
+	// CancelOnComplete withdraws a query's outstanding copies as soon
+	// as its first response arrives — Dean and Barroso's "tied
+	// requests" optimization, an extension beyond the paper (which
+	// lets redundant copies run to completion, wasting their service
+	// time). Queued copies are dropped; a copy already in service is
+	// not preempted. Note that cancelled copies yield no response
+	// time, so the optimizer's RX/RY logs shrink accordingly.
+	CancelOnComplete bool
+	// FreshPerRun gives every successive Run its own random stream.
+	// The default (false) applies common random numbers: every run
+	// replays the identical arrival and service-time streams, so two
+	// policies are compared on exactly the same sample path. With
+	// heavy-tailed service times (the paper's Pareto(1.1) has
+	// infinite variance) this variance reduction is what makes
+	// policy comparisons and adaptive refinement converge at
+	// practical sample sizes; policy coin flips still come from
+	// their own stream and vary per policy.
+	FreshPerRun bool
+}
+
+// Interference parametrizes transient per-server slowdowns: slow
+// periods begin at exponential rate Rate per server, last an
+// exponentially distributed time with mean MeanDuration, and multiply
+// the service times of requests starting during them by Factor.
+type Interference struct {
+	Rate         float64 // slow-period starts per unit time per server
+	MeanDuration float64 // mean slow-period length
+	Factor       float64 // service-time multiplier while slow, > 1
+}
+
+func (iv Interference) validate() error {
+	if iv.Rate <= 0 || iv.MeanDuration <= 0 {
+		return fmt.Errorf("cluster: interference rate %v and duration %v must be positive", iv.Rate, iv.MeanDuration)
+	}
+	if iv.Factor <= 1 {
+		return fmt.Errorf("cluster: interference factor %v must exceed 1", iv.Factor)
+	}
+	return nil
+}
+
+// SlowFraction returns the long-run fraction of time a server spends
+// slowed: Rate*MeanDuration / (1 + Rate*MeanDuration).
+func (iv Interference) SlowFraction() float64 {
+	x := iv.Rate * iv.MeanDuration
+	return x / (1 + x)
+}
+
+func (c Config) validate() error {
+	if c.Queries <= 0 {
+		return fmt.Errorf("cluster: Queries=%d must be positive", c.Queries)
+	}
+	if c.Servers < 0 {
+		return fmt.Errorf("cluster: Servers=%d must be non-negative", c.Servers)
+	}
+	if c.Servers > 0 && (c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate)) {
+		return fmt.Errorf("cluster: ArrivalRate=%v must be positive with finite servers", c.ArrivalRate)
+	}
+	if c.Source == nil {
+		return fmt.Errorf("cluster: Source must be set")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("cluster: Warmup=%d must be non-negative", c.Warmup)
+	}
+	if c.Interference != nil {
+		if err := c.Interference.validate(); err != nil {
+			return err
+		}
+	}
+	if c.FanOut < 0 {
+		return fmt.Errorf("cluster: FanOut=%d must be non-negative", c.FanOut)
+	}
+	if c.FanOut > 1 {
+		if c.Queries%c.FanOut != 0 || c.Warmup%c.FanOut != 0 {
+			return fmt.Errorf("cluster: Queries=%d and Warmup=%d must be multiples of FanOut=%d",
+				c.Queries, c.Warmup, c.FanOut)
+		}
+	}
+	if c.SpeedFactors != nil {
+		if len(c.SpeedFactors) != c.Servers {
+			return fmt.Errorf("cluster: %d speed factors for %d servers", len(c.SpeedFactors), c.Servers)
+		}
+		for i, f := range c.SpeedFactors {
+			if f <= 0 || math.IsNaN(f) {
+				return fmt.Errorf("cluster: speed factor %v for server %d must be positive", f, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is the detailed outcome of one simulated run.
+type Result struct {
+	// Log has one record per measured (post-warmup) query.
+	Log *trace.Log
+	// Outcomes parallel Log for remediation-rate accounting.
+	Outcomes []metrics.QueryOutcome
+	// Pairs holds (primary, reissue) response-time pairs for measured
+	// queries that were reissued.
+	Pairs []rangequery.Point
+	// ReissueRate counts reissues over measured queries.
+	ReissueRate float64
+	// Utilization is the measured per-server busy fraction over the
+	// simulated duration (NaN for infinite servers).
+	Utilization float64
+	// Duration is the simulated time span.
+	Duration float64
+	// FanOutResponses holds, when Config.FanOut > 1, the response
+	// time of each fan-out batch: the maximum over its sub-requests'
+	// end-to-end responses.
+	FanOutResponses []float64
+}
+
+// Cluster is a reusable simulation harness. It implements
+// core.System: each Run simulates the configured workload under the
+// given policy with a fresh RNG stream.
+type Cluster struct {
+	cfg  Config
+	runs uint64
+}
+
+// New validates the configuration and returns a Cluster.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LB == nil {
+		cfg.LB = RandomLB{}
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 20
+	}
+	return &Cluster{cfg: cfg}, nil
+}
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Run implements core.System.
+func (c *Cluster) Run(p core.Policy) core.RunResult {
+	res := c.RunDetailed(p)
+	out := core.RunResult{
+		Primary:     res.Log.PrimaryTimes(),
+		Reissue:     res.Log.ReissueTimes(),
+		Pairs:       res.Pairs,
+		Query:       res.Log.ResponseTimes(),
+		ReissueRate: res.ReissueRate,
+	}
+	return out
+}
+
+// query tracks one logical query across its primary and reissue
+// copies.
+type query struct {
+	id       int
+	arrival  float64
+	measured bool
+
+	done     bool
+	response float64
+
+	primaryDone   bool
+	primaryResp   float64
+	primaryServer int
+
+	reissues     int
+	reissueDelay float64
+	reissueResp  float64
+	reissueDone  bool
+
+	// outstanding tracks dispatched copies for CancelOnComplete.
+	outstanding []*request
+}
+
+// RunDetailed simulates one run under policy p and returns the full
+// measurement set.
+func (c *Cluster) RunDetailed(p core.Policy) *Result {
+	c.runs++
+	cfg := c.cfg
+	cfg.Source.Reset()
+	seed := cfg.Seed
+	if cfg.FreshPerRun {
+		seed += c.runs * 0x9e3779b9
+	}
+	root := stats.NewRNG(seed)
+	arrivalRNG := root.Split(1)
+	serviceRNG := root.Split(2)
+	policyRNG := root.Split(3)
+	lbRNG := root.Split(4)
+	connRNG := root.Split(5)
+
+	sim := des.New()
+	total := cfg.Queries + cfg.Warmup
+	queries := make([]*query, total)
+
+	servers := make([]*server, cfg.Servers)
+	lengths := make([]int, cfg.Servers)
+	queueLens := func() []int {
+		for i, s := range servers {
+			lengths[i] = s.Len()
+		}
+		return lengths
+	}
+
+	onComplete := func(r *request, now float64) {
+		q := r.q
+		if r.cancelled {
+			// In-service when cancelled: finished anyway, but its
+			// measurement was already forfeited.
+			return
+		}
+		rt := now - r.dispatch
+		if cfg.OnRequestComplete != nil {
+			cfg.OnRequestComplete(r.reissue, rt, now)
+		}
+		if r.reissue {
+			if !q.reissueDone {
+				q.reissueDone = true
+				q.reissueResp = rt
+			}
+		} else {
+			q.primaryDone = true
+			q.primaryResp = rt
+		}
+		if !q.done {
+			q.done = true
+			q.response = now - q.arrival
+			if cfg.CancelOnComplete {
+				for _, other := range q.outstanding {
+					if other != r && !other.inService {
+						other.cancelled = true
+					}
+				}
+			}
+		}
+	}
+	for i := range servers {
+		servers[i] = newServer(i, cfg.Discipline, onComplete)
+		if cfg.SpeedFactors != nil {
+			servers[i].baseSpeed = cfg.SpeedFactors[i]
+		}
+	}
+
+	dispatch := func(r *request, now float64, exclude int) int {
+		r.q.outstanding = append(r.q.outstanding, r)
+		if cfg.Servers == 0 {
+			// Infinite servers: no queueing, response = service; the
+			// copy starts immediately, so it is never cancellable.
+			r.inService = true
+			sim.After(r.service, func(end float64) { onComplete(r, end) })
+			return -1
+		}
+		idx := cfg.LB.Pick(lbRNG, queueLens(), exclude)
+		r.dispatch = now
+		servers[idx].Enqueue(sim, r, now)
+		return idx
+	}
+
+	// Schedule server interference (transient slowdowns). Toggle
+	// chains are precomputed up to a horizon past the last arrival so
+	// the event list drains.
+	scheduleInterference := func(horizon float64) {
+		iv := cfg.Interference
+		if iv == nil || cfg.Servers == 0 {
+			return
+		}
+		ivRNG := root.Split(6)
+		for _, srv := range servers {
+			srv := srv
+			t := ivRNG.ExpFloat64() / iv.Rate
+			for t < horizon {
+				start, dur := t, ivRNG.ExpFloat64()*iv.MeanDuration
+				sim.At(start, func(float64) { srv.slowFactor = iv.Factor })
+				sim.At(start+dur, func(float64) { srv.slowFactor = 1 })
+				t = start + dur + ivRNG.ExpFloat64()/iv.Rate
+			}
+		}
+	}
+
+	// Schedule the open-loop arrival process. The reissue plan is
+	// sampled inside the arrival event (not at schedule time) so that
+	// policies whose parameters evolve during the run — the online
+	// adapter — see their current state; arrival events fire in query
+	// order, so the policy RNG stream is unaffected for static
+	// policies.
+	at := 0.0
+	fan := cfg.FanOut
+	if fan < 1 {
+		fan = 1
+	}
+	for i := 0; i < total; i++ {
+		// Sub-requests within a fan-out batch share one arrival time.
+		if cfg.Servers > 0 && i > 0 && i%fan == 0 {
+			rate := cfg.ArrivalRate
+			if cfg.RateMultiplier != nil {
+				m := cfg.RateMultiplier(at)
+				if m <= 0 || math.IsNaN(m) {
+					panic(fmt.Sprintf("cluster: RateMultiplier(%v) = %v must be positive", at, m))
+				}
+				rate *= m
+			}
+			at += arrivalRNG.ExpFloat64() / rate * float64(fan)
+		}
+		q := &query{id: i, arrival: at, measured: i >= cfg.Warmup}
+		queries[i] = q
+		sPrim, sReis := cfg.Source.Sample(serviceRNG)
+		conn := connRNG.Intn(cfg.Connections)
+		sim.At(at, func(now float64) {
+			prim := &request{q: q, service: sPrim, dispatch: now, conn: conn}
+			q.primaryServer = dispatch(prim, now, -1)
+			for _, d := range p.Plan(policyRNG) {
+				delay := d
+				sim.After(delay, func(rnow float64) {
+					// The paper's client checks a completion flag
+					// before sending the reissue.
+					if q.done {
+						return
+					}
+					q.reissues++
+					if q.reissues == 1 {
+						q.reissueDelay = delay
+					}
+					re := &request{q: q, service: sReis, dispatch: rnow,
+						conn: conn, reissue: true}
+					dispatch(re, rnow, q.primaryServer)
+				})
+			}
+		})
+	}
+
+	scheduleInterference(at * 1.25)
+	sim.Run()
+
+	// Collect measurements over post-warmup queries.
+	res := &Result{Log: &trace.Log{}}
+	reissued := 0
+	for _, q := range queries {
+		if !q.measured {
+			continue
+		}
+		rec := trace.Record{
+			ID:          int64(q.id),
+			Arrival:     q.arrival,
+			Primary:     q.primaryResp,
+			PrimaryDone: q.primaryDone,
+			Response:    q.response,
+		}
+		outcome := metrics.QueryOutcome{Primary: q.primaryResp}
+		if q.reissues > 0 {
+			reissued += q.reissues
+			rec.Reissued = true
+			rec.ReissueDelay = q.reissueDelay
+			rec.Reissue = q.reissueResp
+			rec.ReissueDone = q.reissueDone
+			outcome.Reissued = true
+			outcome.ReissueDelay = q.reissueDelay
+			outcome.Reissue = q.reissueResp
+			outcome.ReissueCompleted = q.reissueDone
+			if q.primaryDone && q.reissueDone {
+				res.Pairs = append(res.Pairs, rangequery.Point{X: q.primaryResp, Y: q.reissueResp})
+			}
+		}
+		res.Log.Add(rec)
+		res.Outcomes = append(res.Outcomes, outcome)
+	}
+	res.ReissueRate = float64(reissued) / float64(cfg.Queries)
+	if fan > 1 {
+		for i := cfg.Warmup; i < total; i += fan {
+			max := 0.0
+			for j := i; j < i+fan; j++ {
+				if queries[j].response > max {
+					max = queries[j].response
+				}
+			}
+			res.FanOutResponses = append(res.FanOutResponses, max)
+		}
+	}
+	res.Duration = sim.Now()
+	if cfg.Servers > 0 && res.Duration > 0 {
+		var busy float64
+		for _, s := range servers {
+			busy += s.busyTime
+		}
+		res.Utilization = busy / (res.Duration * float64(cfg.Servers))
+	} else {
+		res.Utilization = math.NaN()
+	}
+	return res
+}
+
+// ArrivalRateForUtilization returns the Poisson arrival rate that
+// loads n servers to the target utilization rho given the mean
+// service time: lambda = rho * n / E[S].
+func ArrivalRateForUtilization(rho float64, servers int, meanService float64) float64 {
+	if rho <= 0 || rho >= 1 {
+		panic(fmt.Sprintf("cluster: utilization %v outside (0, 1)", rho))
+	}
+	if servers <= 0 || meanService <= 0 {
+		panic("cluster: servers and mean service time must be positive")
+	}
+	return rho * float64(servers) / meanService
+}

@@ -1,0 +1,407 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	src := DistSource{Dist: stats.NewExponential(1)}
+	bad := []Config{
+		{Queries: 0, Servers: 1, ArrivalRate: 1, Source: src},
+		{Queries: 10, Servers: -1, Source: src},
+		{Queries: 10, Servers: 1, ArrivalRate: 0, Source: src},
+		{Queries: 10, Servers: 1, ArrivalRate: 1},
+		{Queries: 10, Servers: 1, ArrivalRate: 1, Source: src, Warmup: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestInfiniteServersResponseEqualsService(t *testing.T) {
+	// With no queueing and no reissue, response time == service time.
+	c := mustCluster(t, Config{
+		Queries: 5000,
+		Source:  DistSource{Dist: stats.NewExponential(0.1)},
+		Seed:    1,
+	})
+	res := c.RunDetailed(core.None{})
+	if got := res.Log.Len(); got != 5000 {
+		t.Fatalf("log has %d records", got)
+	}
+	if res.ReissueRate != 0 {
+		t.Fatalf("reissue rate = %v", res.ReissueRate)
+	}
+	s := stats.Summarize(res.Log.ResponseTimes())
+	if math.Abs(s.Mean-10)/10 > 0.05 {
+		t.Fatalf("mean response %v, want ~10 (the service mean)", s.Mean)
+	}
+	if !math.IsNaN(res.Utilization) {
+		t.Fatalf("infinite-server utilization = %v, want NaN", res.Utilization)
+	}
+}
+
+func TestQueueingUtilizationMatchesTarget(t *testing.T) {
+	dist := stats.NewExponential(0.1) // mean 10
+	for _, rho := range []float64{0.2, 0.5} {
+		c := mustCluster(t, Config{
+			Servers:     10,
+			ArrivalRate: ArrivalRateForUtilization(rho, 10, dist.Mean()),
+			Queries:     30000,
+			Warmup:      3000,
+			Source:      DistSource{Dist: dist},
+			Seed:        2,
+		})
+		res := c.RunDetailed(core.None{})
+		if math.Abs(res.Utilization-rho) > 0.05 {
+			t.Errorf("rho=%v: measured utilization %v", rho, res.Utilization)
+		}
+	}
+}
+
+func TestQueueingAddsDelay(t *testing.T) {
+	dist := stats.NewExponential(0.1)
+	c := mustCluster(t, Config{
+		Servers:     10,
+		ArrivalRate: ArrivalRateForUtilization(0.6, 10, dist.Mean()),
+		Queries:     20000,
+		Warmup:      2000,
+		Source:      DistSource{Dist: dist},
+		Seed:        3,
+	})
+	res := c.RunDetailed(core.None{})
+	meanResp := stats.Summarize(res.Log.ResponseTimes()).Mean
+	if meanResp <= dist.Mean()*1.05 {
+		t.Fatalf("mean response %v shows no queueing delay over service mean %v",
+			meanResp, dist.Mean())
+	}
+}
+
+func TestSingleDReissueRateMatchesBudget(t *testing.T) {
+	// SingleD(d) reissues exactly the queries still outstanding at d;
+	// with response == service (infinite servers), the measured rate
+	// must equal Pr(X > d).
+	dist := stats.NewExponential(0.1)
+	d := dist.Quantile(0.9) // Pr(X > d) = 0.1
+	c := mustCluster(t, Config{
+		Queries: 40000,
+		Source:  DistSource{Dist: dist},
+		Seed:    4,
+	})
+	res := c.RunDetailed(core.SingleD{D: d})
+	if math.Abs(res.ReissueRate-0.1) > 0.01 {
+		t.Fatalf("SingleD reissue rate %v, want ~0.1", res.ReissueRate)
+	}
+}
+
+func TestSingleRReissueRateMatchesBudget(t *testing.T) {
+	dist := stats.NewExponential(0.1)
+	d := dist.Quantile(0.8) // Pr(X > d) = 0.2
+	q := 0.5                // budget = 0.1
+	c := mustCluster(t, Config{
+		Queries: 40000,
+		Source:  DistSource{Dist: dist},
+		Seed:    5,
+	})
+	res := c.RunDetailed(core.SingleR{D: d, Q: q})
+	if math.Abs(res.ReissueRate-0.1) > 0.01 {
+		t.Fatalf("SingleR reissue rate %v, want ~0.1", res.ReissueRate)
+	}
+}
+
+func TestReissueReducesTailOnIndependentWorkload(t *testing.T) {
+	dist := stats.NewPareto(1.1, 2)
+	c := mustCluster(t, Config{
+		Queries: 40000,
+		Source:  DistSource{Dist: dist},
+		Seed:    6,
+	})
+	base := c.RunDetailed(core.None{})
+	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+
+	// Reissue at the 85th percentile with probability chosen to spend
+	// a 10% budget, the regime of Figure 3.
+	d := dist.Quantile(0.85)
+	res := c.RunDetailed(core.SingleR{D: d, Q: 0.1 / 0.15})
+	p95 := metrics.TailLatency(res.Log.ResponseTimes(), 95)
+	if p95 >= baseP95 {
+		t.Fatalf("SingleR did not reduce P95: %v >= %v", p95, baseP95)
+	}
+	// The paper's Figure 3a shows roughly 2x at a 10% budget on the
+	// Independent workload; require at least 1.4x.
+	if ratio := baseP95 / p95; ratio < 1.4 {
+		t.Errorf("P95 reduction ratio %v below expected", ratio)
+	}
+}
+
+func TestImmediateReissueOverloadsHighUtilization(t *testing.T) {
+	// Immediate reissue doubles the load; at 60% base utilization the
+	// system saturates and the tail explodes — the phenomenon that
+	// motivates delayed reissue (Section 1).
+	dist := stats.NewExponential(0.1)
+	cfg := Config{
+		Servers:     10,
+		ArrivalRate: ArrivalRateForUtilization(0.6, 10, dist.Mean()),
+		Queries:     20000,
+		Warmup:      2000,
+		Source:      DistSource{Dist: dist},
+		Seed:        7,
+	}
+	c := mustCluster(t, cfg)
+	base := c.RunDetailed(core.None{})
+	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+	imm := c.RunDetailed(core.Immediate{N: 1})
+	immP95 := metrics.TailLatency(imm.Log.ResponseTimes(), 95)
+	if immP95 <= baseP95 {
+		t.Fatalf("immediate reissue at 60%% util should hurt: %v <= %v", immP95, baseP95)
+	}
+}
+
+func TestImmediateReissueHelpsAtLowUtilization(t *testing.T) {
+	dist := stats.NewPareto(1.1, 2)
+	cfg := Config{
+		Servers:     10,
+		ArrivalRate: ArrivalRateForUtilization(0.1, 10, dist.Mean()),
+		Queries:     20000,
+		Warmup:      2000,
+		Source:      DistSource{Dist: dist},
+		Seed:        8,
+	}
+	c := mustCluster(t, cfg)
+	base := c.RunDetailed(core.None{})
+	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+	imm := c.RunDetailed(core.Immediate{N: 1})
+	immP95 := metrics.TailLatency(imm.Log.ResponseTimes(), 95)
+	if immP95 >= baseP95 {
+		t.Fatalf("immediate reissue at 10%% util should help: %v >= %v", immP95, baseP95)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	dist := stats.NewExponential(1)
+	c := mustCluster(t, Config{
+		Servers:     2,
+		ArrivalRate: 0.5,
+		Queries:     100,
+		Warmup:      50,
+		Source:      DistSource{Dist: dist},
+		Seed:        9,
+	})
+	res := c.RunDetailed(core.None{})
+	if res.Log.Len() != 100 {
+		t.Fatalf("measured %d queries, want 100 (warmup excluded)", res.Log.Len())
+	}
+	for _, rec := range res.Log.Records {
+		if rec.ID < 50 {
+			t.Fatalf("warmup query %d leaked into the log", rec.ID)
+		}
+	}
+}
+
+func TestRunsAreIndependentButDeterministic(t *testing.T) {
+	mk := func(fresh bool) *Cluster {
+		return mustCluster(t, Config{
+			Queries:     1000,
+			Source:      DistSource{Dist: stats.NewExponential(1)},
+			Seed:        10,
+			FreshPerRun: fresh,
+		})
+	}
+	a1 := mk(false).RunDetailed(core.None{})
+	a2 := mk(false).RunDetailed(core.None{})
+	// Same seed, same run index: identical.
+	for i := range a1.Log.Records {
+		if a1.Log.Records[i] != a2.Log.Records[i] {
+			t.Fatal("same-seed runs diverged")
+		}
+	}
+	// Common random numbers (default): consecutive runs replay the
+	// same sample path.
+	c := mk(false)
+	r1 := c.RunDetailed(core.None{})
+	r2 := c.RunDetailed(core.None{})
+	for i := range r1.Log.Records {
+		if r1.Log.Records[i].Primary != r2.Log.Records[i].Primary {
+			t.Fatal("common-random-numbers runs diverged")
+		}
+	}
+	// FreshPerRun: consecutive runs use fresh randomness.
+	cf := mk(true)
+	f1 := cf.RunDetailed(core.None{})
+	f2 := cf.RunDetailed(core.None{})
+	same := 0
+	for i := range f1.Log.Records {
+		if f1.Log.Records[i].Primary == f2.Log.Records[i].Primary {
+			same++
+		}
+	}
+	if same == len(f1.Log.Records) {
+		t.Fatal("FreshPerRun runs reused the identical sample stream")
+	}
+}
+
+func TestTraceSourceReplaysDeterministically(t *testing.T) {
+	src := &TraceSource{Times: []float64{1, 2, 3}}
+	r := stats.NewRNG(1)
+	var got []float64
+	for i := 0; i < 5; i++ {
+		p, y := src.Sample(r)
+		if p != y {
+			t.Fatalf("trace source primary %v != reissue %v", p, y)
+		}
+		got = append(got, p)
+	}
+	want := []float64{1, 2, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace sequence = %v", got)
+		}
+	}
+	src.Reset()
+	if p, _ := src.Sample(r); p != 1 {
+		t.Fatalf("after Reset first sample = %v", p)
+	}
+}
+
+func TestTraceSourceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty TraceSource did not panic")
+		}
+	}()
+	(&TraceSource{}).Sample(stats.NewRNG(1))
+}
+
+func TestClusterImplementsSystem(t *testing.T) {
+	var _ core.System = (*Cluster)(nil)
+	c := mustCluster(t, Config{
+		Queries: 500,
+		Source:  DistSource{Dist: stats.NewExponential(1)},
+		Seed:    11,
+	})
+	run := c.Run(core.SingleR{D: 0.5, Q: 0.5})
+	if len(run.Primary) != 500 || len(run.Query) != 500 {
+		t.Fatalf("RunResult sizes: %d primary, %d query", len(run.Primary), len(run.Query))
+	}
+	if len(run.Reissue) == 0 || len(run.Pairs) != len(run.Reissue) {
+		t.Fatalf("RunResult reissue bookkeeping: %d reissues, %d pairs",
+			len(run.Reissue), len(run.Pairs))
+	}
+}
+
+func TestCorrelatedSourceProducesCorrelation(t *testing.T) {
+	// Exponential rather than Pareto(1.1): the latter has infinite
+	// variance, making the Pearson coefficient meaningless.
+	c := mustCluster(t, Config{
+		Queries: 20000,
+		Source:  DistSource{Dist: stats.NewExponential(0.5), Corr: 0.5},
+		Seed:    12,
+	})
+	res := c.RunDetailed(core.SingleD{D: 0}) // reissue everything immediately
+	var xs, ys []float64
+	for _, p := range res.Pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	if len(xs) < 10000 {
+		t.Fatalf("only %d pairs", len(xs))
+	}
+	corr := stats.PearsonCorrelation(xs, ys)
+	if corr < 0.2 {
+		t.Fatalf("measured correlation %v too weak for r=0.5", corr)
+	}
+
+	// And with Corr = 0 the correlation should be near zero.
+	c0 := mustCluster(t, Config{
+		Queries: 20000,
+		Source:  DistSource{Dist: stats.NewExponential(0.5), Corr: 0},
+		Seed:    13,
+	})
+	res0 := c0.RunDetailed(core.SingleD{D: 0})
+	xs, ys = nil, nil
+	for _, p := range res0.Pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	if corr0 := stats.PearsonCorrelation(xs, ys); math.Abs(corr0) > 0.1 {
+		t.Fatalf("uncorrelated source measured correlation %v", corr0)
+	}
+}
+
+func TestArrivalRateForUtilization(t *testing.T) {
+	if got := ArrivalRateForUtilization(0.3, 10, 22); math.Abs(got-3.0/22) > 1e-12 {
+		t.Fatalf("rate = %v", got)
+	}
+	for _, f := range []func(){
+		func() { ArrivalRateForUtilization(0, 10, 1) },
+		func() { ArrivalRateForUtilization(1, 10, 1) },
+		func() { ArrivalRateForUtilization(0.5, 0, 1) },
+		func() { ArrivalRateForUtilization(0.5, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any policy and small workload, bookkeeping invariants
+// hold — every response positive, response <= primary response, and
+// pair count equals reissue count.
+func TestSimulationInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, dRaw, qRaw uint8) bool {
+		d := float64(dRaw) / 16
+		q := float64(qRaw) / 255
+		c, err := New(Config{
+			Servers:     3,
+			ArrivalRate: 0.5,
+			Queries:     300,
+			Warmup:      30,
+			Source:      DistSource{Dist: stats.NewExponential(1), Corr: 0.5},
+			Seed:        seed,
+		})
+		if err != nil {
+			return false
+		}
+		res := c.RunDetailed(core.SingleR{D: d, Q: q})
+		if len(res.Pairs) != len(res.Log.ReissueTimes()) {
+			return false
+		}
+		for _, rec := range res.Log.Records {
+			if rec.Response <= 0 || rec.Primary <= 0 {
+				return false
+			}
+			if rec.Response > rec.Primary+1e-9 {
+				return false
+			}
+			if rec.Reissued && rec.Response > rec.ReissueDelay+rec.Reissue+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

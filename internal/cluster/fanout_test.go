@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestFanOutValidation(t *testing.T) {
+	src := DistSource{Dist: stats.NewExponential(1)}
+	if _, err := New(Config{
+		Servers: 2, ArrivalRate: 0.1, Queries: 10, Source: src, FanOut: -1,
+	}); err == nil {
+		t.Error("negative fan-out accepted")
+	}
+	if _, err := New(Config{
+		Servers: 2, ArrivalRate: 0.1, Queries: 10, Source: src, FanOut: 3,
+	}); err == nil {
+		t.Error("non-divisible query count accepted")
+	}
+}
+
+func mkFanOut(t *testing.T, fan int, seed uint64) *Cluster {
+	t.Helper()
+	dist := stats.NewExponential(0.1)
+	c, err := New(Config{
+		Servers:     10,
+		ArrivalRate: ArrivalRateForUtilization(0.3, 10, dist.Mean()),
+		Queries:     20000,
+		Warmup:      2000,
+		Source:      DistSource{Dist: dist},
+		Seed:        seed,
+		FanOut:      fan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFanOutBookkeeping(t *testing.T) {
+	c := mkFanOut(t, 10, 61)
+	res := c.RunDetailed(core.None{})
+	if got := len(res.FanOutResponses); got != 2000 {
+		t.Fatalf("fan-out batches = %d, want 2000", got)
+	}
+	// Each batch response is the max of its members, so the batch
+	// median must exceed the per-request median.
+	reqMed := metrics.TailLatency(res.Log.ResponseTimes(), 50)
+	batchMed := metrics.TailLatency(res.FanOutResponses, 50)
+	if batchMed <= reqMed {
+		t.Fatalf("batch median %v not above request median %v", batchMed, reqMed)
+	}
+	// No-fan-out run leaves the field empty.
+	plain := mkFanOut(t, 1, 61).RunDetailed(core.None{})
+	if plain.FanOutResponses != nil {
+		t.Fatal("FanOutResponses set without fan-out")
+	}
+}
+
+func TestFanOutTailAmplification(t *testing.T) {
+	// The paper's motivation: with a fan-out of 10, the per-request
+	// ~P90 becomes the batch median, and the batch P99 digs deep into
+	// the per-request tail — "the slower servers typically dominate".
+	c := mkFanOut(t, 10, 63)
+	res := c.RunDetailed(core.None{})
+	reqP50 := metrics.TailLatency(res.Log.ResponseTimes(), 50)
+	batchP50 := metrics.TailLatency(res.FanOutResponses, 50)
+	if batchP50 < reqP50*2 {
+		t.Fatalf("fan-out did not amplify the median: request %v, batch %v",
+			reqP50, batchP50)
+	}
+}
+
+func TestFanOutHedgingRecoversTail(t *testing.T) {
+	// Per-sub-request SingleR hedging shrinks the batch tail: this is
+	// the deployment scenario hedging was invented for.
+	c := mkFanOut(t, 10, 65)
+	base := c.RunDetailed(core.None{})
+	baseP99 := metrics.TailLatency(base.FanOutResponses, 99)
+
+	// Tune on the sub-request distribution, evaluate on batches.
+	rx := base.Log.PrimaryTimes()
+	pol, _, err := core.ComputeOptimalSingleR(rx, nil, 0.99, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged := c.RunDetailed(pol)
+	hedgedP99 := metrics.TailLatency(hedged.FanOutResponses, 99)
+	if hedgedP99 >= baseP99 {
+		t.Fatalf("hedging did not reduce fan-out P99: %v vs %v", hedgedP99, baseP99)
+	}
+	if hedged.ReissueRate > 0.12 {
+		t.Fatalf("reissue rate %v overshoots budget", hedged.ReissueRate)
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestSpeedFactorsValidation(t *testing.T) {
+	src := DistSource{Dist: stats.NewExponential(1)}
+	if _, err := New(Config{
+		Servers: 2, ArrivalRate: 0.1, Queries: 10, Source: src,
+		SpeedFactors: []float64{1},
+	}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := New(Config{
+		Servers: 2, ArrivalRate: 0.1, Queries: 10, Source: src,
+		SpeedFactors: []float64{1, 0},
+	}); err == nil {
+		t.Error("zero factor accepted")
+	}
+}
+
+func TestSpeedFactorsSlowServer(t *testing.T) {
+	dist := stats.NewExponential(0.1)
+	mk := func(factors []float64) *Result {
+		c, err := New(Config{
+			Servers:      5,
+			ArrivalRate:  ArrivalRateForUtilization(0.3, 5, dist.Mean()),
+			Queries:      20000,
+			Warmup:       2000,
+			Source:       DistSource{Dist: dist},
+			Seed:         51,
+			SpeedFactors: factors,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.RunDetailed(core.None{})
+	}
+	uniform := mk(nil)
+	// One replica at one-third speed: the straggler drags the tail.
+	skewed := mk([]float64{3, 1, 1, 1, 1})
+	pU := metrics.TailLatency(uniform.Log.ResponseTimes(), 99)
+	pS := metrics.TailLatency(skewed.Log.ResponseTimes(), 99)
+	if pS <= pU {
+		t.Fatalf("straggler did not hurt P99: %v vs %v", pS, pU)
+	}
+}
+
+func TestHedgingDodgesStraggler(t *testing.T) {
+	// With a permanent straggler, a fifth of requests land on a 3x
+	// slower server; hedging reissues them elsewhere. Tune SingleR
+	// adaptively and require a solid P99 reduction.
+	dist := stats.NewExponential(0.1)
+	c, err := New(Config{
+		Servers:      5,
+		ArrivalRate:  ArrivalRateForUtilization(0.3, 5, dist.Mean()),
+		Queries:      20000,
+		Warmup:       2000,
+		Source:       DistSource{Dist: dist},
+		Seed:         53,
+		SpeedFactors: []float64{3, 1, 1, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := metrics.TailLatency(c.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+	ar, err := core.AdaptiveOptimize(c, core.AdaptiveConfig{
+		K: 0.99, B: 0.25, Lambda: 0.5, Trials: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ar.Final.TailLatency(0.99)
+	if got >= base*0.8 {
+		t.Fatalf("hedging failed to dodge the straggler: %v vs baseline %v", got, base)
+	}
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// LoadBalancer selects the server a request is dispatched to. The
+// paper's sensitivity study (Figure 5b) compares three strategies:
+// uniform random, min-of-two (power of two choices), and min-of-all
+// (join the shortest queue).
+type LoadBalancer interface {
+	// Pick returns the index of the chosen server. lengths[i] is the
+	// instantaneous queue length (waiting + in service) of server i.
+	// exclude is the index of a server to avoid (the primary's server
+	// when dispatching a reissue to a different replica), or -1; it
+	// is honored whenever more than one server exists.
+	Pick(r *stats.RNG, lengths []int, exclude int) int
+	String() string
+}
+
+// RandomLB dispatches uniformly at random — the paper's baseline
+// "Random" strategy.
+type RandomLB struct{}
+
+// Pick selects a uniformly random non-excluded server.
+func (RandomLB) Pick(r *stats.RNG, lengths []int, exclude int) int {
+	n := len(lengths)
+	if n == 1 || exclude < 0 || exclude >= n {
+		return r.Intn(n)
+	}
+	i := r.Intn(n - 1)
+	if i >= exclude {
+		i++
+	}
+	return i
+}
+
+func (RandomLB) String() string { return "Random" }
+
+// MinOfTwoLB samples two distinct servers and dispatches to the one
+// with the shorter queue — the paper's "Min of Two".
+type MinOfTwoLB struct{}
+
+// Pick selects the shorter-queued of two random non-excluded servers.
+func (MinOfTwoLB) Pick(r *stats.RNG, lengths []int, exclude int) int {
+	n := len(lengths)
+	a := (RandomLB{}).Pick(r, lengths, exclude)
+	if candidates(n, exclude) < 2 {
+		return a
+	}
+	b := a
+	for b == a {
+		b = (RandomLB{}).Pick(r, lengths, exclude)
+	}
+	if lengths[b] < lengths[a] {
+		return b
+	}
+	return a
+}
+
+func (MinOfTwoLB) String() string { return "MinOfTwo" }
+
+// MinOfAllLB dispatches to the globally shortest queue, breaking ties
+// uniformly at random — the paper's "Min of All".
+type MinOfAllLB struct{}
+
+// Pick selects the server with the minimum queue length.
+func (MinOfAllLB) Pick(r *stats.RNG, lengths []int, exclude int) int {
+	n := len(lengths)
+	best := -1
+	ties := 0
+	for i, l := range lengths {
+		if i == exclude && n > 1 {
+			continue
+		}
+		switch {
+		case best == -1 || l < lengths[best]:
+			best = i
+			ties = 1
+		case l == lengths[best]:
+			// Reservoir-sample among ties so repeated dispatches do
+			// not all pile onto the lowest index.
+			ties++
+			if r.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+func (MinOfAllLB) String() string { return "MinOfAll" }
+
+func candidates(n, exclude int) int {
+	if exclude >= 0 && exclude < n {
+		return n - 1
+	}
+	return n
+}
+
+// LoadBalancerByName returns the load balancer with the given name —
+// used by the CLI tools.
+func LoadBalancerByName(name string) (LoadBalancer, error) {
+	switch name {
+	case "random":
+		return RandomLB{}, nil
+	case "min2", "min-of-two":
+		return MinOfTwoLB{}, nil
+	case "minall", "min-of-all":
+		return MinOfAllLB{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown load balancer %q (want random, min2, or minall)", name)
+	}
+}

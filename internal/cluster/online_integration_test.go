@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// TestOnlineAdapterInVaryingLoadCluster wires a core.OnlineAdapter
+// into a simulated cluster whose arrival rate steps up mid-run — the
+// Section 4.4 "varying load" scenario. The adapter observes request
+// completions live (OnRequestComplete), re-tunes its SingleR
+// parameters every window, and must end up with a meaningfully
+// different policy than it started with while keeping its reissue
+// spend near the budget.
+func TestOnlineAdapterInVaryingLoadCluster(t *testing.T) {
+	// LogNormal(1,1) service times: heavy enough that hedging pays at
+	// the P99 (the paper's Figure 6, top row).
+	dist := stats.NewLogNormal(1, 1)
+	const servers = 10
+	baseRate := ArrivalRateForUtilization(0.25, servers, dist.Mean())
+
+	adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
+		K: 0.99, B: 0.10, Lambda: 0.5, Window: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stepTime float64 = math.Inf(1)
+	cfg := Config{
+		Servers:     servers,
+		ArrivalRate: baseRate,
+		Queries:     30000,
+		Warmup:      2000,
+		Source:      DistSource{Dist: dist},
+		Seed:        41,
+		// Load doubles (25% -> 50% util) halfway through the run.
+		RateMultiplier: func(tm float64) float64 {
+			if tm > stepTime {
+				return 2.0
+			}
+			return 1.0
+		},
+		OnRequestComplete: func(reissue bool, rt, now float64) {
+			if reissue {
+				adapter.ObserveReissue(rt)
+			} else {
+				adapter.ObservePrimary(rt)
+			}
+		},
+	}
+	// Locate the step at roughly half the expected run duration.
+	stepTime = float64(cfg.Queries) / 2 / baseRate
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(adapter)
+
+	if adapter.Epochs() < 5 {
+		t.Fatalf("only %d adaptation epochs ran", adapter.Epochs())
+	}
+	final := adapter.Policy()
+	if err := final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if final.D <= 0 {
+		t.Fatalf("adapter never moved its delay: %v", final)
+	}
+	// Reissue spend stays near the budget across the whole run even
+	// though the distribution shifted under it.
+	if math.Abs(res.ReissueRate-0.10) > 0.05 {
+		t.Fatalf("measured reissue rate %v, budget 0.10", res.ReissueRate)
+	}
+
+	// The adapter must beat both the no-reissue baseline and its own
+	// frozen starting policy (immediate reissue at the budget) on the
+	// same varying-load sample path.
+	baseCfg := cfg
+	baseCfg.OnRequestComplete = nil
+	bc, err := New(baseCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes := bc.RunDetailed(core.None{})
+	seedRes := bc.RunDetailed(core.SingleR{D: 0, Q: 0.10})
+	p99Base := metrics.TailLatency(baseRes.Log.ResponseTimes(), 99)
+	p99Seed := metrics.TailLatency(seedRes.Log.ResponseTimes(), 99)
+	p99Online := metrics.TailLatency(res.Log.ResponseTimes(), 99)
+	if p99Online >= p99Base {
+		t.Fatalf("online adapter P99 %v not below baseline %v", p99Online, p99Base)
+	}
+	if p99Online >= p99Seed {
+		t.Fatalf("online adapter P99 %v not below frozen seed policy %v", p99Online, p99Seed)
+	}
+}
+
+func TestRateMultiplierShapesArrivals(t *testing.T) {
+	dist := stats.Deterministic{Value: 1}
+	mk := func(mult func(float64) float64) *Result {
+		c, err := New(Config{
+			Servers:        1,
+			ArrivalRate:    0.1,
+			Queries:        4000,
+			Source:         DistSource{Dist: dist},
+			Seed:           43,
+			RateMultiplier: mult,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.RunDetailed(core.None{})
+	}
+	constant := mk(nil)
+	doubled := mk(func(float64) float64 { return 2 })
+	// Doubling the rate halves the span of the arrival process.
+	if doubled.Duration > constant.Duration*0.7 {
+		t.Fatalf("doubled-rate run spans %v vs constant %v",
+			doubled.Duration, constant.Duration)
+	}
+}
+
+func TestRateMultiplierInvalidPanics(t *testing.T) {
+	c, err := New(Config{
+		Servers:        1,
+		ArrivalRate:    1,
+		Queries:        10,
+		Source:         DistSource{Dist: stats.Deterministic{Value: 1}},
+		Seed:           1,
+		RateMultiplier: func(float64) float64 { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate multiplier did not panic")
+		}
+	}()
+	c.RunDetailed(core.None{})
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Discipline selects how a server orders the requests waiting in its
+// queue. The paper's Figure 5c compares FIFO against two prioritized
+// schemes, and the Redis system experiment motivates the round-robin
+// connection scheduler.
+type Discipline int
+
+const (
+	// FIFO is a single first-in-first-out queue that does not
+	// distinguish primary from reissue requests ("Baseline FIFO").
+	FIFO Discipline = iota
+	// PrioFIFO keeps separate FIFO queues for primary and reissue
+	// requests and serves reissues only when no primary waits
+	// ("Prioritized FIFO").
+	PrioFIFO
+	// PrioLIFO is PrioFIFO with the reissue queue served in LIFO
+	// order ("Prioritized LIFO").
+	PrioLIFO
+	// RoundRobin serves one request per client connection in
+	// round-robin order — the Redis event-loop model from Section
+	// 6.2, where a single long request delays every connection.
+	RoundRobin
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "FIFO"
+	case PrioFIFO:
+		return "PrioFIFO"
+	case PrioLIFO:
+		return "PrioLIFO"
+	case RoundRobin:
+		return "RoundRobin"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// DisciplineByName parses a discipline name — used by the CLI tools.
+func DisciplineByName(name string) (Discipline, error) {
+	switch name {
+	case "fifo":
+		return FIFO, nil
+	case "prio-fifo":
+		return PrioFIFO, nil
+	case "prio-lifo":
+		return PrioLIFO, nil
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown discipline %q (want fifo, prio-fifo, prio-lifo, or round-robin)", name)
+	}
+}
+
+// request is one dispatched copy of a query: the primary or a reissue.
+type request struct {
+	q        *query
+	service  float64 // service time on the server
+	dispatch float64 // absolute dispatch time
+	conn     int     // client connection (round-robin discipline)
+	reissue  bool
+	// cancelled marks a queued request withdrawn after its query
+	// already completed (the "tied requests" extension). Cancelled
+	// requests are dropped lazily when popped; a request already in
+	// service runs to completion (no preemption).
+	cancelled bool
+	inService bool
+}
+
+// server is a single-threaded simulated server: it serves exactly one
+// request at a time and queues the rest per its discipline.
+type server struct {
+	id         int
+	discipline Discipline
+
+	busy    bool
+	waiting int // total queued (excluding in-service)
+
+	// FIFO / prioritized queues. fifo doubles as the primary queue
+	// for the prioritized disciplines.
+	fifo []*request
+	reis []*request
+
+	// Round-robin per-connection queues.
+	conns  map[int][]*request
+	order  []int // round-robin visit order of connections with traffic
+	cursor int
+
+	busyTime float64 // accumulated service time, for utilization
+
+	// slowFactor multiplies the service time of requests starting
+	// now; 1 when the server is healthy, Interference.Factor while a
+	// slow period is active.
+	slowFactor float64
+	// baseSpeed is the server's static service-time multiplier
+	// (Config.SpeedFactors); 1 for a nominal server.
+	baseSpeed float64
+
+	onComplete func(r *request, now float64)
+}
+
+func newServer(id int, d Discipline, onComplete func(*request, float64)) *server {
+	s := &server{id: id, discipline: d, onComplete: onComplete, slowFactor: 1, baseSpeed: 1}
+	if d == RoundRobin {
+		s.conns = make(map[int][]*request)
+		// Start before the first connection so the initial pop visits
+		// connections in arrival order.
+		s.cursor = -1
+	}
+	return s
+}
+
+// Len returns the instantaneous queue length: waiting requests plus
+// the one in service. Load balancers use it as the server's load
+// signal.
+func (s *server) Len() int {
+	n := s.waiting
+	if s.busy {
+		n++
+	}
+	return n
+}
+
+// Enqueue accepts a request at time now, starting service immediately
+// if the server is idle.
+func (s *server) Enqueue(sim *des.Sim, r *request, now float64) {
+	if !s.busy {
+		s.start(sim, r, now)
+		return
+	}
+	s.waiting++
+	switch s.discipline {
+	case FIFO:
+		s.fifo = append(s.fifo, r)
+	case PrioFIFO, PrioLIFO:
+		if r.reissue {
+			s.reis = append(s.reis, r)
+		} else {
+			s.fifo = append(s.fifo, r)
+		}
+	case RoundRobin:
+		if _, ok := s.conns[r.conn]; !ok {
+			s.order = append(s.order, r.conn)
+		}
+		s.conns[r.conn] = append(s.conns[r.conn], r)
+	}
+}
+
+// pop removes and returns the next live request to serve, skipping
+// lazily over cancelled ones; returns nil when nothing remains.
+func (s *server) pop() *request {
+	for {
+		r := s.popAny()
+		if r == nil {
+			return nil
+		}
+		if !r.cancelled {
+			return r
+		}
+	}
+}
+
+// popAny removes and returns the next queued request (cancelled or
+// not), or nil.
+func (s *server) popAny() *request {
+	if s.waiting == 0 {
+		return nil
+	}
+	s.waiting--
+	switch s.discipline {
+	case FIFO:
+		r := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		return r
+	case PrioFIFO, PrioLIFO:
+		if len(s.fifo) > 0 {
+			r := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			return r
+		}
+		if s.discipline == PrioLIFO {
+			r := s.reis[len(s.reis)-1]
+			s.reis = s.reis[:len(s.reis)-1]
+			return r
+		}
+		r := s.reis[0]
+		s.reis = s.reis[1:]
+		return r
+	case RoundRobin:
+		// Advance the cursor to the next connection with pending
+		// requests, serving one request per connection per turn.
+		for i := 0; i < len(s.order); i++ {
+			s.cursor = (s.cursor + 1) % len(s.order)
+			conn := s.order[s.cursor]
+			if q := s.conns[conn]; len(q) > 0 {
+				r := q[0]
+				s.conns[conn] = q[1:]
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+func (s *server) start(sim *des.Sim, r *request, now float64) {
+	s.busy = true
+	svc := r.service * s.baseSpeed * s.slowFactor
+	s.busyTime += svc
+	r.inService = true
+	sim.After(svc, func(end float64) {
+		s.onComplete(r, end)
+		s.busy = false
+		if next := s.pop(); next != nil {
+			s.start(sim, next, end)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/stats"
+)
+
+// These tests hold the discrete-event simulator to closed-form
+// queueing theory: if the substrate cannot reproduce M/M/1, M/M/c,
+// and M/G/1, none of the paper's experiments on top of it mean
+// anything.
+
+// simulateQueue runs a no-reissue workload and returns the measured
+// mean response time.
+func simulateQueue(t *testing.T, servers int, lambda float64, dist stats.Dist, lb LoadBalancer, seed uint64) float64 {
+	t.Helper()
+	c, err := New(Config{
+		Servers:     servers,
+		ArrivalRate: lambda,
+		Queries:     60000,
+		Warmup:      6000,
+		Source:      DistSource{Dist: dist},
+		LB:          lb,
+		Seed:        seed,
+		FreshPerRun: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.None{})
+	return stats.Summarize(res.Log.ResponseTimes()).Mean
+}
+
+func TestSimulatorMatchesMM1(t *testing.T) {
+	// One server, Poisson arrivals, exponential service: M/M/1.
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		mu := 1.0
+		lambda := rho * mu
+		q, err := queueing.NewMM1(lambda, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := simulateQueue(t, 1, lambda, stats.NewExponential(mu), nil, 101)
+		want := q.MeanResponse()
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("rho=%v: simulated mean response %v, M/M/1 predicts %v",
+				rho, got, want)
+		}
+	}
+}
+
+func TestSimulatorMatchesMG1Deterministic(t *testing.T) {
+	// M/D/1: deterministic service halves the M/M/1 queueing delay.
+	const lambda, meanS = 0.7, 1.0
+	q, err := queueing.NewMG1(lambda, meanS, meanS*meanS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := simulateQueue(t, 1, lambda, stats.Deterministic{Value: meanS}, nil, 103)
+	want := q.MeanResponse()
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("M/D/1 simulated %v, theory %v", got, want)
+	}
+}
+
+func TestSimulatorMatchesMG1LogNormal(t *testing.T) {
+	// M/G/1 with log-normal service: E[S^2] = exp(2mu + 2sigma^2).
+	const lambda = 0.12
+	ln := stats.NewLogNormal(1, 0.7)
+	meanS := ln.Mean()
+	secondS := math.Exp(2*ln.Mu + 2*ln.Sigma*ln.Sigma)
+	q, err := queueing.NewMG1(lambda, meanS, secondS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := simulateQueue(t, 1, lambda, ln, nil, 107)
+	want := q.MeanResponse()
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("M/G/1(lognormal) simulated %v, PK predicts %v", got, want)
+	}
+}
+
+func TestSimulatorMatchesMMCWithSharedQueueApprox(t *testing.T) {
+	// Our servers have private queues, so min-of-all dispatch (join
+	// the shortest queue) is the closest realization of M/M/c. JSQ is
+	// known to perform close to (slightly worse than) the central
+	// queue; require the simulated mean to land between the M/M/c
+	// prediction and the random-dispatch (independent M/M/1s) bound.
+	const c0, mu = 10, 1.0
+	for _, rho := range []float64{0.5, 0.7} {
+		lambda := rho * mu * c0
+		mmc, err := queueing.NewMMC(lambda, mu, c0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm1, err := queueing.NewMM1(rho*mu, mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := simulateQueue(t, c0, lambda, stats.NewExponential(mu), MinOfAllLB{}, 109)
+		lower := mmc.MeanResponse()
+		upper := mm1.MeanResponse()
+		if got < lower*0.95 || got > upper*1.05 {
+			t.Errorf("rho=%v: JSQ simulated %v outside [M/M/c %v, M/M/1 %v]",
+				rho, got, lower, upper)
+		}
+	}
+}
+
+func TestSimulatorRandomDispatchMatchesIndependentMM1(t *testing.T) {
+	// Random dispatch over c servers decomposes into c independent
+	// M/M/1 queues at per-server rate lambda/c.
+	const c0, mu, rho = 10, 1.0, 0.6
+	lambda := rho * mu * c0
+	mm1, err := queueing.NewMM1(rho*mu, mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := simulateQueue(t, c0, lambda, stats.NewExponential(mu), RandomLB{}, 113)
+	want := mm1.MeanResponse()
+	if math.Abs(got-want)/want > 0.08 {
+		t.Errorf("random dispatch simulated %v, independent M/M/1 predicts %v", got, want)
+	}
+}

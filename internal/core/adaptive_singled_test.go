@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestAdaptiveSingleDMeetsBudget(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 20000,
+		sensitivity: 1.0, seed: 31,
+	}
+	res, err := AdaptiveOptimizeSingleD(sys, AdaptiveConfig{
+		K: 0.95, B: 0.10, Lambda: 0.5, Trials: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Trials[len(res.Trials)-1]
+	if math.Abs(last.ReissueRate-0.10) > 0.03 {
+		t.Fatalf("final SingleD reissue rate %v, want ~0.10", last.ReissueRate)
+	}
+	if res.Policy.Q != 1 {
+		t.Fatalf("SingleD policy q = %v", res.Policy.Q)
+	}
+	if res.Policy.D <= 0 {
+		t.Fatalf("SingleD delay %v not positive", res.Policy.D)
+	}
+}
+
+func TestAdaptiveSingleDValidation(t *testing.T) {
+	sys := &toySystem{dist: stats.NewExponential(1), n: 100, seed: 1}
+	bad := []AdaptiveConfig{
+		{K: 0.95, B: 0.1, Lambda: 0.5, Trials: 0},
+		{K: 0.95, B: 0.1, Lambda: 0, Trials: 3},
+		{K: 0, B: 0.1, Lambda: 0.5, Trials: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := AdaptiveOptimizeSingleD(sys, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSingleRBeatsSingleDAtSmallBudget(t *testing.T) {
+	// Section 2.4: with budget B < 1-k, SingleD cannot improve the
+	// kth percentile while SingleR can. Verify end to end on the toy
+	// system (no load sensitivity, so the static theory applies).
+	sys := &toySystem{dist: stats.NewPareto(1.1, 2), n: 30000, seed: 37}
+	k, B := 0.95, 0.02
+
+	base := sys.Run(None{}).TailLatency(k)
+	rRes, err := AdaptiveOptimize(sys, AdaptiveConfig{K: k, B: B, Lambda: 0.5, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRes, err := AdaptiveOptimizeSingleD(sys, AdaptiveConfig{K: k, B: B, Lambda: 0.5, Trials: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTail := rRes.Final.TailLatency(k)
+	dTail := dRes.Final.TailLatency(k)
+	if rTail >= base*0.95 {
+		t.Fatalf("SingleR with B=2%% did not improve P95: %v vs %v", rTail, base)
+	}
+	if dTail < base*0.9 {
+		t.Fatalf("SingleD with B < 1-k improved P95 markedly (%v vs %v) — should be impossible",
+			dTail, base)
+	}
+	if rTail >= dTail {
+		t.Fatalf("SingleR (%v) not better than SingleD (%v)", rTail, dTail)
+	}
+}

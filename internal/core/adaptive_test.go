@@ -1,0 +1,318 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rangequery"
+	"repro/internal/stats"
+)
+
+// toySystem is a synthetic System whose response times inflate with
+// the reissue load, mimicking load-dependent queueing delays: every
+// response time is scaled by 1/(1 - Sensitivity*reissueRate). It lets
+// the adaptive-optimizer tests exercise the feedback loop without the
+// full cluster simulator.
+type toySystem struct {
+	dist        stats.Dist
+	n           int
+	sensitivity float64
+	corr        float64 // service-time correlation ratio r in Y = r*x + Z
+	seed        uint64
+	runs        int
+}
+
+func (s *toySystem) Run(p Policy) RunResult {
+	s.runs++
+	r := stats.NewRNG(s.seed + uint64(s.runs)*1000)
+	type query struct {
+		x, z, d float64
+		planned bool
+	}
+	qs := make([]query, s.n)
+	for i := range qs {
+		q := query{x: s.dist.Sample(r), z: s.dist.Sample(r)}
+		if plan := p.Plan(r); len(plan) > 0 {
+			q.planned = true
+			q.d = plan[0]
+		}
+		qs[i] = q
+	}
+	// The load scale depends on the reissue rate, which depends on
+	// whether queries are still outstanding at their reissue delay,
+	// which depends on the scale — iterate to a fixed point, the same
+	// feedback the adaptive optimizer is designed to chase.
+	scale := 1.0
+	rate := 0.0
+	for iter := 0; iter < 20; iter++ {
+		reissued := 0
+		for _, q := range qs {
+			if q.planned && q.x*scale > q.d {
+				reissued++
+			}
+		}
+		rate = float64(reissued) / float64(s.n)
+		newScale := 1 / (1 - math.Min(0.9, s.sensitivity*rate))
+		if math.Abs(newScale-scale) < 1e-12 {
+			break
+		}
+		scale = newScale
+	}
+	res := RunResult{ReissueRate: rate}
+	for _, q := range qs {
+		x := q.x * scale
+		res.Primary = append(res.Primary, x)
+		qt := x
+		if q.planned && x > q.d {
+			y := (s.corr*q.x + q.z) * scale
+			res.Reissue = append(res.Reissue, y)
+			res.Pairs = append(res.Pairs, rangequery.Point{X: x, Y: y})
+			if q.d+y < qt {
+				qt = q.d + y
+			}
+		}
+		res.Query = append(res.Query, qt)
+	}
+	return res
+}
+
+func TestRunResultTailLatency(t *testing.T) {
+	r := RunResult{Query: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	if got := r.TailLatency(0.5); got != 5 {
+		t.Fatalf("P50 = %v, want 5", got)
+	}
+	if got := r.TailLatency(0.9); got != 9 {
+		t.Fatalf("P90 = %v, want 9", got)
+	}
+	empty := RunResult{}
+	if !math.IsNaN(empty.TailLatency(0.5)) {
+		t.Fatal("empty TailLatency not NaN")
+	}
+}
+
+func TestAdaptiveOptimizeConfigValidation(t *testing.T) {
+	sys := &toySystem{dist: stats.NewExponential(1), n: 100, seed: 1}
+	bad := []AdaptiveConfig{
+		{K: 0.95, B: 0.1, Lambda: 0.5, Trials: 0},
+		{K: 0.95, B: 0.1, Lambda: 0, Trials: 3},
+		{K: 0.95, B: 0.1, Lambda: 1.5, Trials: 3},
+		{K: 0, B: 0.1, Lambda: 0.5, Trials: 3},
+		{K: 0.95, B: -0.1, Lambda: 0.5, Trials: 3},
+	}
+	for i, cfg := range bad {
+		if _, err := AdaptiveOptimize(sys, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestAdaptiveOptimizeImproves(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 20000,
+		sensitivity: 1.0, corr: 0.3, seed: 42,
+	}
+	base := sys.Run(None{}).TailLatency(0.95)
+	res, err := AdaptiveOptimize(sys, AdaptiveConfig{
+		K: 0.95, B: 0.10, Lambda: 0.5, Trials: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 8 {
+		t.Fatalf("recorded %d trials", len(res.Trials))
+	}
+	final := res.Final.TailLatency(0.95)
+	if final >= base {
+		t.Fatalf("adaptive tuning did not improve: %v >= baseline %v", final, base)
+	}
+	if err := res.Policy.Validate(); err != nil {
+		t.Fatalf("final policy invalid: %v", err)
+	}
+	// The measured reissue rate in the final trial must be near the
+	// budget (the convergence criterion of Section 4.3).
+	lastRate := res.Trials[len(res.Trials)-1].ReissueRate
+	if math.Abs(lastRate-0.10) > 0.04 {
+		t.Errorf("final reissue rate %v far from budget 0.10", lastRate)
+	}
+}
+
+func TestAdaptiveOptimizeMovesDelayGradually(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 10000,
+		sensitivity: 0.5, seed: 7,
+	}
+	res, err := AdaptiveOptimize(sys, AdaptiveConfig{
+		K: 0.95, B: 0.10, Lambda: 0.2, Trials: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts at d=0 (immediate reissue with probability B).
+	if res.Trials[0].Policy.D != 0 {
+		t.Fatalf("first trial delay %v, want 0", res.Trials[0].Policy.D)
+	}
+	if res.Trials[0].Policy.Q != 0.10 {
+		t.Fatalf("first trial q %v, want budget 0.10", res.Trials[0].Policy.Q)
+	}
+	// Delays move monotonically toward the local optimum early on;
+	// at least they must change from trial 0 to 1 under lambda > 0.
+	if res.Trials[1].Policy.D == 0 {
+		t.Error("delay did not move after one adaptation step")
+	}
+}
+
+func TestAdaptiveOptimizeCorrelatedPath(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 20000,
+		sensitivity: 0.5, corr: 0.3, seed: 11,
+	}
+	res, err := AdaptiveOptimize(sys, AdaptiveConfig{
+		K: 0.95, B: 0.10, Lambda: 0.5, Trials: 6, Correlated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.Run(None{}).TailLatency(0.95)
+	if got := res.Final.TailLatency(0.95); got >= base {
+		t.Fatalf("correlated adaptive tuning did not improve: %v >= %v", got, base)
+	}
+}
+
+func TestAdaptiveConverged(t *testing.T) {
+	r := AdaptiveResult{}
+	if r.Converged(0.1, 0.05) {
+		t.Error("empty result reported converged")
+	}
+	r.Trials = []AdaptiveTrial{
+		{Actual: 100, ReissueRate: 0.10},
+		{Actual: 101, ReissueRate: 0.10},
+	}
+	if !r.Converged(0.10, 0.05) {
+		t.Error("near-identical trials not converged")
+	}
+	r.Trials[1].Actual = 200
+	if r.Converged(0.10, 0.05) {
+		t.Error("diverging latencies reported converged")
+	}
+	r.Trials[1].Actual = 101
+	r.Trials[1].ReissueRate = 0.30
+	if r.Converged(0.10, 0.05) {
+		t.Error("off-budget rate reported converged")
+	}
+}
+
+func TestSystemFunc(t *testing.T) {
+	called := false
+	sys := SystemFunc(func(p Policy) RunResult {
+		called = true
+		return RunResult{Query: []float64{1}, Primary: []float64{1}}
+	})
+	sys.Run(None{})
+	if !called {
+		t.Fatal("SystemFunc did not call through")
+	}
+}
+
+func TestBudgetSearchFindsUsefulBudget(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 15000,
+		sensitivity: 2.0, corr: 0, seed: 13,
+	}
+	res, err := BudgetSearch(sys, BudgetSearchConfig{
+		K: 0.95, Lambda: 0.5, AdaptiveSteps: 4, Trials: 10,
+		InitialDelta: 0.01, MaxBudget: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.Run(None{}).TailLatency(0.95)
+	if res.BestLatency >= base {
+		t.Fatalf("budget search found nothing better than baseline %v (best %v)",
+			base, res.BestLatency)
+	}
+	if res.BestBudget <= 0 || res.BestBudget > 0.5 {
+		t.Fatalf("best budget %v out of range", res.BestBudget)
+	}
+	if len(res.Trials) == 0 {
+		t.Fatal("no trials recorded")
+	}
+	// Best latency must be the minimum over all trials and baseline.
+	for _, tr := range res.Trials {
+		if tr.Latency < res.BestLatency {
+			t.Fatalf("trial %d latency %v below reported best %v",
+				tr.Trial, tr.Latency, res.BestLatency)
+		}
+	}
+}
+
+func TestBudgetSearchValidation(t *testing.T) {
+	sys := &toySystem{dist: stats.NewExponential(1), n: 100, seed: 1}
+	bad := []BudgetSearchConfig{
+		{K: 0.95, Lambda: 0.5, AdaptiveSteps: 2, Trials: 0, InitialDelta: 0.01, MaxBudget: 0.5},
+		{K: 0.95, Lambda: 0.5, AdaptiveSteps: 2, Trials: 3, InitialDelta: 0, MaxBudget: 0.5},
+		{K: 0.95, Lambda: 0.5, AdaptiveSteps: 2, Trials: 3, InitialDelta: 0.01, MaxBudget: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := BudgetSearch(sys, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMinimizeBudgetForSLA(t *testing.T) {
+	sys := &toySystem{
+		dist: stats.NewPareto(1.1, 2), n: 15000,
+		sensitivity: 1.0, seed: 17,
+	}
+	base := sys.Run(None{}).TailLatency(0.95)
+
+	// Already-met SLA needs no budget.
+	res, err := MinimizeBudgetForSLA(sys, SLAConfig{
+		K: 0.95, Target: base * 2, Lambda: 0.5, AdaptiveSteps: 3, MaxBudget: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Budget != 0 {
+		t.Fatalf("trivial SLA: %+v", res)
+	}
+
+	// A moderately tighter SLA should be feasible with a small budget.
+	res, err = MinimizeBudgetForSLA(sys, SLAConfig{
+		K: 0.95, Target: base * 0.7, Lambda: 0.5, AdaptiveSteps: 3,
+		MaxBudget: 0.5, Tolerance: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("moderate SLA infeasible: %+v", res)
+	}
+	if res.Budget <= 0 || res.Budget > 0.5 {
+		t.Fatalf("SLA budget %v out of range", res.Budget)
+	}
+	if res.Latency > base*0.7 {
+		t.Fatalf("SLA result latency %v misses target %v", res.Latency, base*0.7)
+	}
+
+	// An impossible SLA must be reported infeasible, not looped on.
+	res, err = MinimizeBudgetForSLA(sys, SLAConfig{
+		K: 0.95, Target: 1e-9, Lambda: 0.5, AdaptiveSteps: 2, MaxBudget: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("impossible SLA reported feasible: %+v", res)
+	}
+}
+
+func TestMinimizeBudgetForSLAValidation(t *testing.T) {
+	sys := &toySystem{dist: stats.NewExponential(1), n: 100, seed: 1}
+	if _, err := MinimizeBudgetForSLA(sys, SLAConfig{K: 0.95, Target: 0, MaxBudget: 0.5}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := MinimizeBudgetForSLA(sys, SLAConfig{K: 0.95, Target: 1, MaxBudget: 0}); err == nil {
+		t.Error("zero max budget accepted")
+	}
+}

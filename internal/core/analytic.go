@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the paper's analytic model (Section 2–3):
+// closed-form success probabilities and budgets for each policy family
+// under the simplified model where primary response time X and reissue
+// response time Y are independent with static distributions. The
+// theory property tests use these to verify Theorems 3.1 and 3.2
+// numerically; the simulator does not use them.
+
+// SingleRSuccess returns Pr(Q <= t) for a SingleR(d, q) policy under
+// independent X, Y — Equation (3):
+//
+//	Pr(Q <= t) = Pr(X <= t) + q * Pr(X > t) * Pr(Y <= t-d)
+func SingleRSuccess(X, Y stats.Dist, d, q, t float64) float64 {
+	px := X.CDF(t)
+	if t < d {
+		return px
+	}
+	return px + q*(1-px)*Y.CDF(t-d)
+}
+
+// SingleRBudget returns the expected reissue rate of SingleR(d, q) —
+// Equation (4): B = q * Pr(X > d).
+func SingleRBudget(X stats.Dist, d, q float64) float64 {
+	return q * (1 - X.CDF(d))
+}
+
+// SingleDSuccess returns Pr(Q <= t) for SingleD(d) — Equation (1).
+func SingleDSuccess(X, Y stats.Dist, d, t float64) float64 {
+	return SingleRSuccess(X, Y, d, 1, t)
+}
+
+// SingleDBudget returns the reissue rate of SingleD(d) — Equation (2).
+func SingleDBudget(X stats.Dist, d float64) float64 {
+	return 1 - X.CDF(d)
+}
+
+// MultipleRSuccess returns Pr(Q <= t) for a MultipleR policy under
+// independent X and per-copy reissue distribution Y. Each reissue i
+// (delay di, probability qi) independently responds by t with
+// probability qi * Y(t - di); the query succeeds if the primary or
+// any reissue responds:
+//
+//	Pr(Q <= t) = 1 - Pr(X > t) * prod_i (1 - qi * Pr(Y <= t - di))
+func MultipleRSuccess(X, Y stats.Dist, p MultipleR, t float64) float64 {
+	miss := 1 - X.CDF(t)
+	for i, d := range p.Delays {
+		if t < d {
+			continue
+		}
+		miss *= 1 - p.Probs[i]*Y.CDF(t-d)
+	}
+	return 1 - miss
+}
+
+// MultipleRBudget returns the expected reissue rate of a MultipleR
+// policy under independent X, Y: copy i is actually sent only if the
+// query is still outstanding at di, i.e. the primary has not finished
+// (X > di) and no earlier sent copy has finished
+// (for each sent j < i: Y > di - dj):
+//
+//	B = sum_i qi * Pr(X > di) * prod_{j<i} (1 - qj * Pr(Y <= di - dj))
+func MultipleRBudget(X, Y stats.Dist, p MultipleR) float64 {
+	var budget float64
+	for i, di := range p.Delays {
+		term := p.Probs[i] * (1 - X.CDF(di))
+		for j := 0; j < i; j++ {
+			term *= 1 - p.Probs[j]*Y.CDF(di-p.Delays[j])
+		}
+		budget += term
+	}
+	return budget
+}
+
+// TailLatency returns the smallest t achieving success probability at
+// least k for a monotone success function, found by bisection over
+// [lo, hi]. It returns hi when even hi does not achieve k.
+func TailLatency(success func(t float64) float64, k, lo, hi float64) float64 {
+	if success(hi) < k {
+		return hi
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+		mid := lo + (hi-lo)/2
+		if success(mid) >= k {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// OptimalSingleRAnalytic grid-searches the optimal SingleR(d, q) for
+// distributions X, Y at percentile k with budget B, scanning nd
+// candidate delays between the 0th and (1-B)-th quantile of X (delays
+// beyond that cannot spend the budget). It exists to validate the
+// data-driven optimizer and the theorems on closed-form instances;
+// the data-driven path is ComputeOptimalSingleR.
+func OptimalSingleRAnalytic(X, Y stats.Dist, k, B float64, nd int) (SingleR, float64) {
+	if nd < 2 {
+		nd = 2
+	}
+	// Upper end of the delay range: the point where Pr(X > d) = B,
+	// i.e. the SingleD delay d' (Equation 2); reissuing later than d'
+	// cannot consume the budget even with q = 1.
+	dMax := X.Quantile(math.Min(1-B, 0.999999))
+	hi := X.Quantile(0.999999) * 4
+	best := SingleR{D: dMax, Q: math.Min(1, B/math.Max(1e-300, 1-X.CDF(dMax)))}
+	bestT := math.Inf(1)
+	for i := 0; i < nd; i++ {
+		d := dMax * float64(i) / float64(nd-1)
+		pOut := 1 - X.CDF(d)
+		if pOut <= 0 {
+			continue
+		}
+		q := math.Min(1, B/pOut)
+		t := TailLatency(func(t float64) float64 {
+			return SingleRSuccess(X, Y, d, q, t)
+		}, k, 0, hi)
+		if t < bestT {
+			bestT = t
+			best = SingleR{D: d, Q: q}
+		}
+	}
+	return best, bestT
+}

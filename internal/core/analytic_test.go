@@ -1,0 +1,302 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSingleRSuccessEquation(t *testing.T) {
+	X := stats.NewExponential(1)
+	Y := stats.NewExponential(1)
+	d, q, tt := 0.5, 0.4, 2.0
+	want := X.CDF(tt) + q*(1-X.CDF(tt))*Y.CDF(tt-d)
+	if got := SingleRSuccess(X, Y, d, q, tt); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SingleRSuccess = %v, want %v", got, want)
+	}
+}
+
+func TestSingleRSuccessBeforeDelay(t *testing.T) {
+	X := stats.NewExponential(1)
+	Y := stats.NewExponential(1)
+	// Before the reissue delay the reissue cannot have responded.
+	if got, want := SingleRSuccess(X, Y, 5, 1, 2), X.CDF(2.0); got != want {
+		t.Fatalf("success before d = %v, want %v", got, want)
+	}
+}
+
+func TestBudgetEquations(t *testing.T) {
+	X := stats.NewExponential(2)
+	if got, want := SingleRBudget(X, 1, 0.5), 0.5*(1-X.CDF(1)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SingleRBudget = %v, want %v", got, want)
+	}
+	if got, want := SingleDBudget(X, 1), 1-X.CDF(1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SingleDBudget = %v, want %v", got, want)
+	}
+}
+
+func TestSingleDIsSingleRWithQ1(t *testing.T) {
+	X := stats.NewPareto(1.5, 2)
+	Y := stats.NewPareto(1.5, 2)
+	for _, tt := range []float64{2, 5, 10, 50} {
+		a := SingleDSuccess(X, Y, 3, tt)
+		b := SingleRSuccess(X, Y, 3, 1, tt)
+		if a != b {
+			t.Fatalf("SingleD != SingleR(q=1) at t=%v: %v vs %v", tt, a, b)
+		}
+	}
+}
+
+func TestMultipleRSuccessReducesToSingleR(t *testing.T) {
+	X := stats.NewLogNormal(1, 1)
+	Y := stats.NewLogNormal(1, 1)
+	p := MultipleR{Delays: []float64{2}, Probs: []float64{0.6}}
+	for _, tt := range []float64{1, 3, 10} {
+		a := MultipleRSuccess(X, Y, p, tt)
+		b := SingleRSuccess(X, Y, 2, 0.6, tt)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("MultipleR(1 time) != SingleR at t=%v: %v vs %v", tt, a, b)
+		}
+	}
+}
+
+func TestMultipleRSuccessMatchesDoubleRExpansion(t *testing.T) {
+	// Equation (8): Pr(Q<=t) = Pr(X<=t) + G1 + G2.
+	X := stats.NewExponential(0.5)
+	Y := stats.NewExponential(0.5)
+	d1, q1, d2, q2 := 0.5, 0.3, 1.5, 0.4
+	p, err := DoubleR(d1, q1, d2, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{2, 4, 8} {
+		pxGT := 1 - X.CDF(tt)
+		g1 := q1 * pxGT * Y.CDF(tt-d1)
+		g2 := q2 * (1 - q1*Y.CDF(tt-d1)) * pxGT * Y.CDF(tt-d2)
+		want := X.CDF(tt) + g1 + g2
+		if got := MultipleRSuccess(X, Y, p, tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("DoubleR success at t=%v: %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestMultipleRBudgetInequality15(t *testing.T) {
+	// Equation (15): the exact DoubleR budget.
+	X := stats.NewExponential(1)
+	Y := stats.NewExponential(1)
+	d1, q1, d2, q2 := 0.2, 0.25, 0.9, 0.5
+	p, err := DoubleR(d1, q1, d2, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q1*(1-X.CDF(d1)) + q2*(1-X.CDF(d2))*(1-q1*Y.CDF(d2-d1))
+	if got := MultipleRBudget(X, Y, p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DoubleR budget = %v, want %v", got, want)
+	}
+}
+
+func TestTailLatencyBisection(t *testing.T) {
+	X := stats.NewExponential(1)
+	// With no reissue, the k-quantile is the analytic quantile.
+	got := TailLatency(func(tt float64) float64 { return X.CDF(tt) }, 0.95, 0, 100)
+	want := X.Quantile(0.95)
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("bisection quantile = %v, want %v", got, want)
+	}
+	// Unreachable target returns hi.
+	if got := TailLatency(func(float64) float64 { return 0.5 }, 0.99, 0, 7); got != 7 {
+		t.Fatalf("unreachable tail = %v, want 7", got)
+	}
+}
+
+func TestOptimalSingleRAnalyticBeatsSingleD(t *testing.T) {
+	// Section 2.4: with B < 1-k, SingleD cannot reduce the kth
+	// percentile at all, while SingleR can.
+	X := stats.NewPareto(1.1, 2)
+	Y := stats.NewPareto(1.1, 2)
+	k, B := 0.95, 0.02 // B < 1-k = 0.05
+	baseline := X.Quantile(k)
+
+	pol, tailR := OptimalSingleRAnalytic(X, Y, k, B, 400)
+	if tailR >= baseline*0.999 {
+		t.Fatalf("SingleR tail %v did not improve on baseline %v", tailR, baseline)
+	}
+	if b := SingleRBudget(X, pol.D, pol.Q); b > B+1e-9 {
+		t.Fatalf("optimal SingleR spends %v > budget %v", b, B)
+	}
+
+	// The best SingleD with this budget reissues at d' with
+	// Pr(X > d') = B, far beyond the original 95th percentile.
+	dD := X.Quantile(1 - B)
+	tailD := TailLatency(func(tt float64) float64 {
+		return SingleDSuccess(X, Y, dD, tt)
+	}, k, 0, X.Quantile(0.999999)*4)
+	if tailD < baseline*0.999 {
+		t.Fatalf("SingleD with B<1-k improved the tail: %v < %v", tailD, baseline)
+	}
+	if tailR >= tailD {
+		t.Fatalf("SingleR (%v) not better than SingleD (%v)", tailR, tailD)
+	}
+}
+
+// Property: analytic success probabilities are monotone in t and
+// bounded in [0, 1].
+func TestSuccessMonotoneProperty(t *testing.T) {
+	X := stats.NewLogNormal(1, 1)
+	Y := stats.NewLogNormal(1, 1)
+	f := func(dRaw, qRaw, aRaw, bRaw float64) bool {
+		d := math.Abs(math.Mod(dRaw, 10))
+		q := math.Abs(math.Mod(qRaw, 1))
+		t1 := math.Abs(math.Mod(aRaw, 50))
+		t2 := math.Abs(math.Mod(bRaw, 50))
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		s1 := SingleRSuccess(X, Y, d, q, t1)
+		s2 := SingleRSuccess(X, Y, d, q, t2)
+		return s1 <= s2+1e-12 && s1 >= 0 && s2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a MultipleR policy always succeeds at least as often as
+// its primary alone, and no more than 1.
+func TestMultipleRSuccessBoundsProperty(t *testing.T) {
+	X := stats.NewExponential(0.3)
+	Y := stats.NewExponential(0.3)
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		d1 := r.Float64() * 5
+		d2 := d1 + r.Float64()*5
+		p, err := NewMultipleR([]float64{d1, d2}, []float64{r.Float64(), r.Float64()})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			tt := r.Float64() * 30
+			s := MultipleRSuccess(X, Y, p, tt)
+			if s < X.CDF(tt)-1e-12 || s > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 3.1 (numerical): no DoubleR policy with budget B achieves a
+// lower tail latency than the optimal SingleR policy with budget B,
+// under independent X and Y.
+func TestTheorem31DoubleRNoBetterThanSingleR(t *testing.T) {
+	cases := []struct {
+		X, Y stats.Dist
+		k, B float64
+	}{
+		{stats.NewExponential(0.5), stats.NewExponential(0.5), 0.95, 0.05},
+		{stats.NewExponential(0.5), stats.NewExponential(0.5), 0.99, 0.02},
+		{stats.NewPareto(1.5, 1), stats.NewPareto(1.5, 1), 0.95, 0.10},
+		{stats.NewLogNormal(1, 1), stats.NewLogNormal(1, 1), 0.95, 0.05},
+		{stats.NewLogNormal(1, 1), stats.NewLogNormal(0.5, 0.8), 0.9, 0.15},
+	}
+	for ci, c := range cases {
+		_, bestSingle := OptimalSingleRAnalytic(c.X, c.Y, c.k, c.B, 600)
+		hi := c.X.Quantile(0.999999) * 4
+		dMax := c.X.Quantile(math.Min(1-c.B, 0.999999))
+		r := stats.NewRNG(uint64(1000 + ci))
+		for trial := 0; trial < 300; trial++ {
+			d1 := r.Float64() * dMax
+			d2 := d1 + r.Float64()*(dMax-d1)
+			q1 := r.Float64()
+			// Spend exactly the remaining budget on the second time,
+			// per the DoubleR budget identity (Eq. 15).
+			spent1 := q1 * (1 - c.X.CDF(d1))
+			if spent1 > c.B {
+				q1 = c.B / (1 - c.X.CDF(d1))
+				spent1 = c.B
+			}
+			denom := (1 - c.X.CDF(d2)) * (1 - q1*c.Y.CDF(d2-d1))
+			q2 := 0.0
+			if denom > 0 {
+				q2 = math.Min(1, (c.B-spent1)/denom)
+			}
+			p, err := DoubleR(d1, q1, d2, q2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b := MultipleRBudget(c.X, c.Y, p); b > c.B+1e-9 {
+				t.Fatalf("case %d: DoubleR budget %v exceeds %v", ci, b, c.B)
+			}
+			tail := TailLatency(func(tt float64) float64 {
+				return MultipleRSuccess(c.X, c.Y, p, tt)
+			}, c.k, 0, hi)
+			// The SingleR optimum comes from a finite grid, so allow
+			// its discretization error.
+			if tail < bestSingle*(1-0.02) {
+				t.Fatalf("case %d trial %d: DoubleR %+v beats SingleR: %v < %v",
+					ci, trial, p, tail, bestSingle)
+			}
+		}
+	}
+}
+
+// Theorem 3.2 (numerical): the same holds for 3-time MultipleR
+// policies.
+func TestTheorem32TripleRNoBetterThanSingleR(t *testing.T) {
+	X := stats.NewExponential(0.5)
+	Y := stats.NewExponential(0.5)
+	k, B := 0.95, 0.08
+	_, bestSingle := OptimalSingleRAnalytic(X, Y, k, B, 600)
+	hi := X.Quantile(0.999999) * 4
+	dMax := X.Quantile(1 - B)
+	r := stats.NewRNG(77)
+	for trial := 0; trial < 300; trial++ {
+		d1 := r.Float64() * dMax
+		d2 := d1 + r.Float64()*(dMax-d1)
+		d3 := d2 + r.Float64()*(dMax-d2)
+		qs := []float64{r.Float64(), r.Float64(), r.Float64()}
+		p, err := NewMultipleR([]float64{d1, d2, d3}, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Scale probabilities down until the budget constraint holds.
+		for MultipleRBudget(X, Y, p) > B {
+			for i := range p.Probs {
+				p.Probs[i] *= 0.9
+			}
+		}
+		tail := TailLatency(func(tt float64) float64 {
+			return MultipleRSuccess(X, Y, p, tt)
+		}, k, 0, hi)
+		if tail < bestSingle*(1-0.02) {
+			t.Fatalf("trial %d: TripleR %+v beats SingleR: %v < %v",
+				trial, p, tail, bestSingle)
+		}
+	}
+}
+
+// The converse of Theorem 3.1: the optimal SingleR is itself a
+// DoubleR policy (with q2 = 0), so optimal DoubleR is never worse
+// either — the two optima coincide.
+func TestTheorem31Equivalence(t *testing.T) {
+	X := stats.NewExponential(0.5)
+	Y := stats.NewExponential(0.5)
+	k, B := 0.95, 0.05
+	pol, bestSingle := OptimalSingleRAnalytic(X, Y, k, B, 600)
+	p, err := DoubleR(pol.D, pol.Q, pol.D+1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := X.Quantile(0.999999) * 4
+	tail := TailLatency(func(tt float64) float64 {
+		return MultipleRSuccess(X, Y, p, tt)
+	}, k, 0, hi)
+	if math.Abs(tail-bestSingle) > 1e-6*math.Max(1, bestSingle) {
+		t.Fatalf("embedding SingleR in DoubleR changed tail: %v vs %v", tail, bestSingle)
+	}
+}

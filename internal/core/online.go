@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// This file implements the "varying load / response-time
+// distributions" extension sketched in the paper's Section 4.4: a
+// SingleR policy maintained on-line against a live response-time
+// stream. Instead of whole-workload trials (AdaptiveOptimize), the
+// OnlineAdapter observes individual request completions, re-solves
+// the offline optimizer over a sliding window of recent samples every
+// epoch, and moves its reissue delay by a learning rate — tracking
+// hourly/diurnal shifts in load without restarting the system.
+
+// OnlineConfig parametrizes the on-line adapter.
+type OnlineConfig struct {
+	// K is the target percentile (e.g. 0.95) and B the reissue
+	// budget, as in AdaptiveConfig.
+	K, B float64
+	// Lambda is the per-epoch learning rate on the reissue delay.
+	Lambda float64
+	// Window is the number of recent primary response times kept for
+	// re-solving; one epoch elapses per Window/2 new primary
+	// observations, so consecutive epochs overlap 50%.
+	Window int
+}
+
+// OnlineAdapter is a reissue policy that re-tunes itself from the
+// response-time stream it observes. It implements Policy; feed it
+// completions via ObservePrimary/ObserveReissue (or wire it to
+// cluster.Config.OnRequestComplete with Bind).
+//
+// It is not safe for concurrent use; discrete-event simulations are
+// single-threaded, and a real deployment would shard adapters.
+type OnlineAdapter struct {
+	cfg OnlineConfig
+	pol SingleR
+
+	primary []float64 // ring buffer of recent primary response times
+	pIdx    int
+	pFull   bool
+	reissue []float64 // ring buffer of recent reissue response times
+	rIdx    int
+	rFull   bool
+
+	sincePrimary int // primary observations since the last epoch
+	epochs       int
+}
+
+// NewOnlineAdapter validates the configuration and returns an adapter
+// whose initial policy is the immediate-reissue seed SingleR(0, B),
+// matching the adaptive optimizer's starting point.
+func NewOnlineAdapter(cfg OnlineConfig) (*OnlineAdapter, error) {
+	if err := checkOptimizerArgs(1, cfg.K, cfg.B); err != nil {
+		return nil, err
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("core: Lambda=%v outside (0, 1]", cfg.Lambda)
+	}
+	if cfg.Window < 100 {
+		return nil, fmt.Errorf("core: Window=%d too small to estimate tail quantiles", cfg.Window)
+	}
+	return &OnlineAdapter{
+		cfg:     cfg,
+		pol:     SingleR{D: 0, Q: cfg.B},
+		primary: make([]float64, 0, cfg.Window),
+		reissue: make([]float64, 0, cfg.Window),
+	}, nil
+}
+
+// Policy returns the adapter's current SingleR parameters.
+func (a *OnlineAdapter) Policy() SingleR { return a.pol }
+
+// Epochs returns how many re-tuning epochs have run.
+func (a *OnlineAdapter) Epochs() int { return a.epochs }
+
+// Plan implements Policy by delegating to the current parameters.
+func (a *OnlineAdapter) Plan(r *stats.RNG) []float64 {
+	return a.pol.Plan(r)
+}
+
+// String implements Policy.
+func (a *OnlineAdapter) String() string {
+	return fmt.Sprintf("Online(%v, epochs=%d)", a.pol, a.epochs)
+}
+
+// ObservePrimary feeds one completed primary request's response time.
+func (a *OnlineAdapter) ObservePrimary(rt float64) {
+	if math.IsNaN(rt) || rt < 0 {
+		return
+	}
+	a.primary = push(a.primary, &a.pIdx, &a.pFull, a.cfg.Window, rt)
+	a.sincePrimary++
+	if a.sincePrimary >= a.cfg.Window/2 && (a.pFull || len(a.primary) >= a.cfg.Window/2) {
+		a.retune()
+		a.sincePrimary = 0
+	}
+}
+
+// ObserveReissue feeds one completed reissue request's response time.
+func (a *OnlineAdapter) ObserveReissue(rt float64) {
+	if math.IsNaN(rt) || rt < 0 {
+		return
+	}
+	a.reissue = push(a.reissue, &a.rIdx, &a.rFull, a.cfg.Window, rt)
+}
+
+func push(buf []float64, idx *int, full *bool, cap_ int, v float64) []float64 {
+	if len(buf) < cap_ {
+		return append(buf, v)
+	}
+	*full = true
+	buf[*idx] = v
+	*idx = (*idx + 1) % cap_
+	return buf
+}
+
+// retune re-solves the offline optimizer on the current window and
+// moves the policy toward the solution.
+func (a *OnlineAdapter) retune() {
+	local, _, err := ComputeOptimalSingleR(a.primary, a.reissue, a.cfg.K, a.cfg.B)
+	if err != nil {
+		return // window unusable this epoch; keep the current policy
+	}
+	newD := a.pol.D + a.cfg.Lambda*(local.D-a.pol.D)
+	sx := sortedCopy(a.primary)
+	pxGT := 1 - float64(countLE(sx, newD))/float64(len(sx))
+	newQ := 1.0
+	if pxGT > 0 {
+		newQ = math.Min(1, a.cfg.B/pxGT)
+	}
+	a.pol = SingleR{D: newD, Q: newQ}
+	a.epochs++
+}
+
+// WindowQuantile reports the current window's empirical quantile —
+// convenient for monitoring the adapter from tests and examples.
+func (a *OnlineAdapter) WindowQuantile(p float64) float64 {
+	if len(a.primary) == 0 {
+		return math.NaN()
+	}
+	sx := sortedCopy(a.primary)
+	idx := int(math.Ceil(p*float64(len(sx)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sx) {
+		idx = len(sx) - 1
+	}
+	return sx[idx]
+}

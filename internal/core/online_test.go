@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNewOnlineAdapterValidation(t *testing.T) {
+	bad := []OnlineConfig{
+		{K: 0, B: 0.1, Lambda: 0.5, Window: 1000},
+		{K: 0.95, B: -1, Lambda: 0.5, Window: 1000},
+		{K: 0.95, B: 0.1, Lambda: 0, Window: 1000},
+		{K: 0.95, B: 0.1, Lambda: 0.5, Window: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := NewOnlineAdapter(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestOnlineAdapterStartsAtImmediateSeed(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 0.2, Lambda: 0.5, Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Policy(); got.D != 0 || got.Q != 0.2 {
+		t.Fatalf("initial policy %v", got)
+	}
+	if a.Epochs() != 0 {
+		t.Fatalf("fresh adapter has %d epochs", a.Epochs())
+	}
+}
+
+func TestOnlineAdapterPlanMatchesPolicy(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 1, Lambda: 0.5, Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	plan := a.Plan(r)
+	if len(plan) != 1 || plan[0] != 0 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestOnlineAdapterConvergesOnStaticStream(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 0.1, Lambda: 0.5, Window: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := stats.NewPareto(1.1, 2)
+	r := stats.NewRNG(7)
+	for i := 0; i < 30000; i++ {
+		x := dist.Sample(r)
+		a.ObservePrimary(x)
+		// Simulated reissue completion for a fraction of queries.
+		if r.Bool(0.1) {
+			a.ObserveReissue(dist.Sample(r))
+		}
+	}
+	if a.Epochs() == 0 {
+		t.Fatal("no epochs ran")
+	}
+	pol := a.Policy()
+	if err := pol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// On the static Pareto stream the offline optimizer picks d near
+	// the ~85-90th percentile region; the online policy must have
+	// moved well away from the immediate-reissue seed and spend
+	// roughly the budget.
+	if pol.D <= 1 {
+		t.Fatalf("delay %v never moved", pol.D)
+	}
+	sx := make([]float64, 0, 20000)
+	r2 := stats.NewRNG(8)
+	for i := 0; i < 20000; i++ {
+		sx = append(sx, dist.Sample(r2))
+	}
+	spend := pol.Q * (1 - stats.NewECDF(sx).PLE(pol.D))
+	if math.Abs(spend-0.1) > 0.04 {
+		t.Fatalf("online policy spends %v, budget 0.1 (policy %v)", spend, pol)
+	}
+}
+
+func TestOnlineAdapterTracksDistributionShift(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 0.1, Lambda: 0.5, Window: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(11)
+	// Phase 1: fast service times (scale 1).
+	d1 := stats.NewPareto(1.1, 2)
+	for i := 0; i < 20000; i++ {
+		a.ObservePrimary(d1.Sample(r))
+	}
+	dPhase1 := a.Policy().D
+
+	// Phase 2: everything slows down 10x; the reissue delay must
+	// follow upward within a few windows.
+	d2 := stats.NewPareto(1.1, 20)
+	for i := 0; i < 20000; i++ {
+		a.ObservePrimary(d2.Sample(r))
+	}
+	dPhase2 := a.Policy().D
+	if dPhase2 < dPhase1*3 {
+		t.Fatalf("delay did not track the shift: %v -> %v", dPhase1, dPhase2)
+	}
+}
+
+func TestOnlineAdapterIgnoresBadSamples(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 0.1, Lambda: 0.5, Window: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ObservePrimary(math.NaN())
+	a.ObservePrimary(-5)
+	a.ObserveReissue(math.NaN())
+	if len(a.primary) != 0 || len(a.reissue) != 0 {
+		t.Fatal("bad samples were buffered")
+	}
+}
+
+func TestOnlineAdapterWindowQuantile(t *testing.T) {
+	a, err := NewOnlineAdapter(OnlineConfig{K: 0.95, B: 0.1, Lambda: 0.5, Window: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(a.WindowQuantile(0.5)) {
+		t.Fatal("empty window quantile not NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		a.ObservePrimary(float64(i))
+	}
+	if got := a.WindowQuantile(0.5); got != 50 {
+		t.Fatalf("window median = %v", got)
+	}
+}

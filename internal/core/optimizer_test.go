@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rangequery"
+	"repro/internal/stats"
+)
+
+// sampleLog draws n samples from d with the given seed.
+func sampleLog(d stats.Dist, n int, seed uint64) []float64 {
+	r := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(r)
+	}
+	return out
+}
+
+// bruteForceOptimal scans every candidate reissue delay d in rx and
+// returns the smallest achievable predicted tail latency — an
+// independent O(N^2 log N) reference for the Figure 1 algorithm.
+func bruteForceOptimal(rx, ry []float64, k, B float64) (SingleR, float64) {
+	sx := sortedCopy(rx)
+	best := SingleR{D: sx[0], Q: 1}
+	bestT := math.Inf(1)
+	for _, d := range sx {
+		pxGT := 1 - float64(sort.SearchFloat64s(sx, d))/float64(len(sx))
+		q := 1.0
+		if pxGT > 0 {
+			q = math.Min(1, B/pxGT)
+		}
+		pol := SingleR{D: d, Q: q}
+		pred := PredictSingleR(rx, ry, pol, k)
+		if pred.TailLatency < bestT {
+			bestT = pred.TailLatency
+			best = pol
+		}
+	}
+	return best, bestT
+}
+
+func TestOptimizerArgsValidation(t *testing.T) {
+	rx := []float64{1, 2, 3}
+	if _, _, err := ComputeOptimalSingleR(nil, rx, 0.95, 0.1); err == nil {
+		t.Error("empty rx accepted")
+	}
+	if _, _, err := ComputeOptimalSingleR(rx, rx, 0, 0.1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := ComputeOptimalSingleR(rx, rx, 1, 0.1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, _, err := ComputeOptimalSingleR(rx, rx, 0.95, -0.1); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, _, err := ComputeOptimalSingleR(rx, rx, 0.95, 1.1); err == nil {
+		t.Error("budget > 1 accepted")
+	}
+}
+
+func TestOptimizerRespectsBudget(t *testing.T) {
+	rx := sampleLog(stats.NewPareto(1.1, 2), 20000, 1)
+	for _, B := range []float64{0.01, 0.05, 0.1, 0.3} {
+		pol, pred, err := ComputeOptimalSingleR(rx, nil, 0.95, B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pol.Validate(); err != nil {
+			t.Fatalf("B=%v: invalid policy: %v", B, err)
+		}
+		if pred.Budget > B+1e-9 {
+			t.Errorf("B=%v: predicted budget %v exceeds budget", B, pred.Budget)
+		}
+	}
+}
+
+func TestOptimizerImprovesOnBaseline(t *testing.T) {
+	rx := sampleLog(stats.NewPareto(1.1, 2), 20000, 2)
+	base := stats.Percentile(rx, 95)
+	pol, pred, err := ComputeOptimalSingleR(rx, nil, 0.95, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TailLatency >= base {
+		t.Fatalf("optimizer did not improve: %v >= baseline %v (policy %v)",
+			pred.TailLatency, base, pol)
+	}
+	// With a 5% budget on a heavy-tailed workload the paper's model
+	// predicts a large reduction; requiring 25% is conservative.
+	if pred.TailLatency > base*0.75 {
+		t.Errorf("reduction too small: %v vs baseline %v", pred.TailLatency, base)
+	}
+}
+
+func TestOptimizerMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		dist stats.Dist
+		k, B float64
+	}{
+		{stats.NewPareto(1.1, 2), 0.95, 0.05},
+		{stats.NewPareto(1.1, 2), 0.99, 0.02},
+		{stats.NewLogNormal(1, 1), 0.95, 0.10},
+		{stats.NewExponential(0.1), 0.90, 0.20},
+	} {
+		rx := sampleLog(tc.dist, 2000, 42)
+		ry := sampleLog(tc.dist, 2000, 43)
+		_, pred, err := ComputeOptimalSingleR(rx, ry, tc.k, tc.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bruteT := bruteForceOptimal(rx, ry, tc.k, tc.B)
+		// The Figure 1 search must achieve the brute-force optimum
+		// (both return sample values, so compare exactly up to the
+		// adjacent-sample slack of the discrete search).
+		if pred.TailLatency > bruteT*1.02+1e-9 {
+			t.Errorf("%v k=%v B=%v: optimizer %v vs brute force %v",
+				tc.dist, tc.k, tc.B, pred.TailLatency, bruteT)
+		}
+	}
+}
+
+func TestOptimizerEmptyReissueLogFallsBack(t *testing.T) {
+	rx := sampleLog(stats.NewExponential(1), 1000, 7)
+	a, _, err := ComputeOptimalSingleR(rx, nil, 0.95, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ComputeOptimalSingleR(rx, rx, 0.95, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nil ry (%+v) differs from ry=rx (%+v)", a, b)
+	}
+}
+
+func TestOptimizerAgreesWithAnalytic(t *testing.T) {
+	// On a large log, the data-driven optimum should approach the
+	// analytic (distribution-level) optimum.
+	X := stats.NewPareto(1.3, 2)
+	rx := sampleLog(X, 50000, 11)
+	ry := sampleLog(X, 50000, 12)
+	k, B := 0.95, 0.05
+	_, predData, err := ComputeOptimalSingleR(rx, ry, k, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tailAnalytic := OptimalSingleRAnalytic(X, X, k, B, 600)
+	if math.Abs(predData.TailLatency-tailAnalytic)/tailAnalytic > 0.1 {
+		t.Fatalf("data-driven %v vs analytic %v", predData.TailLatency, tailAnalytic)
+	}
+}
+
+func TestPredictSingleRNoneEqualsPercentile(t *testing.T) {
+	rx := sampleLog(stats.NewLogNormal(1, 1), 5000, 13)
+	pred := PredictSingleR(rx, nil, SingleR{D: 0, Q: 0}, 0.99)
+	want := stats.Percentile(rx, 99)
+	if math.Abs(pred.TailLatency-want) > 1e-9 {
+		t.Fatalf("no-reissue prediction %v != empirical P99 %v", pred.TailLatency, want)
+	}
+}
+
+func TestOptimalSingleD(t *testing.T) {
+	rx := make([]float64, 100)
+	for i := range rx {
+		rx[i] = float64(i + 1) // 1..100
+	}
+	pol, err := OptimalSingleD(rx, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pr(X > 95) = 5/100 = B exactly.
+	if pol.D != 95 {
+		t.Fatalf("SingleD delay = %v, want 95", pol.D)
+	}
+	if _, err := OptimalSingleD(nil, 0.05); err == nil {
+		t.Error("empty log accepted")
+	}
+	if _, err := OptimalSingleD(rx, 0); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestCorrelatedOptimizerIndependentDataMatches(t *testing.T) {
+	// With independent X, Y pairs the correlated optimizer should pick
+	// approximately the same policy as the independent one.
+	r := stats.NewRNG(17)
+	d := stats.NewPareto(1.2, 2)
+	n := 20000
+	pairs := make([]rangequery.Point, n)
+	rx := make([]float64, n)
+	ry := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rx[i] = d.Sample(r)
+		ry[i] = d.Sample(r)
+		pairs[i] = rangequery.Point{X: rx[i], Y: ry[i]}
+	}
+	k, B := 0.95, 0.05
+	_, predI, err := ComputeOptimalSingleR(rx, ry, k, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, predC, err := ComputeOptimalSingleRCorrelated(rx, pairs, k, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(predC.TailLatency-predI.TailLatency)/predI.TailLatency > 0.25 {
+		t.Fatalf("correlated %v vs independent %v on independent data",
+			predC.TailLatency, predI.TailLatency)
+	}
+}
+
+func TestCorrelatedOptimizerReissuesEarlierUnderCorrelation(t *testing.T) {
+	// Section 5.3: with correlated service times (Y = r*X + Z) the
+	// optimal policy reissues *earlier* (smaller d, smaller q) than
+	// the independence assumption suggests.
+	r := stats.NewRNG(19)
+	d := stats.NewPareto(1.1, 2)
+	n := 30000
+	pairs := make([]rangequery.Point, n)
+	rx := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		rx[i] = x
+		pairs[i] = rangequery.Point{X: x, Y: 0.5*x + d.Sample(r)}
+	}
+	k, B := 0.95, 0.10
+	polI, _, err := ComputeOptimalSingleR(rx, rx, k, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polC, _, err := ComputeOptimalSingleRCorrelated(rx, pairs, k, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polC.D > polI.D {
+		t.Fatalf("correlated optimizer reissued later (d=%v) than independent (d=%v)",
+			polC.D, polI.D)
+	}
+	if polC.Q > polI.Q+1e-9 {
+		t.Fatalf("correlated optimizer used larger q (%v) than independent (%v)",
+			polC.Q, polI.Q)
+	}
+}
+
+func TestCorrelatedOptimizerValidation(t *testing.T) {
+	if _, _, err := ComputeOptimalSingleRCorrelated(nil, nil, 0.95, 0.1); err == nil {
+		t.Error("empty pairs accepted")
+	}
+}
+
+// Property: for arbitrary sample logs and parameters, the optimizer
+// returns a valid policy whose predicted budget never exceeds B and
+// whose predicted tail never exceeds the no-reissue percentile.
+func TestOptimizerInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, kRaw, bRaw uint8) bool {
+		k := 0.5 + float64(kRaw%49)/100  // 0.50 .. 0.98
+		B := 0.01 + float64(bRaw%40)/100 // 0.01 .. 0.40
+		rx := sampleLog(stats.NewLogNormal(1, 1), 500, seed)
+		pol, pred, err := ComputeOptimalSingleR(rx, nil, k, B)
+		if err != nil {
+			return false
+		}
+		if pol.Validate() != nil {
+			return false
+		}
+		if pred.Budget > B+1e-9 {
+			return false
+		}
+		base := stats.Quantile(rx, k)
+		return pred.TailLatency <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the predicted tail latency is monotone non-increasing in
+// the budget (more reissue allowance can never hurt in the model).
+func TestOptimizerMonotoneInBudgetProperty(t *testing.T) {
+	rx := sampleLog(stats.NewPareto(1.1, 2), 3000, 23)
+	f := func(aRaw, bRaw uint8) bool {
+		a := 0.01 + float64(aRaw%50)/100
+		b := 0.01 + float64(bRaw%50)/100
+		if a > b {
+			a, b = b, a
+		}
+		_, predA, err := ComputeOptimalSingleR(rx, nil, 0.95, a)
+		if err != nil {
+			return false
+		}
+		_, predB, err := ComputeOptimalSingleR(rx, nil, 0.95, b)
+		if err != nil {
+			return false
+		}
+		return predB.TailLatency <= predA.TailLatency+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkComputeOptimalSingleR(b *testing.B) {
+	rx := sampleLog(stats.NewPareto(1.1, 2), 100000, 1)
+	ry := sampleLog(stats.NewPareto(1.1, 2), 100000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ComputeOptimalSingleR(rx, ry, 0.99, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeOptimalSingleRCorrelated(b *testing.B) {
+	r := stats.NewRNG(1)
+	d := stats.NewPareto(1.1, 2)
+	pairs := make([]rangequery.Point, 20000)
+	rx := make([]float64, len(pairs))
+	for i := range pairs {
+		x := d.Sample(r)
+		rx[i] = x
+		pairs[i] = rangequery.Point{X: x, Y: 0.5*x + d.Sample(r)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ComputeOptimalSingleRCorrelated(rx, pairs, 0.99, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

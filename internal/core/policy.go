@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: the reissue
+// policy families (SingleR, SingleD, DoubleR, MultipleR, immediate
+// reissue, and the no-reissue baseline), the data-driven optimizer
+// ComputeOptimalSingleR from Section 4.1, its correlation-aware
+// variant from Section 4.2, the iterative adaptation loop for
+// load-dependent queueing delays from Section 4.3, and the budget
+// search procedures from Section 4.4.
+//
+// A reissue policy decides, per query, at which delays after the
+// primary dispatch a redundant copy of the request should be sent if
+// no response has arrived yet. SingleR — reissue once after delay D
+// with probability Q — is proved optimal in the paper's simplified
+// model (Theorems 3.1 and 3.2); the other families exist as baselines
+// and as subjects for the property tests that verify those theorems
+// numerically.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Policy is a reissue policy. Plan samples the policy's randomness
+// and returns the set of delays (relative to the primary dispatch,
+// sorted ascending) at which the query should be reissued if it has
+// not completed by then. An empty plan means the query is never
+// reissued.
+type Policy interface {
+	Plan(r *stats.RNG) []float64
+	String() string
+}
+
+// None is the no-reissue baseline policy.
+type None struct{}
+
+// Plan returns no reissue times.
+func (None) Plan(*stats.RNG) []float64 { return nil }
+
+func (None) String() string { return "None" }
+
+// SingleR reissues a request once, after delay D, with probability Q.
+// This is the paper's headline policy family (Section 2.3).
+type SingleR struct {
+	D float64 // reissue delay
+	Q float64 // reissue probability in [0, 1]
+}
+
+// Plan flips the policy's coin and returns {D} with probability Q.
+func (p SingleR) Plan(r *stats.RNG) []float64 {
+	if r.Bool(p.Q) {
+		return []float64{p.D}
+	}
+	return nil
+}
+
+func (p SingleR) String() string {
+	return fmt.Sprintf("SingleR(d=%.4g, q=%.4g)", p.D, p.Q)
+}
+
+// SingleD reissues a request deterministically after delay D — the
+// "delayed reissue" strategy of prior work ("The Tail at Scale"),
+// formalized in Section 2.2. It is SingleR with Q = 1.
+type SingleD struct {
+	D float64
+}
+
+// Plan always returns {D}.
+func (p SingleD) Plan(*stats.RNG) []float64 { return []float64{p.D} }
+
+func (p SingleD) String() string { return fmt.Sprintf("SingleD(d=%.4g)", p.D) }
+
+// Immediate reissues N extra copies of every request at time zero —
+// the "immediate reissue" strategy of prior work.
+type Immediate struct {
+	N int
+}
+
+// Plan returns N zero delays.
+func (p Immediate) Plan(*stats.RNG) []float64 {
+	if p.N <= 0 {
+		return nil
+	}
+	return make([]float64, p.N)
+}
+
+func (p Immediate) String() string { return fmt.Sprintf("Immediate(n=%d)", p.N) }
+
+// MultipleR reissues a request at up to len(Delays) distinct times;
+// the copy at Delays[i] is sent with independent probability
+// Probs[i] (Section 3.1). DoubleR is the special case of two times.
+type MultipleR struct {
+	Delays []float64
+	Probs  []float64
+}
+
+// NewMultipleR validates and constructs a MultipleR policy. Delays
+// must be sorted ascending and each probability must lie in [0, 1].
+func NewMultipleR(delays, probs []float64) (MultipleR, error) {
+	if len(delays) != len(probs) {
+		return MultipleR{}, fmt.Errorf("core: %d delays but %d probabilities", len(delays), len(probs))
+	}
+	if !sort.Float64sAreSorted(delays) {
+		return MultipleR{}, fmt.Errorf("core: MultipleR delays must be sorted ascending")
+	}
+	for i, q := range probs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			return MultipleR{}, fmt.Errorf("core: probability %v at index %d outside [0, 1]", q, i)
+		}
+	}
+	for _, d := range delays {
+		if d < 0 || math.IsNaN(d) {
+			return MultipleR{}, fmt.Errorf("core: negative or NaN delay %v", d)
+		}
+	}
+	return MultipleR{Delays: delays, Probs: probs}, nil
+}
+
+// Plan flips each reissue time's coin independently.
+func (p MultipleR) Plan(r *stats.RNG) []float64 {
+	var out []float64
+	for i, d := range p.Delays {
+		if r.Bool(p.Probs[i]) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (p MultipleR) String() string {
+	return fmt.Sprintf("MultipleR(d=%v, q=%v)", p.Delays, p.Probs)
+}
+
+// DoubleR constructs the two-time MultipleR policy used throughout
+// the proof of Theorem 3.1.
+func DoubleR(d1, q1, d2, q2 float64) (MultipleR, error) {
+	return NewMultipleR([]float64{d1, d2}, []float64{q1, q2})
+}
+
+// Validate reports whether a SingleR policy's parameters are sane:
+// non-negative finite delay and probability in [0, 1].
+func (p SingleR) Validate() error {
+	if p.D < 0 || math.IsNaN(p.D) || math.IsInf(p.D, 0) {
+		return fmt.Errorf("core: invalid SingleR delay %v", p.D)
+	}
+	if p.Q < 0 || p.Q > 1 || math.IsNaN(p.Q) {
+		return fmt.Errorf("core: invalid SingleR probability %v", p.Q)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package des implements a small deterministic discrete-event
+// simulation engine: a future-event list ordered by (time, sequence)
+// and a simulation clock. The cluster simulator in internal/cluster
+// is built on top of it.
+//
+// Determinism matters here: two events scheduled for the same instant
+// fire in scheduling order, so a simulation driven by a seeded RNG
+// replays identically on every run.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback scheduled to run at a simulation time.
+type Event func(now float64)
+
+type scheduled struct {
+	time  float64
+	seq   uint64
+	fn    Event
+	index int // heap index, maintained by the heap interface
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ s *scheduled }
+
+// Cancel prevents the event from firing. Cancelling an already-fired
+// or already-cancelled event is a no-op. Cancelled events are dropped
+// lazily when they surface at the top of the event list.
+func (h Handle) Cancel() {
+	if h.s != nil {
+		h.s.dead = true
+	}
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (h Handle) Cancelled() bool { return h.s != nil && h.s.dead }
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not
+// usable; call New.
+type Sim struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New creates an empty simulation whose clock starts at 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still scheduled (including
+// lazily-cancelled ones not yet dropped).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a logic error in the calling model.
+func (s *Sim) At(t float64, fn Event) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling at NaN")
+	}
+	ev := &scheduled{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return Handle{s: ev}
+}
+
+// After schedules fn to run delay time units from now.
+func (s *Sim) After(delay float64, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Step fires the next pending event, advancing the clock. It returns
+// false when no events remain.
+func (s *Sim) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*scheduled)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.time
+		s.fired++
+		ev.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the event list drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= tEnd, then advances the clock to
+// tEnd. Events scheduled beyond tEnd remain pending.
+func (s *Sim) RunUntil(tEnd float64) {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if ev.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if ev.time > tEnd {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.time
+		s.fired++
+		ev.fn(s.now)
+	}
+	if s.now < tEnd {
+		s.now = tEnd
+	}
+}
+
+// RunWhile fires events while cond() holds and events remain.
+func (s *Sim) RunWhile(cond func() bool) {
+	for cond() && s.Step() {
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// checkTable validates structural invariants of a harness's output.
+func checkTable(t *testing.T, tab *Table, wantRows int) {
+	t.Helper()
+	if tab == nil {
+		t.Fatal("nil table")
+	}
+	if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 {
+		t.Fatalf("table metadata incomplete: %+v", tab)
+	}
+	if wantRows > 0 && len(tab.Rows) != wantRows {
+		t.Fatalf("table %s has %d rows, want %d", tab.ID, len(tab.Rows), wantRows)
+	}
+	for ri, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("table %s row %d has %d cells, want %d",
+				tab.ID, ri, len(row), len(tab.Columns))
+		}
+	}
+}
+
+func TestTableAddRowPanicsOnMismatch(t *testing.T) {
+	tab := &Table{ID: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	tab.AddRow(1)
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "t", Title: "demo", Columns: []string{"x", "y"},
+		Notes: []string{"a note"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow(100.25, math.NaN())
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure t: demo", "x", "y", "2.5", "100.2", "-", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "x,y\n") {
+		t.Errorf("CSV header wrong: %q", buf.String())
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := Scale{}.withDefaults()
+	d := DefaultScale()
+	if s != d {
+		t.Fatalf("zero scale -> %+v, want %+v", s, d)
+	}
+	partial := Scale{Queries: 123}.withDefaults()
+	if partial.Queries != 123 || partial.AdaptiveTrials != d.AdaptiveTrials {
+		t.Fatalf("partial scale -> %+v", partial)
+	}
+}
+
+func TestFigure2a(t *testing.T) {
+	tab, err := Figure2a(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 0)
+	if len(tab.Rows) < 30 {
+		t.Fatalf("only %d CDF points", len(tab.Rows))
+	}
+	// Each series must be non-decreasing in p (inverse CDFs).
+	for col := 1; col <= 4; col++ {
+		for i := 1; i < len(tab.Rows); i++ {
+			if tab.Rows[i][col] < tab.Rows[i-1][col]-1e-9 {
+				t.Fatalf("column %d not monotone at row %d", col, i)
+			}
+		}
+	}
+	// The Primary curve (load-perturbed) must sit above Original in
+	// the upper tail — the effect Figure 2a illustrates.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[4] <= last[1] {
+		t.Errorf("primary tail %v not above original %v under 30%% reissue load",
+			last[4], last[1])
+	}
+	// And SingleR must beat Original at the 95th percentile.
+	var p95Row []float64
+	for _, row := range tab.Rows {
+		if math.Abs(row[0]-0.95) < 1e-9 {
+			p95Row = row
+		}
+	}
+	if p95Row == nil {
+		t.Fatal("no 0.95 row")
+	}
+	if p95Row[2] >= p95Row[1] {
+		t.Errorf("SingleR P95 %v not below original %v", p95Row[2], p95Row[1])
+	}
+}
+
+func TestFigure2b(t *testing.T) {
+	tab, err := Figure2b(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 10)
+	// Later trials should have actual latency below the first trial's
+	// (immediate reissue with 30% extra load is a bad starting point).
+	first := tab.Rows[0][2]
+	last := tab.Rows[len(tab.Rows)-1][2]
+	if last >= first {
+		t.Errorf("adaptive trials did not improve: first %v, last %v", first, last)
+	}
+	// Prediction and actual must be within 2x at the end (they should
+	// converge; scale-down noise allows slack).
+	pred := tab.Rows[len(tab.Rows)-1][1]
+	if pred <= 0 || last/pred > 2 || pred/last > 2 {
+		t.Errorf("prediction %v far from actual %v at convergence", pred, last)
+	}
+}
+
+func TestFigure3AllWorkloads(t *testing.T) {
+	for _, kind := range []WorkloadKind{Independent, CorrelatedWL, Queueing} {
+		res, err := Figure3(kind, TestScale())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		n := len(Figure3Budgets)
+		checkTable(t, res.Reduction, n)
+		checkTable(t, res.Remediation, n)
+		checkTable(t, res.PolicyShape, n)
+		for _, row := range res.Reduction.Rows {
+			// Measured SingleR reissue rate must be near its budget.
+			if row[1] > row[0]*1.5+0.02 {
+				t.Errorf("%v: rate %v overshoots budget %v", kind, row[1], row[0])
+			}
+		}
+		for _, row := range res.PolicyShape.Rows {
+			if row[2] < 0 || row[2] > 1 {
+				t.Errorf("%v: reissue probability %v outside [0,1]", kind, row[2])
+			}
+			if row[1] < 0 || row[1] > 1 {
+				t.Errorf("%v: outstanding fraction %v outside [0,1]", kind, row[1])
+			}
+		}
+	}
+}
+
+func TestFigure3SingleRBeatsSingleDAtSmallBudgets(t *testing.T) {
+	// The headline qualitative result of Figure 3a: on the
+	// Independent workload SingleD cannot improve P95 with B < 5%
+	// while SingleR can.
+	res, err := Figure3(Independent, TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Reduction.Rows[0] // B = 1%
+	ratioR, ratioD := row[2], row[4]
+	if ratioR <= 1.02 {
+		t.Errorf("SingleR ratio %v at B=1%% should exceed 1", ratioR)
+	}
+	if ratioD > 1.1 {
+		t.Errorf("SingleD ratio %v at B=1%% should be ~1 (cannot improve)", ratioD)
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	a, b, err := Figure4(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, a, 0)
+	checkTable(t, b, 0)
+	if len(a.Rows) < 100 || len(b.Rows) < 100 {
+		t.Fatalf("scatter rows: %d, %d", len(a.Rows), len(b.Rows))
+	}
+	for _, tab := range []*Table{a, b} {
+		for _, row := range tab.Rows {
+			if row[0] <= 0 || row[1] <= 0 {
+				t.Fatalf("%s: non-positive response times %v", tab.ID, row)
+			}
+		}
+	}
+}
+
+func TestFigure5a(t *testing.T) {
+	tab, err := Figure5a(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 6)
+	// SingleR must improve on no-reissue at r=0 (uncorrelated).
+	if tab.Rows[0][1] >= tab.Rows[0][2] {
+		t.Errorf("SingleR at r=0 (%v) not below baseline (%v)",
+			tab.Rows[0][1], tab.Rows[0][2])
+	}
+	// Benefit should broadly shrink as correlation grows: compare the
+	// endpoints.
+	if tab.Rows[len(tab.Rows)-1][1] < tab.Rows[0][1]*0.8 {
+		t.Errorf("r=1 latency %v unexpectedly far below r=0 latency %v",
+			tab.Rows[len(tab.Rows)-1][1], tab.Rows[0][1])
+	}
+}
+
+func TestFigure5b(t *testing.T) {
+	tab, err := Figure5b(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(Figure5Rates)+1)
+	// Better load balancing reduces the no-reissue baseline:
+	// min-of-all <= min-of-two <= random (allowing noise).
+	base := tab.Rows[0]
+	if base[3] > base[1]*1.1 {
+		t.Errorf("min-of-all baseline %v above random %v", base[3], base[1])
+	}
+	// Reissuing (B=20%) must improve every strategy's P95 vs rate 0.
+	var row20 []float64
+	for _, row := range tab.Rows {
+		if row[0] == 0.20 {
+			row20 = row
+		}
+	}
+	for col := 1; col <= 3; col++ {
+		if row20[col] >= base[col] {
+			t.Errorf("col %d: no improvement at 20%% rate (%v vs %v)",
+				col, row20[col], base[col])
+		}
+	}
+}
+
+func TestFigure5c(t *testing.T) {
+	tab, err := Figure5c(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, len(Figure5Rates)+1)
+	base := tab.Rows[0]
+	var row20 []float64
+	for _, row := range tab.Rows {
+		if row[0] == 0.20 {
+			row20 = row
+		}
+	}
+	for col := 1; col <= 3; col++ {
+		if row20[col] >= base[col] {
+			t.Errorf("discipline col %d: no improvement at 20%% rate", col)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	p95, p99, err := Figure6(stats.NewExponential(0.1), "Exp(0.1)", TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, p95, len(Figure6Rates))
+	checkTable(t, p99, len(Figure6Rates))
+	// Reissue must help at 20% utilization for decent budgets.
+	for _, tab := range []*Table{p95, p99} {
+		var row30 []float64
+		for _, row := range tab.Rows {
+			if row[0] == 0.30 {
+				row30 = row
+			}
+		}
+		if row30[1] <= 1.0 {
+			t.Errorf("%s: ratio %v at util 20%% budget 30%% should exceed 1",
+				tab.ID, row30[1])
+		}
+	}
+	// Less loaded systems benefit more (paper's observation 1):
+	// compare util20 vs util50 at budget 30%.
+	var row []float64
+	for _, r := range p95.Rows {
+		if r[0] == 0.30 {
+			row = r
+		}
+	}
+	if row[3] > row[1]*1.25 {
+		t.Errorf("util50 ratio %v unexpectedly above util20 ratio %v", row[3], row[1])
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	tab, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 13)
+	var redisTotal, luceneTotal float64
+	for _, row := range tab.Rows {
+		redisTotal += row[1]
+		luceneTotal += row[2]
+	}
+	if redisTotal != 40000 {
+		t.Errorf("redis histogram total %v, want 40000", redisTotal)
+	}
+	if luceneTotal != 10000 {
+		t.Errorf("lucene histogram total %v, want 10000", luceneTotal)
+	}
+	// Redis mass concentrates in the first bin; Lucene's mode is in
+	// bins 2-4 (20-80 ms) — the shape contrast of Figure 9.
+	if tab.Rows[0][1] < 0.9*40000 {
+		t.Errorf("redis first bin %v, want >90%% of mass", tab.Rows[0][1])
+	}
+	if tab.Rows[0][2] > tab.Rows[1][2] {
+		t.Errorf("lucene first bin %v above second %v — too skewed",
+			tab.Rows[0][2], tab.Rows[1][2])
+	}
+}

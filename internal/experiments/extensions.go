@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// This file holds experiments beyond the paper's figures, exercising
+// the extension scenarios its Section 4.4 sketches. They are labelled
+// X1, X2, ... in cmd/reissue-figures.
+
+// ExtensionOnlineTracking (X1) runs the online adapter against a load
+// step (utilization doubling mid-run) and reports the P99 of three
+// systems on the identical sample path: no reissue, the frozen
+// immediate-reissue seed policy, and the online adapter. It also
+// traces the adapter's reissue delay across epochs, showing the
+// policy following the distribution shift.
+func ExtensionOnlineTracking(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	dist := stats.NewLogNormal(1, 1)
+	const servers = 10
+	baseRate := cluster.ArrivalRateForUtilization(0.25, servers, dist.Mean())
+	stepTime := float64(sc.Queries) / 2 / baseRate
+
+	adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
+		K: 0.99, B: 0.10, Lambda: 0.5, Window: minInt(sc.Queries/8, 2000),
+	})
+	if err != nil {
+		return nil, err
+	}
+	type epochRow struct{ epoch, d, q float64 }
+	var epochs []epochRow
+	lastEpoch := 0
+
+	cfg := cluster.Config{
+		Servers:     servers,
+		ArrivalRate: baseRate,
+		Queries:     sc.Queries,
+		Warmup:      sc.Queries / 10,
+		Source:      cluster.DistSource{Dist: dist},
+		Seed:        sc.Seed*7 + 1,
+		RateMultiplier: func(t float64) float64 {
+			if t > stepTime {
+				return 2
+			}
+			return 1
+		},
+		OnRequestComplete: func(reissue bool, rt, now float64) {
+			if reissue {
+				adapter.ObserveReissue(rt)
+			} else {
+				adapter.ObservePrimary(rt)
+			}
+			if e := adapter.Epochs(); e > lastEpoch {
+				lastEpoch = e
+				pol := adapter.Policy()
+				epochs = append(epochs, epochRow{float64(e), pol.D, pol.Q})
+			}
+		},
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	onlineRes := c.RunDetailed(adapter)
+
+	cfg.OnRequestComplete = nil
+	bc, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base := bc.RunDetailed(core.None{})
+	frozen := bc.RunDetailed(core.SingleR{D: 0, Q: 0.10})
+
+	t := &Table{
+		ID:      "X1",
+		Title:   "Online adaptation under a mid-run load step (25% -> 50% utilization)",
+		Columns: []string{"epoch", "delay", "prob"},
+		Notes: []string{
+			fmt.Sprintf("P99 no-reissue=%.1f frozen-seed=%.1f online=%.1f",
+				metrics.TailLatency(base.Log.ResponseTimes(), 99),
+				metrics.TailLatency(frozen.Log.ResponseTimes(), 99),
+				metrics.TailLatency(onlineRes.Log.ResponseTimes(), 99)),
+			fmt.Sprintf("final policy %v, measured reissue rate %.3f",
+				adapter.Policy(), onlineRes.ReissueRate),
+		},
+	}
+	for _, e := range epochs {
+		t.AddRow(e.epoch, e.d, e.q)
+	}
+	return t, nil
+}
+
+// ExtensionCancellation (X2) quantifies the tied-requests extension:
+// P99 and utilization of immediate reissue with and without
+// cancel-on-complete at several utilization levels.
+func ExtensionCancellation(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	dist := stats.NewExponential(0.1)
+	t := &Table{
+		ID:      "X2",
+		Title:   "Tied requests: immediate reissue with and without cancellation",
+		Columns: []string{"util", "p99_keep", "util_keep", "p99_cancel", "util_cancel"},
+	}
+	for _, rho := range []float64{0.30, 0.40, 0.50} {
+		row := []float64{rho}
+		for _, cancel := range []bool{false, true} {
+			c, err := cluster.New(cluster.Config{
+				Servers:          10,
+				ArrivalRate:      cluster.ArrivalRateForUtilization(rho, 10, dist.Mean()),
+				Queries:          sc.Queries,
+				Warmup:           sc.Queries / 10,
+				Source:           cluster.DistSource{Dist: dist},
+				Seed:             sc.Seed*11 + 3,
+				CancelOnComplete: cancel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := c.RunDetailed(core.Immediate{N: 1})
+			row = append(row,
+				metrics.TailLatency(res.Log.ResponseTimes(), 99),
+				res.Utilization)
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"cancellation reclaims the loser copy's service time, keeping immediate reissue viable at utilizations where it otherwise melts down")
+	return t, nil
+}
+
+// ExtensionFanOut (X4) reproduces the paper's motivating aggregation
+// scenario: a query fans out to k sub-requests and completes when the
+// slowest responds. It reports the per-request and per-batch P99 for
+// fan-outs 1/5/10/20 at 30% utilization, without hedging and with a
+// 10%-budget SingleR policy tuned on the sub-request distribution.
+func ExtensionFanOut(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	dist := stats.NewExponential(0.1)
+	t := &Table{
+		ID:      "X4",
+		Title:   "Fan-out tail amplification and per-sub-request hedging (P99)",
+		Columns: []string{"fanout", "request_p99", "batch_p99", "batch_p99_singler", "rate"},
+	}
+	for _, fan := range []int{1, 5, 10, 20} {
+		queries := sc.Queries - sc.Queries%maxInt(fan, 1)
+		warmup := queries / 10
+		warmup -= warmup % maxInt(fan, 1)
+		c, err := cluster.New(cluster.Config{
+			Servers:     10,
+			ArrivalRate: cluster.ArrivalRateForUtilization(0.30, 10, dist.Mean()),
+			Queries:     queries,
+			Warmup:      warmup,
+			Source:      cluster.DistSource{Dist: dist},
+			Seed:        sc.Seed*17 + 7,
+			FanOut:      fan,
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := c.RunDetailed(core.None{})
+		batch := base.FanOutResponses
+		if fan <= 1 {
+			batch = base.Log.ResponseTimes()
+		}
+		// A batch meets its P99 only if every sub-request meets the
+		// amplified per-request percentile 0.99^(1/fan) — tune the
+		// sub-request policy for that target, not for P99.
+		kEff := math.Pow(0.99, 1/float64(maxInt(fan, 1)))
+		pol, _, err := core.ComputeOptimalSingleR(base.Log.PrimaryTimes(), nil, kEff, 0.10)
+		if err != nil {
+			return nil, err
+		}
+		hedged := c.RunDetailed(pol)
+		hbatch := hedged.FanOutResponses
+		if fan <= 1 {
+			hbatch = hedged.Log.ResponseTimes()
+		}
+		t.AddRow(float64(fan),
+			metrics.TailLatency(base.Log.ResponseTimes(), 99),
+			metrics.TailLatency(batch, 99),
+			metrics.TailLatency(hbatch, 99),
+			hedged.ReissueRate)
+	}
+	t.Notes = append(t.Notes,
+		"hedging recovers the amplified tail while fan-out < servers; once every batch loads every replica (fan-out 20 vs 10 servers) there is no idle server to dodge to and the added reissue load dominates")
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExtensionBurstiness (X3) contrasts Poisson and MMPP-2 bursty
+// arrivals at equal average load: burstiness deepens the baseline
+// tail, and hedging — which cannot dodge a global burst — recovers
+// little of it, unlike the server-local interference of the system
+// experiments.
+func ExtensionBurstiness(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	dist := stats.NewExponential(0.1)
+	const servers = 10
+	bcfg := workload.BurstyConfig{
+		MeanCalm: 4000, MeanBurst: 1000, BurstFactor: 3,
+		Horizon: 5e6, Seed: sc.Seed,
+	}
+	mult, err := workload.NewBurstyMultiplier(bcfg)
+	if err != nil {
+		return nil, err
+	}
+	avg := workload.BurstyMeanMultiplier(bcfg)
+
+	t := &Table{
+		ID:      "X3",
+		Title:   "Bursty (MMPP-2) vs Poisson arrivals at equal average utilization",
+		Columns: []string{"util", "p99_poisson", "p99_bursty", "p99_bursty_singler"},
+	}
+	for _, rho := range []float64{0.30, 0.40} {
+		poisson, err := cluster.New(cluster.Config{
+			Servers:     servers,
+			ArrivalRate: cluster.ArrivalRateForUtilization(rho, servers, dist.Mean()),
+			Queries:     sc.Queries, Warmup: sc.Queries / 10,
+			Source: cluster.DistSource{Dist: dist},
+			Seed:   sc.Seed*13 + 5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bursty, err := cluster.New(cluster.Config{
+			Servers:     servers,
+			ArrivalRate: cluster.ArrivalRateForUtilization(rho, servers, dist.Mean()) / avg,
+			Queries:     sc.Queries, Warmup: sc.Queries / 10,
+			Source:         cluster.DistSource{Dist: dist},
+			Seed:           sc.Seed*13 + 5,
+			RateMultiplier: mult,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pBase := metrics.TailLatency(poisson.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+		bBase := metrics.TailLatency(bursty.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+		ar, err := core.AdaptiveOptimize(bursty, adaptiveCfg(0.99, 0.05, sc, false))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(rho, pBase, bBase, ar.Final.TailLatency(0.99))
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import "testing"
+
+func TestExtensionOnlineTracking(t *testing.T) {
+	tab, err := ExtensionOnlineTracking(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 0)
+	if len(tab.Rows) < 3 {
+		t.Fatalf("only %d adaptation epochs traced", len(tab.Rows))
+	}
+	// Delays must move away from the immediate-reissue seed.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[1] <= 0 {
+		t.Fatalf("final delay %v never moved", last[1])
+	}
+	for _, row := range tab.Rows {
+		if row[2] < 0 || row[2] > 1 {
+			t.Fatalf("probability %v out of range", row[2])
+		}
+	}
+}
+
+func TestExtensionCancellation(t *testing.T) {
+	tab, err := ExtensionCancellation(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 3)
+	for _, row := range tab.Rows {
+		// Cancellation must reduce utilization at every load level.
+		if row[4] >= row[2] {
+			t.Errorf("util %v: cancel utilization %v not below keep %v",
+				row[0], row[4], row[2])
+		}
+		// And never hurt the tail.
+		if row[3] > row[1]*1.1 {
+			t.Errorf("util %v: cancel P99 %v above keep %v", row[0], row[3], row[1])
+		}
+	}
+}
+
+func TestExtensionFanOut(t *testing.T) {
+	// Larger than TestScale: at fan-out 20 the batch P99 rests on a
+	// handful of batches, so the comparison needs more samples.
+	tab, err := ExtensionFanOut(Scale{Queries: 16000, AdaptiveTrials: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 4)
+	prev := 0.0
+	for _, row := range tab.Rows {
+		// Batch P99 grows (broadly) with fan-out.
+		if row[2] < prev*0.8 {
+			t.Errorf("batch P99 %v fell sharply as fan-out grew", row[2])
+		}
+		prev = row[2]
+		switch {
+		case row[0] > 1 && row[0] <= 10:
+			// While fan-out stays below the server count hedging must
+			// recover part of the amplified tail.
+			if row[3] >= row[2] {
+				t.Errorf("fan-out %v: hedged batch P99 %v not below unhedged %v",
+					row[0], row[3], row[2])
+			}
+		case row[0] > 10:
+			// Beyond the server count every batch loads every
+			// replica; hedging loses its edge but must not blow up.
+			if row[3] > row[2]*1.35 {
+				t.Errorf("fan-out %v: hedged batch P99 %v far above unhedged %v",
+					row[0], row[3], row[2])
+			}
+		}
+	}
+}
+
+func TestExtensionBurstiness(t *testing.T) {
+	tab, err := ExtensionBurstiness(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+	for _, row := range tab.Rows {
+		if row[2] <= row[1] {
+			t.Errorf("util %v: bursty P99 %v not above Poisson %v", row[0], row[2], row[1])
+		}
+		// Hedging must not make the bursty tail meaningfully worse.
+		if row[3] > row[2]*1.15 {
+			t.Errorf("util %v: hedged bursty P99 %v above unhedged %v",
+				row[0], row[3], row[2])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Figure2a reproduces the paper's Figure 2a: inverse CDFs of the
+// Queueing workload's response times with and without a SingleR
+// policy using a 30% reissue budget — Original (no reissue), SingleR
+// (end-to-end under the policy), Reissue (reissue requests' own
+// response times), and Primary (primary requests under the policy,
+// showing how dramatically the added load shifts the distribution).
+func Figure2a(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k, B = 0.95, 0.30
+
+	trials := sc.AdaptiveTrials
+	if trials < 10 {
+		trials = 10 // lambda = 0.2 needs ~6-10 trials to converge
+	}
+	wl, err := workload.Queueing(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	base := wl.RunDetailed(core.None{})
+
+	ar, err := core.AdaptiveOptimize(wl, core.AdaptiveConfig{
+		K: k, B: B, Lambda: 0.2, Trials: trials, Correlated: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := ar.Final
+
+	ps := make([]float64, 0, 38)
+	for p := 0.60; p <= 0.975; p += 0.01 {
+		ps = append(ps, p)
+	}
+	orig := metrics.InverseCDFSeries(base.Log.ResponseTimes(), ps)
+	pol := metrics.InverseCDFSeries(run.Query, ps)
+	reis := metrics.InverseCDFSeries(run.Reissue, ps)
+	prim := metrics.InverseCDFSeries(run.Primary, ps)
+
+	t := &Table{
+		ID:      "2a",
+		Title:   "Inverse CDF of the Queueing workload under SingleR with a 30% budget",
+		Columns: []string{"cdf", "original", "singler", "reissue", "primary"},
+		Notes: []string{
+			fmt.Sprintf("final policy %v, measured reissue rate %.3f",
+				ar.Policy, ar.Trials[len(ar.Trials)-1].ReissueRate),
+		},
+	}
+	for i, p := range ps {
+		t.AddRow(p, orig[i], pol[i], reis[i], prim[i])
+	}
+	return t, nil
+}
+
+// Figure2b reproduces the paper's Figure 2b: the predicted and actual
+// 95th-percentile latency on each trial of the adaptive SingleR
+// optimizer (learning rate 0.2, 30% budget) on the Queueing workload.
+func Figure2b(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k, B = 0.95, 0.30
+	trials := sc.AdaptiveTrials
+	if trials < 10 {
+		trials = 10 // the paper plots 10 adaptive trials
+	}
+
+	wl, err := workload.Queueing(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ar, err := core.AdaptiveOptimize(wl, core.AdaptiveConfig{
+		K: k, B: B, Lambda: 0.2, Trials: trials, Correlated: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		ID:      "2b",
+		Title:   "Adaptive SingleR convergence (lambda=0.2, B=30%, P95)",
+		Columns: []string{"trial", "predicted", "actual"},
+	}
+	for _, tr := range ar.Trials {
+		t.AddRow(float64(tr.Trial), tr.Predicted, tr.Actual)
+	}
+	converged := ar.Converged(B, 0.15)
+	t.Notes = append(t.Notes, fmt.Sprintf("converged(15%% tolerance)=%v, final policy %v",
+		converged, ar.Policy))
+	return t, nil
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Figure3Budgets is the reissue-budget sweep of the paper's Figure 3.
+var Figure3Budgets = []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+
+// WorkloadKind identifies one of the paper's three simulation
+// workload models.
+type WorkloadKind int
+
+const (
+	// Independent: no queueing, independent service times.
+	Independent WorkloadKind = iota
+	// CorrelatedWL: no queueing, Y = 0.5X + Z.
+	CorrelatedWL
+	// Queueing: 10 servers at 30% utilization, correlated service
+	// times.
+	Queueing
+)
+
+func (k WorkloadKind) String() string {
+	switch k {
+	case Independent:
+		return "Independent"
+	case CorrelatedWL:
+		return "Correlated"
+	default:
+		return "Queueing"
+	}
+}
+
+func buildWorkload(k WorkloadKind, sc Scale) (*cluster.Cluster, error) {
+	o := workload.Options{Queries: sc.Queries, Seed: sc.Seed}
+	switch k {
+	case Independent:
+		return workload.Independent(o)
+	case CorrelatedWL:
+		return workload.Correlated(o)
+	case Queueing:
+		return workload.Queueing(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload kind %d", k)
+	}
+}
+
+// Figure3Result bundles the three panels of Figure 3 for one
+// workload: tail-latency reduction ratios (3a), remediation rates
+// (3b), and the optimal policy's shape (3c).
+type Figure3Result struct {
+	Reduction   *Table // Figure 3a
+	Remediation *Table // Figure 3b
+	PolicyShape *Table // Figure 3c
+}
+
+// Figure3 reproduces the paper's Figure 3 for one workload model:
+// for each reissue budget it tunes the optimal SingleR and SingleD
+// policies (adaptively on the Queueing workload, where reissue load
+// perturbs the distribution) and reports the P95 reduction ratio, the
+// remediation rate, and the SingleR policy's reissue time (as the
+// fraction of requests outstanding at d) and probability.
+func Figure3(kind WorkloadKind, sc Scale) (*Figure3Result, error) {
+	sc = sc.withDefaults()
+	const k = 0.95
+
+	wl, err := buildWorkload(kind, sc)
+	if err != nil {
+		return nil, err
+	}
+	base := wl.RunDetailed(core.None{})
+	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+
+	name := kind.String()
+	res := &Figure3Result{
+		Reduction: &Table{
+			ID:      "3a/" + name,
+			Title:   fmt.Sprintf("P95 reduction ratio vs reissue rate (%s workload)", name),
+			Columns: []string{"budget", "rate_singler", "ratio_singler", "rate_singled", "ratio_singled"},
+			Notes:   []string{fmt.Sprintf("baseline P95 = %.2f", baseP95)},
+		},
+		Remediation: &Table{
+			ID:      "3b/" + name,
+			Title:   fmt.Sprintf("Remediation rate vs reissue rate (%s workload)", name),
+			Columns: []string{"budget", "singler_remediation", "singled_remediation"},
+		},
+		PolicyShape: &Table{
+			ID:      "3c/" + name,
+			Title:   fmt.Sprintf("Optimal SingleR reissue time and probability (%s workload)", name),
+			Columns: []string{"budget", "outstanding_at_d", "reissue_prob"},
+		},
+	}
+
+	for _, B := range Figure3Budgets {
+		polR, polD, err := tunePolicies(wl, kind, k, B, sc)
+		if err != nil {
+			return nil, fmt.Errorf("budget %v: %w", B, err)
+		}
+
+		runR := wl.RunDetailed(polR)
+		runD := wl.RunDetailed(polD)
+		p95R := metrics.TailLatency(runR.Log.ResponseTimes(), 95)
+		p95D := metrics.TailLatency(runD.Log.ResponseTimes(), 95)
+
+		res.Reduction.AddRow(B,
+			runR.ReissueRate, metrics.ReductionRatio(baseP95, p95R),
+			runD.ReissueRate, metrics.ReductionRatio(baseP95, p95D))
+		res.Remediation.AddRow(B,
+			metrics.RemediationRate(runR.Outcomes, p95R),
+			metrics.RemediationRate(runD.Outcomes, p95D))
+
+		// Fraction of requests still outstanding at the reissue time,
+		// evaluated against the policy run's primary distribution.
+		outstanding := 1 - fracLE(runR.Log.PrimaryTimes(), polR.D)
+		res.PolicyShape.AddRow(B, outstanding, polR.Q)
+	}
+	return res, nil
+}
+
+// tunePolicies finds the SingleR and SingleD policies for one budget.
+// On the no-queueing workloads the optimizer runs once on logged
+// response times (reissue load cannot perturb an infinite-server
+// system); the Queueing workload uses adaptive refinement for both
+// families, as in the paper.
+func tunePolicies(wl *cluster.Cluster, kind WorkloadKind, k, B float64, sc Scale) (core.SingleR, core.SingleD, error) {
+	if kind == Queueing {
+		ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
+		if err != nil {
+			return core.SingleR{}, core.SingleD{}, err
+		}
+		ad, err := core.AdaptiveOptimizeSingleD(wl, adaptiveCfg(k, B, sc, false))
+		if err != nil {
+			return core.SingleR{}, core.SingleD{}, err
+		}
+		return ar.Policy, core.SingleD{D: ad.Policy.D}, nil
+	}
+
+	// Collect paired logs by reissuing everything immediately once:
+	// with infinite servers this does not perturb response times.
+	probe := wl.RunDetailed(core.SingleD{D: 0})
+	polR, _, err := core.ComputeOptimalSingleRCorrelated(probe.Log.PrimaryTimes(), probe.Pairs, k, B)
+	if err != nil {
+		return core.SingleR{}, core.SingleD{}, err
+	}
+	polD, err := core.OptimalSingleD(probe.Log.PrimaryTimes(), B)
+	if err != nil {
+		return core.SingleR{}, core.SingleD{}, err
+	}
+	return polR, polD, nil
+}
+
+func fracLE(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

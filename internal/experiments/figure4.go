@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rangequery"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure4 reproduces the paper's Figure 4: the joint distribution of
+// primary and reissue response times on the Correlated workload (4a)
+// and the Queueing workload (4b), demonstrating that queueing delays
+// dampen the service-time correlation. Each table is a scatter sample
+// of up to maxPoints (primary, reissue) pairs, with the measured
+// Pearson correlation in the notes.
+func Figure4(sc Scale) (a, b *Table, err error) {
+	sc = sc.withDefaults()
+	const maxPoints = 2000
+
+	corrWL, err := workload.Correlated(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Reissue everything at t=0: with infinite servers this samples
+	// the joint service-time distribution without perturbing it.
+	corrRun := corrWL.RunDetailed(core.SingleD{D: 0})
+	a = scatterTable("4a", "Correlated workload: primary vs reissue response times",
+		corrRun.Pairs, maxPoints)
+
+	queueWL, err := workload.Queueing(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	// On the finite-server workload reissue only a fraction of
+	// queries, immediately, to sample pairs while bounding added load.
+	queueRun := queueWL.RunDetailed(core.SingleR{D: 0, Q: 0.3})
+	b = scatterTable("4b", "Queueing workload: primary vs reissue response times",
+		queueRun.Pairs, maxPoints)
+	return a, b, nil
+}
+
+func scatterTable(id, title string, pairs []rangequery.Point, maxPoints int) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"primary", "reissue"},
+	}
+	stride := 1
+	if len(pairs) > maxPoints {
+		stride = len(pairs) / maxPoints
+	}
+	var xs, ys []float64
+	for i, p := range pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+		if i%stride == 0 {
+			t.AddRow(p.X, p.Y)
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("pairs=%d, pearson=%.3f",
+		len(pairs), stats.PearsonCorrelation(xs, ys)))
+	return t
+}

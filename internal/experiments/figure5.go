@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Figure5Rates is the reissue-rate sweep used by Figures 5b and 5c.
+var Figure5Rates = []float64{0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
+
+// Figure5a reproduces the paper's Figure 5a: the P95 latency of a
+// SingleR policy with a fixed 25% reissue budget on the Queueing
+// workload, as the service-time correlation ratio r sweeps from 0 to
+// 1. The "No Reissue" baseline is independent of r by construction
+// (the correlation only shapes reissue service times).
+func Figure5a(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k, B = 0.95, 0.25
+
+	t := &Table{
+		ID:      "5a",
+		Title:   "P95 vs service-time correlation ratio (B=25%, Queueing workload)",
+		Columns: []string{"corr", "p95_singler", "p95_noreissue"},
+	}
+	for _, r := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		wl, err := workload.Queueing(workload.Options{
+			Queries: sc.Queries, Seed: sc.Seed,
+		}.WithCorr(r))
+		if err != nil {
+			return nil, err
+		}
+		base := wl.RunDetailed(core.None{})
+		baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+		ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
+		if err != nil {
+			return nil, fmt.Errorf("corr %v: %w", r, err)
+		}
+		t.AddRow(r, ar.Final.TailLatency(k), baseP95)
+	}
+	return t, nil
+}
+
+// Figure5b reproduces the paper's Figure 5b: the P95 latency of
+// SingleR on the (uncorrelated) Queueing workload under three
+// load-balancing strategies — Random, Min-of-Two, Min-of-All — for
+// reissue rates up to 50%. Rate 0 is the no-reissue baseline.
+func Figure5b(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k = 0.95
+
+	t := &Table{
+		ID:      "5b",
+		Title:   "P95 vs reissue rate under different load balancers (Queueing, uncorrelated)",
+		Columns: []string{"rate", "random", "min_of_two", "min_of_all"},
+	}
+	lbs := []cluster.LoadBalancer{cluster.RandomLB{}, cluster.MinOfTwoLB{}, cluster.MinOfAllLB{}}
+
+	rows := map[float64][]float64{0: make([]float64, len(lbs))}
+	for _, B := range Figure5Rates {
+		rows[B] = make([]float64, len(lbs))
+	}
+	for li, lb := range lbs {
+		wl, err := workload.Queueing(workload.Options{
+			Queries: sc.Queries, Seed: sc.Seed, LB: lb,
+		}.WithCorr(0))
+		if err != nil {
+			return nil, err
+		}
+		base := wl.RunDetailed(core.None{})
+		rows[0][li] = metrics.TailLatency(base.Log.ResponseTimes(), 95)
+		for _, B := range Figure5Rates {
+			ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, false))
+			if err != nil {
+				return nil, fmt.Errorf("lb %v budget %v: %w", lb, B, err)
+			}
+			rows[B][li] = ar.Final.TailLatency(k)
+		}
+	}
+	t.AddRow(append([]float64{0}, rows[0]...)...)
+	for _, B := range Figure5Rates {
+		t.AddRow(append([]float64{B}, rows[B]...)...)
+	}
+	return t, nil
+}
+
+// Figure5c reproduces the paper's Figure 5c: the P95 latency of
+// SingleR on the (uncorrelated) Queueing workload under three queue
+// disciplines — Baseline FIFO, Prioritized FIFO, Prioritized LIFO.
+func Figure5c(sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k = 0.95
+
+	t := &Table{
+		ID:      "5c",
+		Title:   "P95 vs reissue rate under different queue disciplines (Queueing, uncorrelated)",
+		Columns: []string{"rate", "baseline_fifo", "prio_fifo", "prio_lifo"},
+	}
+	discs := []cluster.Discipline{cluster.FIFO, cluster.PrioFIFO, cluster.PrioLIFO}
+
+	rows := map[float64][]float64{0: make([]float64, len(discs))}
+	for _, B := range Figure5Rates {
+		rows[B] = make([]float64, len(discs))
+	}
+	for di, disc := range discs {
+		wl, err := workload.Queueing(workload.Options{
+			Queries: sc.Queries, Seed: sc.Seed, Discipline: disc,
+		}.WithCorr(0))
+		if err != nil {
+			return nil, err
+		}
+		base := wl.RunDetailed(core.None{})
+		rows[0][di] = metrics.TailLatency(base.Log.ResponseTimes(), 95)
+		for _, B := range Figure5Rates {
+			ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, false))
+			if err != nil {
+				return nil, fmt.Errorf("discipline %v budget %v: %w", disc, B, err)
+			}
+			rows[B][di] = ar.Final.TailLatency(k)
+		}
+	}
+	t.AddRow(append([]float64{0}, rows[0]...)...)
+	for _, B := range Figure5Rates {
+		t.AddRow(append([]float64{B}, rows[B]...)...)
+	}
+	return t, nil
+}

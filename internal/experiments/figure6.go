@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Figure6Rates is the reissue-rate sweep of the paper's Figure 6.
+var Figure6Rates = []float64{0.05, 0.10, 0.20, 0.30, 0.50}
+
+// Figure6Utils is the utilization sweep of the paper's Figure 6.
+var Figure6Utils = []float64{0.20, 0.30, 0.50}
+
+// Figure6 reproduces one panel row of the paper's Figure 6: for a
+// service-time distribution (the paper uses LogNormal(1,1) and
+// Exponential(0.1)), it reports the P95 and P99 reduction ratios of
+// adaptively tuned SingleR policies across reissue rates at 20%, 30%,
+// and 50% utilization, on the uncorrelated Queueing workload.
+//
+// The returned tables are the P95 panel and the P99 panel; each row
+// is a reissue rate and each column a utilization level.
+func Figure6(dist stats.Dist, label string, sc Scale) (p95, p99 *Table, err error) {
+	sc = sc.withDefaults()
+
+	p95 = &Table{
+		ID:      "6/" + label + "/p95",
+		Title:   fmt.Sprintf("P95 reduction ratio vs reissue rate, %s service times", label),
+		Columns: []string{"rate", "util20", "util30", "util50"},
+	}
+	p99 = &Table{
+		ID:      "6/" + label + "/p99",
+		Title:   fmt.Sprintf("P99 reduction ratio vs reissue rate, %s service times", label),
+		Columns: []string{"rate", "util20", "util30", "util50"},
+	}
+
+	rows95 := make(map[float64][]float64, len(Figure6Rates))
+	rows99 := make(map[float64][]float64, len(Figure6Rates))
+	for _, B := range Figure6Rates {
+		rows95[B] = make([]float64, len(Figure6Utils))
+		rows99[B] = make([]float64, len(Figure6Utils))
+	}
+
+	for ui, util := range Figure6Utils {
+		wl, err := workload.Queueing(workload.Options{
+			Queries: sc.Queries, Seed: sc.Seed, Dist: dist, Utilization: util,
+		}.WithCorr(0))
+		if err != nil {
+			return nil, nil, err
+		}
+		base := wl.RunDetailed(core.None{})
+		base95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
+		base99 := metrics.TailLatency(base.Log.ResponseTimes(), 99)
+
+		for _, B := range Figure6Rates {
+			// The optimal policy depends on the target percentile, so
+			// tune separately for P95 and P99 as the paper does.
+			ar95, err := core.AdaptiveOptimize(wl, adaptiveCfg(0.95, B, sc, false))
+			if err != nil {
+				return nil, nil, fmt.Errorf("util %v budget %v (P95): %w", util, B, err)
+			}
+			ar99, err := core.AdaptiveOptimize(wl, adaptiveCfg(0.99, B, sc, false))
+			if err != nil {
+				return nil, nil, fmt.Errorf("util %v budget %v (P99): %w", util, B, err)
+			}
+			rows95[B][ui] = metrics.ReductionRatio(base95, ar95.Final.TailLatency(0.95))
+			rows99[B][ui] = metrics.ReductionRatio(base99, ar99.Final.TailLatency(0.99))
+		}
+	}
+
+	for _, B := range Figure6Rates {
+		p95.AddRow(append([]float64{B}, rows95[B]...)...)
+		p99.AddRow(append([]float64{B}, rows99[B]...)...)
+	}
+	return p95, p99, nil
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Figure7a reproduces the paper's Figure 7a for one system workload:
+// P99 latency of SingleR vs SingleD across small reissue rates
+// (0-6%) at 40% utilization. The paper's headline system result —
+// SingleR strictly dominates SingleD at small budgets because
+// randomization lets it reissue earlier.
+func Figure7a(kind SystemKind, sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k, util = 0.99, 0.40
+	budgets := []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06}
+
+	sys, err := NewSystemCluster(kind, util, sc)
+	if err != nil {
+		return nil, err
+	}
+	base := sys.Run(core.None{})
+	baseP99 := base.TailLatency(k)
+
+	t := &Table{
+		ID:      "7a/" + kind.String(),
+		Title:   fmt.Sprintf("%s: P99 vs reissue rate, SingleR vs SingleD (40%% util)", kind),
+		Columns: []string{"budget", "rate_singler", "p99_singler", "rate_singled", "p99_singled"},
+		Notes:   []string{fmt.Sprintf("no-reissue P99 = %.1f ms", baseP99)},
+	}
+	for _, B := range budgets {
+		ar, err := core.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
+		if err != nil {
+			return nil, fmt.Errorf("SingleR budget %v: %w", B, err)
+		}
+		ad, err := core.AdaptiveOptimizeSingleD(sys, adaptiveCfg(k, B, sc, false))
+		if err != nil {
+			return nil, fmt.Errorf("SingleD budget %v: %w", B, err)
+		}
+		t.AddRow(B,
+			ar.Trials[len(ar.Trials)-1].ReissueRate, ar.Final.TailLatency(k),
+			ad.Trials[len(ad.Trials)-1].ReissueRate, ad.Final.TailLatency(k))
+	}
+	return t, nil
+}
+
+// Figure7bRates returns the reissue-rate sweep the paper uses for
+// each system in Figure 7b (Redis sweeps to 50%, Lucene to 8%).
+func Figure7bRates(kind SystemKind) []float64 {
+	if kind == Redis {
+		return []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.50}
+	}
+	return []float64{0.01, 0.02, 0.03, 0.04, 0.06, 0.08}
+}
+
+// Figure7b reproduces the paper's Figure 7b for one system workload:
+// P99 latency of SingleR across reissue rates at 20%, 40%, and 60%
+// utilization. Rate 0 rows carry the no-reissue baselines.
+func Figure7b(kind SystemKind, sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k = 0.99
+	utils := []float64{0.20, 0.40, 0.60}
+	rates := Figure7bRates(kind)
+
+	t := &Table{
+		ID:      "7b/" + kind.String(),
+		Title:   fmt.Sprintf("%s: P99 vs reissue rate at varied utilization", kind),
+		Columns: []string{"rate", "util20", "util40", "util60"},
+	}
+	rows := map[float64][]float64{0: make([]float64, len(utils))}
+	for _, B := range rates {
+		rows[B] = make([]float64, len(utils))
+	}
+	for ui, util := range utils {
+		sys, err := NewSystemCluster(kind, util, sc)
+		if err != nil {
+			return nil, err
+		}
+		rows[0][ui] = sys.Run(core.None{}).TailLatency(k)
+		for _, B := range rates {
+			ar, err := core.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
+			if err != nil {
+				return nil, fmt.Errorf("util %v budget %v: %w", util, B, err)
+			}
+			rows[B][ui] = ar.Final.TailLatency(k)
+		}
+	}
+	t.AddRow(append([]float64{0}, rows[0]...)...)
+	for _, B := range rates {
+		t.AddRow(append([]float64{B}, rows[B]...)...)
+	}
+	return t, nil
+}
+
+// Figure7c reproduces the paper's Figure 7c for one system workload:
+// the P99 achieved with the best reissue budget (found by the budget
+// binary search of Section 4.4) against the no-reissue baseline, for
+// utilizations from 20% to 60%.
+func Figure7c(kind SystemKind, sc Scale) (*Table, error) {
+	sc = sc.withDefaults()
+	const k = 0.99
+	utils := []float64{0.20, 0.30, 0.40, 0.50, 0.60}
+
+	t := &Table{
+		ID:      "7c/" + kind.String(),
+		Title:   fmt.Sprintf("%s: best-budget P99 vs utilization", kind),
+		Columns: []string{"util", "best_budget", "p99_best", "p99_noreissue"},
+	}
+	for _, util := range utils {
+		sys, err := NewSystemCluster(kind, util, sc)
+		if err != nil {
+			return nil, err
+		}
+		baseP99 := sys.Run(core.None{}).TailLatency(k)
+		bs, err := core.BudgetSearch(sys, core.BudgetSearchConfig{
+			K: k, Lambda: 0.5,
+			AdaptiveSteps: minInt(sc.AdaptiveTrials, 5),
+			Trials:        8,
+			InitialDelta:  0.01,
+			MaxBudget:     0.5,
+			Correlated:    true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("util %v: %w", util, err)
+		}
+		t.AddRow(util, bs.BestBudget, bs.BestLatency, baseP99)
+	}
+	return t, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

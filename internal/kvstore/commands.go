@@ -1,0 +1,148 @@
+package kvstore
+
+import "repro/internal/stats"
+
+// This file implements the remaining set commands a Redis-style
+// workload exercises, all with work accounting so they can drive the
+// simulator's cost model like SInter does.
+
+// SUnion computes the union of the sets at keys a and b with a linear
+// merge, returning the result and the work done.
+func (s *Store) SUnion(a, b string) (Set, Work) {
+	sa, sb := s.sets[a], s.sets[b]
+	out := make(Set, 0, len(sa)+len(sb))
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			out = append(out, sa[i])
+			i++
+		case sa[i] > sb[j]:
+			out = append(out, sb[j])
+			j++
+		default:
+			out = append(out, sa[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, sa[i:]...)
+	out = append(out, sb[j:]...)
+	return out, Work{Scanned: len(sa) + len(sb) + len(out)}
+}
+
+// SDiff computes the elements of a not present in b.
+func (s *Store) SDiff(a, b string) (Set, Work) {
+	sa, sb := s.sets[a], s.sets[b]
+	var out Set
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] < sb[j]:
+			out = append(out, sa[i])
+			i++
+		case sa[i] > sb[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, sa[i:]...)
+	return out, Work{Scanned: i + j + len(out)}
+}
+
+// SIsMember reports whether member is in the set at key, by binary
+// search.
+func (s *Store) SIsMember(key string, member int32) (bool, Work) {
+	set := s.sets[key]
+	lo, hi := 0, len(set)
+	steps := 0
+	for lo < hi {
+		steps++
+		mid := lo + (hi-lo)/2
+		switch {
+		case set[mid] < member:
+			lo = mid + 1
+		case set[mid] > member:
+			hi = mid
+		default:
+			return true, Work{Scanned: steps}
+		}
+	}
+	return false, Work{Scanned: steps + 1}
+}
+
+// SRem removes members from the set at key, returning how many were
+// actually present.
+func (s *Store) SRem(key string, members ...int32) int {
+	set := s.sets[key]
+	removed := 0
+	for _, m := range members {
+		lo, hi := 0, len(set)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if set[mid] < m {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(set) && set[lo] == m {
+			set = append(set[:lo], set[lo+1:]...)
+			removed++
+		}
+	}
+	if len(set) == 0 {
+		delete(s.sets, key)
+	} else {
+		s.sets[key] = set
+	}
+	return removed
+}
+
+// SMembers returns a copy of the set at key.
+func (s *Store) SMembers(key string) Set {
+	set := s.sets[key]
+	out := make(Set, len(set))
+	copy(out, set)
+	return out
+}
+
+// SRandMember returns n distinct random members of the set at key
+// (all of them if n exceeds the cardinality), in sorted order.
+func (s *Store) SRandMember(key string, n int, r *stats.RNG) Set {
+	set := s.sets[key]
+	if n >= len(set) {
+		return s.SMembers(key)
+	}
+	if n <= 0 {
+		return nil
+	}
+	// Sample n distinct indices with Floyd's algorithm, then emit in
+	// index order to keep the result sorted.
+	chosen := make(map[int]struct{}, n)
+	for j := len(set) - n; j < len(set); j++ {
+		v := r.Intn(j + 1)
+		if _, taken := chosen[v]; taken {
+			v = j
+		}
+		chosen[v] = struct{}{}
+	}
+	out := make(Set, 0, n)
+	for i := range set {
+		if _, ok := chosen[i]; ok {
+			out = append(out, set[i])
+		}
+	}
+	return out
+}
+
+// Del removes a whole set, reporting whether it existed.
+func (s *Store) Del(key string) bool {
+	if _, ok := s.sets[key]; !ok {
+		return false
+	}
+	delete(s.sets, key)
+	return true
+}

@@ -1,0 +1,219 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(math.Abs(b), 1e-12) }
+
+func TestMM1Validation(t *testing.T) {
+	if _, err := NewMM1(0, 1); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := NewMM1(1, 0); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := NewMM1(2, 1); err == nil {
+		t.Error("unstable queue accepted")
+	}
+	if _, err := NewMM1(1, 1); err == nil {
+		t.Error("rho=1 accepted")
+	}
+}
+
+func TestMM1Formulas(t *testing.T) {
+	q, err := NewMM1(0.5, 1.0) // rho = 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(q.Rho(), 0.5, 1e-12) {
+		t.Errorf("rho = %v", q.Rho())
+	}
+	// W_q = rho/(mu-lambda) = 0.5/0.5 = 1; W = 1/(mu-lambda) = 2.
+	if !almost(q.MeanWait(), 1, 1e-12) {
+		t.Errorf("W_q = %v", q.MeanWait())
+	}
+	if !almost(q.MeanResponse(), 2, 1e-12) {
+		t.Errorf("W = %v", q.MeanResponse())
+	}
+	// L = rho/(1-rho) = 1, consistent with Little's law L = lambda*W.
+	if !almost(q.MeanNumber(), q.Lambda*q.MeanResponse(), 1e-12) {
+		t.Errorf("Little's law violated: L=%v, lambda*W=%v",
+			q.MeanNumber(), q.Lambda*q.MeanResponse())
+	}
+	// Median sojourn = ln(2)/(mu-lambda).
+	if !almost(q.ResponseQuantile(0.5), math.Ln2/0.5, 1e-12) {
+		t.Errorf("median = %v", q.ResponseQuantile(0.5))
+	}
+}
+
+func TestMM1QuantilePanics(t *testing.T) {
+	q, _ := NewMM1(0.5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantile 1 accepted")
+		}
+	}()
+	q.ResponseQuantile(1)
+}
+
+func TestMMCValidation(t *testing.T) {
+	if _, err := NewMMC(1, 1, 0); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := NewMMC(10, 1, 5); err == nil {
+		t.Error("unstable M/M/c accepted")
+	}
+}
+
+func TestMMCReducesToMM1(t *testing.T) {
+	mm1, _ := NewMM1(0.7, 1.0)
+	mmc, err := NewMMC(0.7, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one server, Erlang C equals rho and the waits coincide.
+	if !almost(mmc.ErlangC(), 0.7, 1e-12) {
+		t.Errorf("ErlangC(c=1) = %v, want rho", mmc.ErlangC())
+	}
+	if !almost(mmc.MeanWait(), mm1.MeanWait(), 1e-12) {
+		t.Errorf("M/M/1 vs M/M/c wait: %v vs %v", mm1.MeanWait(), mmc.MeanWait())
+	}
+}
+
+// erlangCBrute computes Erlang C from the definition:
+// C = (a^c/c!)*(c/(c-a)) / (sum_{k<c} a^k/k! + (a^c/c!)*(c/(c-a))).
+func erlangCBrute(a float64, c int) float64 {
+	term := 1.0 // a^k / k!
+	sum := 0.0
+	for k := 0; k < c; k++ {
+		sum += term
+		term *= a / float64(k+1)
+	}
+	// term now holds a^c / c!.
+	top := term * float64(c) / (float64(c) - a)
+	return top / (sum + top)
+}
+
+func TestErlangCMatchesDefinition(t *testing.T) {
+	for _, tc := range []struct {
+		a float64
+		c int
+	}{{0.5, 1}, {2, 3}, {8, 10}, {20, 24}, {45, 50}} {
+		q, err := NewMMC(tc.a, 1, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.ErlangC()
+		want := erlangCBrute(tc.a, tc.c)
+		if !almost(got, want, 1e-10) {
+			t.Errorf("ErlangC(%v, %d) = %v, definition gives %v", tc.a, tc.c, got, want)
+		}
+	}
+}
+
+func TestMMCWaitQuantile(t *testing.T) {
+	q, err := NewMMC(8, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := q.ErlangC()
+	// Below the no-wait mass the quantile is zero.
+	if got := q.WaitQuantile(1 - pc - 0.01); got != 0 {
+		t.Errorf("quantile below wait mass = %v", got)
+	}
+	// Above it, positive and increasing.
+	q90 := q.WaitQuantile(0.90)
+	q99 := q.WaitQuantile(0.99)
+	if q90 <= 0 || q99 <= q90 {
+		t.Errorf("wait quantiles not increasing: %v, %v", q90, q99)
+	}
+}
+
+func TestMG1Validation(t *testing.T) {
+	if _, err := NewMG1(1, 0, 1); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := NewMG1(1, 2, 1); err == nil {
+		t.Error("inconsistent second moment accepted")
+	}
+	if _, err := NewMG1(1, 1, 2); err == nil {
+		t.Error("unstable M/G/1 accepted")
+	}
+}
+
+func TestMG1ReducesToMM1(t *testing.T) {
+	// Exponential service with mean 1: E[S^2] = 2.
+	mg1, err := NewMG1(0.5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := NewMM1(0.5, 1)
+	if !almost(mg1.MeanWait(), mm1.MeanWait(), 1e-12) {
+		t.Errorf("PK formula vs M/M/1: %v vs %v", mg1.MeanWait(), mm1.MeanWait())
+	}
+}
+
+func TestMG1DeterministicServiceHalvesWait(t *testing.T) {
+	// M/D/1 waits are exactly half of M/M/1 at the same rho.
+	md1, err := NewMG1(0.5, 1, 1) // deterministic: E[S^2] = E[S]^2
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm1, _ := NewMG1(0.5, 1, 2)
+	if !almost(md1.MeanWait(), mm1.MeanWait()/2, 1e-12) {
+		t.Errorf("M/D/1 wait %v, want half of %v", md1.MeanWait(), mm1.MeanWait())
+	}
+}
+
+func TestMG1VarianceGrowsWait(t *testing.T) {
+	// Heavier second moment at the same mean strictly increases the
+	// PK wait — the effect behind the paper's "queries of death".
+	low, _ := NewMG1(0.3, 1, 1.5)
+	high, _ := NewMG1(0.3, 1, 50)
+	if high.MeanWait() <= low.MeanWait() {
+		t.Errorf("wait did not grow with service variance: %v vs %v",
+			high.MeanWait(), low.MeanWait())
+	}
+}
+
+// Property: Erlang C lies in (0, 1) and decreases as servers are
+// added at fixed offered load.
+func TestErlangCMonotoneProperty(t *testing.T) {
+	f := func(aRaw, cRaw uint8) bool {
+		a := 1 + float64(aRaw%40)      // offered load 1..40
+		c := int(a) + 1 + int(cRaw%20) // enough servers for stability
+		q1, err := NewMMC(a, 1, c)
+		if err != nil {
+			return false
+		}
+		q2, err := NewMMC(a, 1, c+1)
+		if err != nil {
+			return false
+		}
+		p1, p2 := q1.ErlangC(), q2.ErlangC()
+		return p1 > 0 && p1 < 1 && p2 < p1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MG1 mean response respects Little's law by construction
+// and exceeds the bare service mean.
+func TestMG1Property(t *testing.T) {
+	f := func(lRaw, mRaw uint8) bool {
+		mean := 0.5 + float64(mRaw%50)/10
+		lambda := 0.9 / mean * float64(lRaw%9+1) / 10
+		q, err := NewMG1(lambda, mean, mean*mean*2)
+		if err != nil {
+			return false
+		}
+		return q.MeanResponse() > mean && q.MeanNumber() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package rangequery
+
+import (
+	"math"
+	"sort"
+)
+
+// Finger is a monotone cursor over a sorted sample slice that answers
+// "how many samples are < t" (the paper's DiscreteCDF numerator) in
+// amortized O(1) when consecutive queries move monotonically, and in
+// O(log n) otherwise by falling back to binary search.
+//
+// The optimizer in ComputeOptimalSingleR evaluates the CDFs of RX and
+// RY along query sequences that are monotone in t, d, and t-d, which
+// is exactly the access pattern the paper's finger-search-tree claim
+// exploits; a moving index over a sorted array achieves the same
+// amortized bound with far smaller constants.
+type Finger struct {
+	sorted []float64
+	pos    int // number of samples < last query value
+	last   float64
+	primed bool
+}
+
+// NewFinger creates a cursor over sorted (ascending) samples. The
+// slice is not copied; the caller must not modify it. It panics if
+// the input is unsorted, because every subsequent answer would be
+// silently wrong.
+func NewFinger(sorted []float64) *Finger {
+	if !sort.Float64sAreSorted(sorted) {
+		panic("rangequery: NewFinger with unsorted samples")
+	}
+	return &Finger{sorted: sorted}
+}
+
+// Len returns the number of samples.
+func (f *Finger) Len() int { return len(f.sorted) }
+
+// CountLess returns |{x : x < t}|, moving the finger from its previous
+// position.
+func (f *Finger) CountLess(t float64) int {
+	n := len(f.sorted)
+	if n == 0 {
+		return 0
+	}
+	if !f.primed {
+		f.pos = sort.SearchFloat64s(f.sorted, t)
+		f.last, f.primed = t, true
+		return f.pos
+	}
+	switch {
+	case t > f.last:
+		for f.pos < n && f.sorted[f.pos] < t {
+			f.pos++
+		}
+	case t < f.last:
+		for f.pos > 0 && f.sorted[f.pos-1] >= t {
+			f.pos--
+		}
+	}
+	f.last = t
+	return f.pos
+}
+
+// CountLessEq returns |{x : x <= t}|. It reuses the finger by
+// querying the smallest representable value above t.
+func (f *Finger) CountLessEq(t float64) int {
+	return f.CountLess(math.Nextafter(t, math.Inf(1)))
+}
+
+// CDF returns the empirical Pr(X < t) using the finger. An empty
+// sample set yields 0.
+func (f *Finger) CDF(t float64) float64 {
+	if len(f.sorted) == 0 {
+		return 0
+	}
+	return float64(f.CountLess(t)) / float64(len(f.sorted))
+}
+
+// Reset forgets the cursor position so the next query binary-searches
+// from scratch. Use it between unrelated monotone sweeps.
+func (f *Finger) Reset() { f.primed = false }

@@ -1,0 +1,137 @@
+package rangequery
+
+import "sort"
+
+// Point is a 2-D point. In the optimizer's use, X is a primary-request
+// response time and Y is its paired reissue response time.
+type Point struct {
+	X, Y float64
+}
+
+// MergeTree is a static merge-sort tree over a set of 2-D points
+// supporting orthogonal range counting in O(log^2 n) per query and
+// O(n log n) construction. It answers the counting queries needed to
+// estimate the conditional CDF Pr(Y <= y | X > x):
+//
+//	CountXGreater(x)            = |{(px, py) : px > x}|
+//	CountXGreaterYLE(x, y)      = |{(px, py) : px > x, py <= y}|
+//
+// The structure is immutable after construction, matching the
+// optimizer's read-only access pattern over a fixed response-time log.
+type MergeTree struct {
+	xs   []float64   // x-coordinates sorted ascending
+	ys   [][]float64 // segment-tree nodes: sorted y values per node
+	n    int
+	size int
+}
+
+// NewMergeTree builds a merge tree from the given points. The input
+// is copied.
+func NewMergeTree(points []Point) *MergeTree {
+	n := len(points)
+	pts := make([]Point, n)
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+
+	t := &MergeTree{n: n}
+	t.xs = make([]float64, n)
+	for i, p := range pts {
+		t.xs[i] = p.X
+	}
+	if n == 0 {
+		return t
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	t.size = size
+	t.ys = make([][]float64, 2*size)
+	// Leaves.
+	for i := 0; i < n; i++ {
+		t.ys[size+i] = []float64{pts[i].Y}
+	}
+	for i := n; i < size; i++ {
+		t.ys[size+i] = nil
+	}
+	// Internal nodes: merge children.
+	for i := size - 1; i >= 1; i-- {
+		t.ys[i] = mergeSorted(t.ys[2*i], t.ys[2*i+1])
+	}
+	return t
+}
+
+func mergeSorted(a, b []float64) []float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Len returns the number of points.
+func (t *MergeTree) Len() int { return t.n }
+
+// CountXGreater returns the number of points with X strictly greater
+// than x.
+func (t *MergeTree) CountXGreater(x float64) int {
+	return t.n - sort.Search(t.n, func(i int) bool { return t.xs[i] > x })
+}
+
+// CountXGreaterYLE returns the number of points with X > x and Y <= y.
+func (t *MergeTree) CountXGreaterYLE(x, y float64) int {
+	if t.n == 0 {
+		return 0
+	}
+	lo := sort.Search(t.n, func(i int) bool { return t.xs[i] > x })
+	return t.countYLEInRange(lo, t.n, y)
+}
+
+// countYLEInRange counts points with index in [lo, hi) whose Y <= y,
+// walking the segment tree.
+func (t *MergeTree) countYLEInRange(lo, hi int, y float64) int {
+	count := 0
+	lo += t.size
+	hi += t.size
+	for lo < hi {
+		if lo&1 == 1 {
+			count += countLE(t.ys[lo], y)
+			lo++
+		}
+		if hi&1 == 1 {
+			hi--
+			count += countLE(t.ys[hi], y)
+		}
+		lo /= 2
+		hi /= 2
+	}
+	return count
+}
+
+func countLE(sorted []float64, y float64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] > y })
+}
+
+// CondYLEGivenXGreater estimates the conditional probability
+// Pr(Y <= y | X > x). When no points satisfy X > x the conditional is
+// undefined; we return fallback so the caller (the optimizer) can
+// substitute the unconditional estimate.
+func (t *MergeTree) CondYLEGivenXGreater(y, x, fallback float64) float64 {
+	denom := t.CountXGreater(x)
+	if denom == 0 {
+		return fallback
+	}
+	return float64(t.CountXGreaterYLE(x, y)) / float64(denom)
+}

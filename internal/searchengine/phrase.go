@@ -1,0 +1,211 @@
+package searchengine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// This file adds document-level indexing and positional phrase
+// queries — the Lucene feature set one step beyond ranked boolean
+// search. Phrase execution intersects the phrase terms' postings and
+// verifies adjacency against per-term position lists, charging work
+// for every posting and position touched.
+
+// Builder assembles an Index from explicit documents, optionally
+// recording token positions for phrase queries. The synthetic-corpus
+// path (BuildIndex) uses it internally; tests and embedders can index
+// known documents directly.
+type Builder struct {
+	numTerms      int
+	withPositions bool
+	numDocs       int32
+	postings      [][]Posting
+	positions     []map[int32][]uint16 // term -> doc -> sorted positions
+	totalLen      int64
+}
+
+// NewBuilder creates a builder over a vocabulary of numTerms terms.
+func NewBuilder(numTerms int, withPositions bool) *Builder {
+	if numTerms <= 0 {
+		panic(fmt.Sprintf("searchengine: NewBuilder(%d)", numTerms))
+	}
+	b := &Builder{
+		numTerms:      numTerms,
+		withPositions: withPositions,
+		postings:      make([][]Posting, numTerms),
+	}
+	if withPositions {
+		b.positions = make([]map[int32][]uint16, numTerms)
+	}
+	return b
+}
+
+// AddDocument indexes one document given as a token sequence and
+// returns its document id. Out-of-vocabulary tokens panic: feeding an
+// index garbage should fail loudly at build time.
+func (b *Builder) AddDocument(tokens []int) int32 {
+	doc := b.numDocs
+	b.numDocs++
+	b.totalLen += int64(len(tokens))
+	tf := make(map[int]uint16)
+	for pos, t := range tokens {
+		if t < 0 || t >= b.numTerms {
+			panic(fmt.Sprintf("searchengine: token %d outside vocabulary [0, %d)", t, b.numTerms))
+		}
+		if tf[t] < 1<<16-1 {
+			tf[t]++
+		}
+		if b.withPositions {
+			if b.positions[t] == nil {
+				b.positions[t] = make(map[int32][]uint16)
+			}
+			if pos < 1<<16 {
+				b.positions[t][doc] = append(b.positions[t][doc], uint16(pos))
+			}
+		}
+	}
+	// Keep postings sorted by doc id: ids are assigned increasingly.
+	for t, f := range tf {
+		b.postings[t] = append(b.postings[t], Posting{Doc: doc, TF: f})
+	}
+	return doc
+}
+
+// Build finalizes the index. The builder must not be reused after.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		postings:  b.postings,
+		df:        make([]int, b.numTerms),
+		numDocs:   int(b.numDocs),
+		numTerms:  b.numTerms,
+		totalLen:  b.totalLen,
+		positions: b.positions,
+	}
+	for t, ps := range ix.postings {
+		// AddDocument appends per-document in id order, but map
+		// iteration order within a document is arbitrary — postings
+		// for distinct docs are appended in order, so they are
+		// sorted; assert cheaply.
+		if !sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc }) {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Doc < ps[j].Doc })
+		}
+		ix.df[t] = len(ps)
+	}
+	return ix
+}
+
+// HasPositions reports whether the index can answer phrase queries.
+func (ix *Index) HasPositions() bool { return ix.positions != nil }
+
+// SearchPhrase returns documents containing the exact term sequence
+// `phrase`, ranked by occurrence count weighted by the phrase terms'
+// summed IDF. The index must have been built with positions. Work
+// accounts for postings traversed and positions examined.
+func (ix *Index) SearchPhrase(phrase []int, topK int) (Result, error) {
+	if !ix.HasPositions() {
+		return Result{}, fmt.Errorf("searchengine: index built without positions")
+	}
+	if len(phrase) == 0 {
+		return Result{}, nil
+	}
+	if topK <= 0 {
+		topK = 10
+	}
+	for _, t := range phrase {
+		if t < 0 || t >= ix.numTerms || len(ix.postings[t]) == 0 {
+			return Result{}, nil
+		}
+	}
+	// Intersect candidate documents from the rarest term outward.
+	rarest := phrase[0]
+	for _, t := range phrase {
+		if ix.df[t] < ix.df[rarest] {
+			rarest = t
+		}
+	}
+	var work Work
+	idfSum := 0.0
+	for _, t := range phrase {
+		idfSum += ix.IDF(t)
+	}
+	h := &hitHeap{}
+	for _, p := range ix.postings[rarest] {
+		work.Postings++
+		doc := p.Doc
+		count := ix.countPhraseInDoc(phrase, doc, &work)
+		if count > 0 {
+			work.Scored++
+			pushHit(h, Hit{Doc: doc, Score: float64(count) * idfSum}, topK)
+		}
+	}
+	return Result{Hits: drainHits(h), Work: work}, nil
+}
+
+// countPhraseInDoc counts exact-adjacency occurrences of the phrase
+// in one document by merging position lists.
+func (ix *Index) countPhraseInDoc(phrase []int, doc int32, work *Work) int {
+	first, ok := ix.positions[phrase[0]][doc]
+	if !ok {
+		return 0
+	}
+	count := 0
+	for _, start := range first {
+		work.Positions++
+		match := true
+		for off := 1; off < len(phrase); off++ {
+			pos := ix.positions[phrase[off]][doc]
+			want := int(start) + off
+			// Binary search for the required position.
+			i := sort.Search(len(pos), func(i int) bool { return int(pos[i]) >= want })
+			work.Positions++
+			if i >= len(pos) || int(pos[i]) != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return count
+}
+
+// GeneratePhraseWorkload draws phrase queries of the given length
+// from a positional index by sampling actual term windows from
+// synthetic documents regenerated with the corpus seed — guaranteeing
+// a controllable fraction of matching phrases. It returns the phrase
+// list and each query's service time under the cost model (positions
+// are charged at the per-posting rate).
+func GeneratePhraseWorkload(cfg CorpusConfig, numQueries, phraseLen int, cost CostModel, seed uint64) (*Index, [][]int, []float64, error) {
+	if phraseLen < 2 {
+		return nil, nil, nil, fmt.Errorf("searchengine: phrase length %d too short", phraseLen)
+	}
+	if numQueries <= 0 {
+		return nil, nil, nil, fmt.Errorf("searchengine: numQueries %d must be positive", numQueries)
+	}
+	cfg = cfg.withDefaults()
+	ix, docs := buildCorpusWithDocs(cfg, true)
+	r := stats.NewRNG(seed)
+	phrases := make([][]int, numQueries)
+	times := make([]float64, numQueries)
+	for i := 0; i < numQueries; i++ {
+		doc := docs[r.Intn(len(docs))]
+		if len(doc) < phraseLen {
+			phrases[i] = append([]int{}, doc...)
+		} else {
+			start := r.Intn(len(doc) - phraseLen + 1)
+			phrases[i] = append([]int{}, doc[start:start+phraseLen]...)
+		}
+		res, err := ix.SearchPhrase(phrases[i], 10)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		times[i] = cost.ServiceTime(Work{
+			Postings: res.Work.Postings + res.Work.Positions,
+			Scored:   res.Work.Scored,
+		})
+	}
+	return ix, phrases, times, nil
+}

@@ -1,0 +1,238 @@
+package searchengine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// indexDocs builds a positional index over explicit documents.
+func indexDocs(t *testing.T, vocab int, docs [][]int) *Index {
+	t.Helper()
+	b := NewBuilder(vocab, true)
+	for _, d := range docs {
+		b.AddDocument(d)
+	}
+	return b.Build()
+}
+
+func TestBuilderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuilder(0) accepted")
+		}
+	}()
+	NewBuilder(0, false)
+}
+
+func TestBuilderRejectsOOV(t *testing.T) {
+	b := NewBuilder(5, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-vocabulary token accepted")
+		}
+	}()
+	b.AddDocument([]int{1, 7})
+}
+
+func TestBuilderMatchesManualCounts(t *testing.T) {
+	ix := indexDocs(t, 10, [][]int{
+		{1, 2, 1, 3}, // doc 0: tf(1)=2
+		{2, 2, 2},    // doc 1: tf(2)=3
+	})
+	if ix.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.DocFreq(1) != 1 || ix.DocFreq(2) != 2 || ix.DocFreq(3) != 1 || ix.DocFreq(4) != 0 {
+		t.Fatalf("df = %v", ix.df)
+	}
+	// tf values recorded correctly.
+	if ix.postings[1][0].TF != 2 || ix.postings[2][1].TF != 3 {
+		t.Fatalf("postings: %v / %v", ix.postings[1], ix.postings[2])
+	}
+}
+
+func TestSearchPhraseExact(t *testing.T) {
+	// Phrase "1 2 3" appears once in doc 0, twice in doc 2, never in
+	// doc 1 (which has the terms but not adjacent).
+	ix := indexDocs(t, 10, [][]int{
+		{5, 1, 2, 3, 6},
+		{1, 5, 2, 5, 3},
+		{1, 2, 3, 9, 1, 2, 3},
+	})
+	res, err := ix.SearchPhrase([]int{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 2 {
+		t.Fatalf("phrase hits = %v", res.Hits)
+	}
+	// Doc 2 has two occurrences, so it scores higher and ranks first.
+	if res.Hits[0].Doc != 2 || res.Hits[1].Doc != 0 {
+		t.Fatalf("ranking = %v", res.Hits)
+	}
+	if res.Hits[0].Score <= res.Hits[1].Score {
+		t.Fatalf("scores not ordered: %v", res.Hits)
+	}
+	if res.Work.Positions == 0 || res.Work.Postings == 0 {
+		t.Fatalf("work not accounted: %+v", res.Work)
+	}
+}
+
+func TestSearchPhraseEdgeCases(t *testing.T) {
+	ix := indexDocs(t, 10, [][]int{{1, 2, 3}})
+	// Empty phrase.
+	if res, err := ix.SearchPhrase(nil, 10); err != nil || len(res.Hits) != 0 {
+		t.Fatalf("empty phrase: %v, %v", res.Hits, err)
+	}
+	// Phrase with an absent term.
+	if res, err := ix.SearchPhrase([]int{1, 9}, 10); err != nil || len(res.Hits) != 0 {
+		t.Fatalf("absent term: %v, %v", res.Hits, err)
+	}
+	// Out-of-vocabulary term.
+	if res, err := ix.SearchPhrase([]int{1, 100}, 10); err != nil || len(res.Hits) != 0 {
+		t.Fatalf("OOV term: %v, %v", res.Hits, err)
+	}
+	// Single-term phrase behaves like an existence query.
+	res, err := ix.SearchPhrase([]int{2}, 10)
+	if err != nil || len(res.Hits) != 1 {
+		t.Fatalf("single-term phrase: %v, %v", res.Hits, err)
+	}
+}
+
+func TestSearchPhraseRequiresPositions(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddDocument([]int{1, 2})
+	ix := b.Build()
+	if ix.HasPositions() {
+		t.Fatal("positionless index claims positions")
+	}
+	if _, err := ix.SearchPhrase([]int{1, 2}, 10); err == nil {
+		t.Fatal("phrase search on positionless index accepted")
+	}
+}
+
+// bruteCountPhrase counts phrase occurrences by scanning raw docs.
+func bruteCountPhrase(docs [][]int, phrase []int) map[int32]int {
+	out := map[int32]int{}
+	for di, doc := range docs {
+		for i := 0; i+len(phrase) <= len(doc); i++ {
+			match := true
+			for j, t := range phrase {
+				if doc[i+j] != t {
+					match = false
+					break
+				}
+			}
+			if match {
+				out[int32(di)]++
+			}
+		}
+	}
+	return out
+}
+
+// Property: phrase search agrees with a brute-force scan of the raw
+// documents on random corpora.
+func TestSearchPhraseBruteForceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		const vocab = 6 // small vocabulary makes matches frequent
+		nDocs := r.Intn(8) + 2
+		docs := make([][]int, nDocs)
+		b := NewBuilder(vocab, true)
+		for i := range docs {
+			n := r.Intn(30) + 5
+			doc := make([]int, n)
+			for j := range doc {
+				doc[j] = r.Intn(vocab)
+			}
+			docs[i] = doc
+			b.AddDocument(doc)
+		}
+		ix := b.Build()
+		phrase := []int{r.Intn(vocab), r.Intn(vocab)}
+		if r.Bool(0.5) {
+			phrase = append(phrase, r.Intn(vocab))
+		}
+		res, err := ix.SearchPhrase(phrase, 1000)
+		if err != nil {
+			return false
+		}
+		want := bruteCountPhrase(docs, phrase)
+		if len(res.Hits) != len(want) {
+			return false
+		}
+		idfSum := 0.0
+		for _, t := range phrase {
+			idfSum += ix.IDF(t)
+		}
+		for _, h := range res.Hits {
+			if int(h.Score/idfSum+0.5) != want[h.Doc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratePhraseWorkload(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 400, VocabSize: 400, MeanDocLen: 60, Seed: 5}
+	ix, phrases, times, err := GeneratePhraseWorkload(cfg, 100, 3, DefaultCostModel(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.HasPositions() {
+		t.Fatal("phrase workload index lacks positions")
+	}
+	if len(phrases) != 100 || len(times) != 100 {
+		t.Fatalf("sizes %d/%d", len(phrases), len(times))
+	}
+	matched := 0
+	for i, p := range phrases {
+		if len(p) == 0 {
+			t.Fatalf("empty phrase %d", i)
+		}
+		if times[i] <= 0 {
+			t.Fatalf("service time %v", times[i])
+		}
+		res, err := ix.SearchPhrase(p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Hits) > 0 {
+			matched++
+		}
+	}
+	// Phrases are sampled from real documents, so (almost) all match.
+	if matched < 95 {
+		t.Fatalf("only %d/100 sampled phrases matched", matched)
+	}
+}
+
+func TestGeneratePhraseWorkloadValidation(t *testing.T) {
+	cfg := CorpusConfig{NumDocs: 50, VocabSize: 50, MeanDocLen: 20, Seed: 1}
+	if _, _, _, err := GeneratePhraseWorkload(cfg, 10, 1, DefaultCostModel(), 1); err == nil {
+		t.Error("phrase length 1 accepted")
+	}
+	if _, _, _, err := GeneratePhraseWorkload(cfg, 0, 2, DefaultCostModel(), 1); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func BenchmarkSearchPhrase(b *testing.B) {
+	ix, docs := buildCorpusWithDocs(CorpusConfig{
+		NumDocs: 2000, VocabSize: 2000, MeanDocLen: 80, ZipfS: 1.0, Seed: 1,
+	}.withDefaults(), true)
+	phrase := docs[0][:3]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SearchPhrase(phrase, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

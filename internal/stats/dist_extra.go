@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoundedPareto is the Pareto distribution truncated to [Lo, Hi] —
+// the standard heavy-tailed-but-finite-variance model in tail-latency
+// studies. Its CDF is
+//
+//	F(x) = (1 - (Lo/x)^a) / (1 - (Lo/Hi)^a),  Lo <= x <= Hi.
+type BoundedPareto struct {
+	Shape  float64 // a > 0
+	Lo, Hi float64 // 0 < Lo < Hi
+}
+
+// NewBoundedPareto validates and constructs a BoundedPareto.
+func NewBoundedPareto(shape, lo, hi float64) BoundedPareto {
+	if shape <= 0 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid BoundedPareto(%v, %v, %v)", shape, lo, hi))
+	}
+	return BoundedPareto{Shape: shape, Lo: lo, Hi: hi}
+}
+
+// Sample draws via inverse-transform sampling.
+func (b BoundedPareto) Sample(r *RNG) float64 {
+	return b.Quantile(r.Float64())
+}
+
+// Mean returns the truncated mean, finite for every shape.
+func (b BoundedPareto) Mean() float64 {
+	a := b.Shape
+	if a == 1 {
+		// lim a->1: Lo*Hi/(Hi-Lo) * ln(Hi/Lo) normalized.
+		return math.Log(b.Hi/b.Lo) * b.Lo * b.Hi / (b.Hi - b.Lo)
+	}
+	num := math.Pow(b.Lo, a) / (1 - math.Pow(b.Lo/b.Hi, a))
+	return num * a / (a - 1) * (1/math.Pow(b.Lo, a-1) - 1/math.Pow(b.Hi, a-1))
+}
+
+// CDF returns the truncated Pareto CDF.
+func (b BoundedPareto) CDF(x float64) float64 {
+	switch {
+	case x < b.Lo:
+		return 0
+	case x >= b.Hi:
+		return 1
+	default:
+		norm := 1 - math.Pow(b.Lo/b.Hi, b.Shape)
+		return (1 - math.Pow(b.Lo/x, b.Shape)) / norm
+	}
+}
+
+// Quantile returns the inverse CDF.
+func (b BoundedPareto) Quantile(p float64) float64 {
+	checkProb(p)
+	norm := 1 - math.Pow(b.Lo/b.Hi, b.Shape)
+	return b.Lo / math.Pow(1-p*norm, 1/b.Shape)
+}
+
+func (b BoundedPareto) String() string {
+	return fmt.Sprintf("BoundedPareto(shape=%g, lo=%g, hi=%g)", b.Shape, b.Lo, b.Hi)
+}
+
+// Gamma is the gamma distribution with shape K and scale Theta. With
+// K < 1 it is more variable than exponential, with K > 1 less —
+// a convenient knob for service-time variability sweeps.
+type Gamma struct {
+	K     float64 // shape > 0
+	Theta float64 // scale > 0
+}
+
+// NewGamma validates and constructs a Gamma distribution.
+func NewGamma(k, theta float64) Gamma {
+	if k <= 0 || theta <= 0 {
+		panic(fmt.Sprintf("stats: invalid Gamma(%v, %v)", k, theta))
+	}
+	return Gamma{K: k, Theta: theta}
+}
+
+// Sample draws using the Marsaglia-Tsang method (with Ahrens-Dieter
+// boosting for shape < 1).
+func (g Gamma) Sample(r *RNG) float64 {
+	k := g.K
+	boost := 1.0
+	if k < 1 {
+		// X_k = X_{k+1} * U^{1/k}.
+		boost = math.Pow(r.Float64(), 1/k)
+		k++
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * g.Theta * boost
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * g.Theta * boost
+		}
+	}
+}
+
+// Mean returns K*Theta.
+func (g Gamma) Mean() float64 { return g.K * g.Theta }
+
+// CDF returns the regularized lower incomplete gamma P(K, x/Theta).
+func (g Gamma) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(g.K, x/g.Theta)
+}
+
+// Quantile inverts the CDF by bisection (the CDF is smooth and
+// strictly increasing).
+func (g Gamma) Quantile(p float64) float64 {
+	checkProb(p)
+	if p == 0 {
+		return 0
+	}
+	lo, hi := 0.0, g.Mean()
+	for g.CDF(hi) < p {
+		hi *= 2
+		if hi > 1e300 {
+			break
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := lo + (hi-lo)/2
+		if g.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+func (g Gamma) String() string {
+	return fmt.Sprintf("Gamma(k=%g, theta=%g)", g.K, g.Theta)
+}
+
+// regularizedGammaP computes P(a, x) = γ(a, x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes 6.2).
+func regularizedGammaP(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgamma(a))
+	}
+	// Continued fraction for Q(a, x), then P = 1 - Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+	return 1 - q
+}
+
+func lgamma(a float64) float64 {
+	v, _ := math.Lgamma(a)
+	return v
+}

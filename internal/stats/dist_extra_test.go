@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedPareto(t *testing.T) {
+	b := NewBoundedPareto(1.1, 2, 10000)
+	checkMean(t, b, 0.05)
+	checkQuantileCDFInverse(t, b)
+	checkEmpiricalCDF(t, b, 201)
+	// All samples within bounds.
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := b.Sample(r)
+		if v < b.Lo || v > b.Hi {
+			t.Fatalf("sample %v outside [%v, %v]", v, b.Lo, b.Hi)
+		}
+	}
+	if b.CDF(1) != 0 || b.CDF(10001) != 1 {
+		t.Error("CDF bounds wrong")
+	}
+}
+
+func TestBoundedParetoShapeOne(t *testing.T) {
+	// The a=1 special case uses the logarithmic mean formula.
+	b := NewBoundedPareto(1.0, 1, 100)
+	s := Summarize(sampleMany(b, 300000, 7))
+	if math.Abs(s.Mean-b.Mean())/b.Mean() > 0.03 {
+		t.Fatalf("a=1 mean: sample %v, analytic %v", s.Mean, b.Mean())
+	}
+}
+
+func TestBoundedParetoTruncationLightensTail(t *testing.T) {
+	unbounded := NewPareto(1.1, 2)
+	bounded := NewBoundedPareto(1.1, 2, 1000)
+	// Same body, but the bounded P99.99 cannot exceed Hi.
+	if q := bounded.Quantile(0.9999); q > 1000 {
+		t.Fatalf("bounded quantile %v exceeds Hi", q)
+	}
+	if unbounded.Quantile(0.9999) <= 1000 {
+		t.Skip("unbounded tail unexpectedly light") // cannot happen for these params
+	}
+}
+
+func TestBoundedParetoInvalidPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBoundedPareto(0, 1, 2) },
+		func() { NewBoundedPareto(1, 0, 2) },
+		func() { NewBoundedPareto(1, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid BoundedPareto accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGamma(t *testing.T) {
+	for _, g := range []Gamma{NewGamma(0.5, 2), NewGamma(1, 3), NewGamma(4, 0.5)} {
+		checkMean(t, g, 0.03)
+		checkQuantileCDFInverse(t, g)
+		checkEmpiricalCDF(t, g, 203)
+	}
+}
+
+func TestGammaReducesToExponential(t *testing.T) {
+	// Gamma(1, theta) is Exponential(1/theta).
+	g := NewGamma(1, 5)
+	e := NewExponential(0.2)
+	for _, x := range []float64{0.1, 1, 5, 20} {
+		if math.Abs(g.CDF(x)-e.CDF(x)) > 1e-9 {
+			t.Fatalf("Gamma(1,5).CDF(%v) = %v, Exponential(0.2) gives %v",
+				x, g.CDF(x), e.CDF(x))
+		}
+	}
+}
+
+func TestGammaVarianceByShape(t *testing.T) {
+	// CV^2 = 1/K: smaller shape is burstier.
+	bursty := Summarize(sampleMany(NewGamma(0.25, 4), 100000, 9))
+	smooth := Summarize(sampleMany(NewGamma(4, 0.25), 100000, 11))
+	cvB := bursty.StdDev / bursty.Mean
+	cvS := smooth.StdDev / smooth.Mean
+	if math.Abs(cvB-2) > 0.1 {
+		t.Errorf("Gamma(0.25) CV = %v, want ~2", cvB)
+	}
+	if math.Abs(cvS-0.5) > 0.05 {
+		t.Errorf("Gamma(4) CV = %v, want ~0.5", cvS)
+	}
+}
+
+func TestGammaInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid Gamma accepted")
+		}
+	}()
+	NewGamma(0, 1)
+}
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.5, 1, 3} {
+		want := 1 - math.Exp(-x)
+		if got := regularizedGammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, a) is close to 1/2 for large a (median ~ mean).
+	if got := regularizedGammaP(100, 100); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("P(100, 100) = %v, want ~0.5", got)
+	}
+}
+
+// Property: both new distributions have monotone CDFs and samples
+// within support.
+func TestExtraDistributionsProperty(t *testing.T) {
+	bp := NewBoundedPareto(1.3, 1, 500)
+	gm := NewGamma(0.7, 3)
+	f := func(seed uint64, aRaw, bRaw float64) bool {
+		x := math.Abs(math.Mod(aRaw, 600))
+		y := math.Abs(math.Mod(bRaw, 600))
+		if x > y {
+			x, y = y, x
+		}
+		if bp.CDF(x) > bp.CDF(y)+1e-12 || gm.CDF(x) > gm.CDF(y)+1e-12 {
+			return false
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 10; i++ {
+			if v := bp.Sample(r); v < 1 || v > 500 {
+				return false
+			}
+			if gm.Sample(r) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

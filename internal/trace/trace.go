@@ -1,0 +1,242 @@
+// Package trace records and persists response-time logs. A Log is the
+// interchange format between a running system (simulated cluster,
+// kvstore/searchengine harness, or a real service) and the offline
+// policy optimizer: one Record per query capturing when its primary
+// and optional reissue requests were dispatched and how long each
+// took.
+//
+// Logs round-trip through CSV (human-inspectable, interoperable) and
+// gob (compact, lossless) encodings.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// Record is the measured outcome of one query.
+type Record struct {
+	// ID is the query's sequence number.
+	ID int64
+	// Arrival is the absolute time the primary request was dispatched.
+	Arrival float64
+	// Primary is the primary request's response time (from its own
+	// dispatch). Valid only when PrimaryDone; a primary can be left
+	// incomplete when the cluster cancels outstanding copies after
+	// the first response (the "tied requests" extension).
+	Primary float64
+	// PrimaryDone reports whether the primary ran to completion.
+	// Always true when cancellation is disabled.
+	PrimaryDone bool
+	// Reissued reports whether a reissue request was actually sent.
+	Reissued bool
+	// ReissueDelay is the delay after Arrival at which the reissue
+	// was dispatched (valid when Reissued).
+	ReissueDelay float64
+	// Reissue is the reissue request's response time from its own
+	// dispatch (valid when Reissued and ReissueDone).
+	Reissue float64
+	// ReissueDone reports whether the reissue ran to completion.
+	ReissueDone bool
+	// Response is the query's end-to-end response time: the time from
+	// Arrival to the first response from any copy.
+	Response float64
+}
+
+// Log is an append-only collection of query records.
+type Log struct {
+	Records []Record
+}
+
+// Add appends a record.
+func (l *Log) Add(r Record) { l.Records = append(l.Records, r) }
+
+// Len returns the number of records.
+func (l *Log) Len() int { return len(l.Records) }
+
+// PrimaryTimes extracts the response times of the primary requests
+// that ran to completion (the optimizer's RX sample set).
+func (l *Log) PrimaryTimes() []float64 {
+	out := make([]float64, 0, len(l.Records))
+	for _, r := range l.Records {
+		if r.PrimaryDone {
+			out = append(out, r.Primary)
+		}
+	}
+	return out
+}
+
+// ReissueTimes extracts the response times of the reissue requests
+// that were actually sent and ran to completion (the optimizer's RY
+// sample set).
+func (l *Log) ReissueTimes() []float64 {
+	var out []float64
+	for _, r := range l.Records {
+		if r.Reissued && r.ReissueDone {
+			out = append(out, r.Reissue)
+		}
+	}
+	return out
+}
+
+// ResponseTimes extracts every query's end-to-end response time.
+func (l *Log) ResponseTimes() []float64 {
+	out := make([]float64, len(l.Records))
+	for i, r := range l.Records {
+		out[i] = r.Response
+	}
+	return out
+}
+
+// ReissueRate returns the fraction of queries that were reissued.
+func (l *Log) ReissueRate() float64 {
+	if len(l.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range l.Records {
+		if r.Reissued {
+			n++
+		}
+	}
+	return float64(n) / float64(len(l.Records))
+}
+
+// Filter returns a new Log containing the records accepted by keep.
+func (l *Log) Filter(keep func(Record) bool) *Log {
+	out := &Log{}
+	for _, r := range l.Records {
+		if keep(r) {
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+var csvHeader = []string{
+	"id", "arrival", "primary", "primary_done", "reissued",
+	"reissue_delay", "reissue", "reissue_done", "response",
+}
+
+// WriteCSV writes the log with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for _, r := range l.Records {
+		row[0] = strconv.FormatInt(r.ID, 10)
+		row[1] = formatF(r.Arrival)
+		row[2] = formatF(r.Primary)
+		row[3] = strconv.FormatBool(r.PrimaryDone)
+		row[4] = strconv.FormatBool(r.Reissued)
+		row[5] = formatF(r.ReissueDelay)
+		row[6] = formatF(r.Reissue)
+		row[7] = strconv.FormatBool(r.ReissueDone)
+		row[8] = formatF(r.Response)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadCSV parses a log written by WriteCSV.
+func ReadCSV(r io.Reader) (*Log, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(header), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: header field %d is %q, want %q", i, header[i], h)
+		}
+	}
+	log := &Log{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return log, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		log.Add(rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.ID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return rec, fmt.Errorf("bad id %q: %w", row[0], err)
+	}
+	floats := []struct {
+		dst  *float64
+		name string
+		s    string
+	}{
+		{&rec.Arrival, "arrival", row[1]},
+		{&rec.Primary, "primary", row[2]},
+		{&rec.ReissueDelay, "reissue_delay", row[5]},
+		{&rec.Reissue, "reissue", row[6]},
+		{&rec.Response, "response", row[8]},
+	}
+	for _, f := range floats {
+		v, err := strconv.ParseFloat(f.s, 64)
+		if err != nil || math.IsNaN(v) {
+			return rec, fmt.Errorf("bad %s %q", f.name, f.s)
+		}
+		*f.dst = v
+	}
+	bools := []struct {
+		dst  *bool
+		name string
+		s    string
+	}{
+		{&rec.PrimaryDone, "primary_done", row[3]},
+		{&rec.Reissued, "reissued", row[4]},
+		{&rec.ReissueDone, "reissue_done", row[7]},
+	}
+	for _, f := range bools {
+		v, err := strconv.ParseBool(f.s)
+		if err != nil {
+			return rec, fmt.Errorf("bad %s %q: %w", f.name, f.s, err)
+		}
+		*f.dst = v
+	}
+	return rec, nil
+}
+
+// WriteGob writes the log in gob encoding.
+func (l *Log) WriteGob(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(l); err != nil {
+		return fmt.Errorf("trace: encoding gob: %w", err)
+	}
+	return nil
+}
+
+// ReadGob parses a log written by WriteGob.
+func ReadGob(r io.Reader) (*Log, error) {
+	log := &Log{}
+	if err := gob.NewDecoder(r).Decode(log); err != nil {
+		return nil, fmt.Errorf("trace: decoding gob: %w", err)
+	}
+	return log, nil
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleLog() *Log {
+	l := &Log{}
+	l.Add(Record{ID: 0, Arrival: 0, Primary: 10, PrimaryDone: true, Response: 10})
+	l.Add(Record{ID: 1, Arrival: 1.5, Primary: 100, PrimaryDone: true, Reissued: true,
+		ReissueDelay: 20, Reissue: 30, ReissueDone: true, Response: 50})
+	l.Add(Record{ID: 2, Arrival: 3, Primary: 7.25, PrimaryDone: true, Response: 7.25})
+	return l
+}
+
+func TestLogAccessors(t *testing.T) {
+	l := sampleLog()
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if got := l.PrimaryTimes(); !reflect.DeepEqual(got, []float64{10, 100, 7.25}) {
+		t.Errorf("PrimaryTimes = %v", got)
+	}
+	if got := l.ReissueTimes(); !reflect.DeepEqual(got, []float64{30}) {
+		t.Errorf("ReissueTimes = %v", got)
+	}
+	if got := l.ResponseTimes(); !reflect.DeepEqual(got, []float64{10, 50, 7.25}) {
+		t.Errorf("ResponseTimes = %v", got)
+	}
+	if got := l.ReissueRate(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("ReissueRate = %v", got)
+	}
+	if got := (&Log{}).ReissueRate(); got != 0 {
+		t.Errorf("empty ReissueRate = %v", got)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := sampleLog()
+	slow := l.Filter(func(r Record) bool { return r.Response > 9 })
+	if slow.Len() != 2 {
+		t.Fatalf("filtered Len = %d", slow.Len())
+	}
+	if l.Len() != 3 {
+		t.Fatal("Filter mutated the original")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, l.Records) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Records, l.Records)
+	}
+}
+
+func TestCSVEmptyLog(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Log{}).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty round trip Len = %d", got.Len())
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"wrong header": "a,b,c\n",
+		"bad id":       strings.Join(csvHeader, ",") + "\nx,0,1,true,false,0,0,false,1\n",
+		"bad float":    strings.Join(csvHeader, ",") + "\n1,zz,1,true,false,0,0,false,1\n",
+		"bad bool":     strings.Join(csvHeader, ",") + "\n1,0,1,true,maybe,0,0,false,1\n",
+		"nan":          strings.Join(csvHeader, ",") + "\n1,NaN,1,true,false,0,0,false,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, l.Records) {
+		t.Fatal("gob round trip mismatch")
+	}
+}
+
+func TestReadGobRejectsGarbage(t *testing.T) {
+	if _, err := ReadGob(strings.NewReader("not gob data")); err == nil {
+		t.Fatal("garbage gob accepted")
+	}
+}
+
+// Property: CSV round trip preserves arbitrary records exactly
+// (float64 values survive via 'g' formatting with -1 precision).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(id int64, arrival, primary, delay, reissue float64, reissued bool) bool {
+		clean := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 1
+			}
+			return v
+		}
+		rec := Record{
+			ID: id, Arrival: clean(arrival), Primary: clean(primary),
+			PrimaryDone: true, Reissued: reissued,
+			ReissueDelay: clean(delay), Reissue: clean(reissue),
+			ReissueDone: reissued, Response: clean(primary),
+		}
+		l := &Log{Records: []Record{rec}}
+		var buf bytes.Buffer
+		if err := l.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Records, l.Records)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

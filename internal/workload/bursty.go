@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// BurstyConfig parametrizes a two-state Markov-modulated Poisson
+// arrival process (MMPP-2): the system alternates between a calm
+// state at the base arrival rate and a burst state at BurstFactor
+// times that rate. Real interactive services see exactly this kind of
+// short-term load skew (the paper's introduction: "random
+// load-balancing can lead to short-term skew"); it is an extension
+// knob beyond the paper's pure-Poisson clients.
+type BurstyConfig struct {
+	// MeanCalm and MeanBurst are the mean durations of the two
+	// states (exponentially distributed).
+	MeanCalm, MeanBurst float64
+	// BurstFactor multiplies the arrival rate during bursts; > 1.
+	BurstFactor float64
+	// Horizon is the simulated-time span to precompute; arrivals
+	// beyond it see the calm rate.
+	Horizon float64
+	// Seed drives the state-change times.
+	Seed uint64
+}
+
+// NewBurstyMultiplier builds a cluster.Config.RateMultiplier
+// realizing the MMPP-2: it precomputes the state-change times over
+// the horizon and answers lookups with binary search. The returned
+// function is deterministic for a given config.
+func NewBurstyMultiplier(cfg BurstyConfig) (func(t float64) float64, error) {
+	if cfg.MeanCalm <= 0 || cfg.MeanBurst <= 0 {
+		return nil, fmt.Errorf("workload: state durations must be positive (%v, %v)", cfg.MeanCalm, cfg.MeanBurst)
+	}
+	if cfg.BurstFactor <= 1 {
+		return nil, fmt.Errorf("workload: burst factor %v must exceed 1", cfg.BurstFactor)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("workload: horizon %v must be positive", cfg.Horizon)
+	}
+	r := stats.NewRNG(cfg.Seed)
+	// toggles[i] is the time of the i-th state change; state is calm
+	// before toggles[0], bursting on odd intervals.
+	var toggles []float64
+	t := r.ExpFloat64() * cfg.MeanCalm
+	for t < cfg.Horizon {
+		toggles = append(toggles, t)
+		t += r.ExpFloat64() * cfg.MeanBurst
+		if t >= cfg.Horizon {
+			break
+		}
+		toggles = append(toggles, t)
+		t += r.ExpFloat64() * cfg.MeanCalm
+	}
+	return func(at float64) float64 {
+		// Count toggles at or before `at`: odd count = burst state.
+		lo, hi := 0, len(toggles)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if toggles[mid] <= at {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo%2 == 1 {
+			return cfg.BurstFactor
+		}
+		return 1
+	}, nil
+}
+
+// BurstyMeanMultiplier returns the long-run average rate multiplier,
+// useful for computing the effective utilization:
+// (calm + factor*burst) / (calm + burst).
+func BurstyMeanMultiplier(cfg BurstyConfig) float64 {
+	return (cfg.MeanCalm + cfg.BurstFactor*cfg.MeanBurst) / (cfg.MeanCalm + cfg.MeanBurst)
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestNewBurstyMultiplierValidation(t *testing.T) {
+	bad := []BurstyConfig{
+		{MeanCalm: 0, MeanBurst: 1, BurstFactor: 2, Horizon: 10},
+		{MeanCalm: 1, MeanBurst: 0, BurstFactor: 2, Horizon: 10},
+		{MeanCalm: 1, MeanBurst: 1, BurstFactor: 1, Horizon: 10},
+		{MeanCalm: 1, MeanBurst: 1, BurstFactor: 2, Horizon: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewBurstyMultiplier(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestBurstyMultiplierValues(t *testing.T) {
+	mult, err := NewBurstyMultiplier(BurstyConfig{
+		MeanCalm: 100, MeanBurst: 50, BurstFactor: 3, Horizon: 100000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values are only ever 1 or the burst factor, and beyond the
+	// horizon the calm rate applies.
+	seen := map[float64]bool{}
+	for x := 0.0; x < 100000; x += 37 {
+		v := mult(x)
+		if v != 1 && v != 3 {
+			t.Fatalf("multiplier(%v) = %v", x, v)
+		}
+		seen[v] = true
+	}
+	if !seen[1] || !seen[3] {
+		t.Fatalf("states seen: %v", seen)
+	}
+	if got := mult(1e9); got != 1 {
+		t.Fatalf("beyond horizon: %v", got)
+	}
+}
+
+func TestBurstyTimeFractions(t *testing.T) {
+	cfg := BurstyConfig{
+		MeanCalm: 200, MeanBurst: 100, BurstFactor: 4, Horizon: 1e6, Seed: 7,
+	}
+	mult, err := NewBurstyMultiplier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstTime := 0
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		if mult(float64(i)*5) > 1 {
+			burstTime++
+		}
+	}
+	gotFrac := float64(burstTime) / samples
+	wantFrac := cfg.MeanBurst / (cfg.MeanCalm + cfg.MeanBurst)
+	if math.Abs(gotFrac-wantFrac) > 0.05 {
+		t.Fatalf("burst-state fraction %v, want ~%v", gotFrac, wantFrac)
+	}
+	if got, want := BurstyMeanMultiplier(cfg), (200+4*100.0)/300; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean multiplier %v, want %v", got, want)
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	cfg := BurstyConfig{MeanCalm: 10, MeanBurst: 5, BurstFactor: 2, Horizon: 1000, Seed: 3}
+	a, _ := NewBurstyMultiplier(cfg)
+	b, _ := NewBurstyMultiplier(cfg)
+	for x := 0.0; x < 1000; x += 11 {
+		if a(x) != b(x) {
+			t.Fatal("same-seed multipliers diverged")
+		}
+	}
+}
+
+// Bursty arrivals at the same average load produce a heavier response
+// tail than pure Poisson — and give reissue policies more to rescue.
+func TestBurstinessDeepensTailAndHedgingHelps(t *testing.T) {
+	dist := stats.NewExponential(0.1)
+	const servers = 10
+	// Calibrate both systems to the same *average* utilization 0.4.
+	bcfg := BurstyConfig{
+		MeanCalm: 4000, MeanBurst: 1000, BurstFactor: 3, Horizon: 5e6, Seed: 13,
+	}
+	avgMult := BurstyMeanMultiplier(bcfg) // 1.4
+	baseRate := cluster.ArrivalRateForUtilization(0.40, servers, dist.Mean()) / avgMult
+	mult, err := NewBurstyMultiplier(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(rm func(float64) float64, rate float64) *cluster.Cluster {
+		c, err := cluster.New(cluster.Config{
+			Servers:        servers,
+			ArrivalRate:    rate,
+			Queries:        30000,
+			Warmup:         3000,
+			Source:         cluster.DistSource{Dist: dist},
+			Seed:           17,
+			RateMultiplier: rm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	poisson := mk(nil, cluster.ArrivalRateForUtilization(0.40, servers, dist.Mean()))
+	bursty := mk(mult, baseRate)
+
+	pBase := metrics.TailLatency(poisson.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+	bBase := metrics.TailLatency(bursty.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+	if bBase <= pBase {
+		t.Fatalf("bursty P99 %v not above Poisson %v at equal average load", bBase, pBase)
+	}
+
+	// Hedging cannot dodge a *global* burst — during a burst every
+	// replica is overloaded, so a reissue joins an equally long queue.
+	// The adaptive optimizer must recognize this and at least not
+	// make things worse (contrast with server-local interference,
+	// where hedging shines: see the system experiments).
+	ar, err := core.AdaptiveOptimize(bursty, core.AdaptiveConfig{
+		K: 0.99, B: 0.05, Lambda: 0.5, Trials: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Final.TailLatency(0.99); got > bBase*1.10 {
+		t.Fatalf("hedging made the bursty tail worse: %v vs %v", got, bBase)
+	}
+}

@@ -1,0 +1,141 @@
+// Package workload builds the cluster configurations for the paper's
+// three simulation workload models (Section 5.1) and the sensitivity
+// variants of Section 5.4:
+//
+//   - Independent: no queueing (infinite servers), independent primary
+//     and reissue service times.
+//   - Correlated: no queueing, reissue service time Y = r*X + Z with
+//     r = 0.5.
+//   - Queueing: 10 servers, Poisson arrivals at a target utilization,
+//     FIFO queues, random load balancing, correlated service times.
+//
+// All workloads default to the paper's Pareto(shape=1.1, mode=2.0)
+// service-time distribution.
+package workload
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// PaperServiceDist returns the paper's default service-time
+// distribution, Pareto(1.1, 2.0).
+func PaperServiceDist() stats.Dist { return stats.NewPareto(1.1, 2.0) }
+
+// DefaultCorrelation is the paper's linear correlation ratio r = 0.5.
+const DefaultCorrelation = 0.5
+
+// DefaultServers is the paper's server count for the Queueing model.
+const DefaultServers = 10
+
+// Options tweak a workload preset. The zero value reproduces the
+// paper's setup.
+type Options struct {
+	// Dist overrides the service-time distribution.
+	Dist stats.Dist
+	// Corr overrides the service-time correlation ratio (NaN keeps
+	// the preset default; explicit 0 disables correlation).
+	Corr float64
+	// CorrSet marks Corr as intentionally set (distinguishing an
+	// explicit 0 from an unset field).
+	CorrSet bool
+	// Utilization overrides the target utilization of the Queueing
+	// model (default 0.30).
+	Utilization float64
+	// Servers overrides the server count of the Queueing model.
+	Servers int
+	// LB overrides the load balancer (default Random).
+	LB cluster.LoadBalancer
+	// Discipline overrides the queue discipline (default FIFO).
+	Discipline cluster.Discipline
+	// Queries and Warmup override the workload size.
+	Queries int
+	Warmup  int
+	// Seed overrides the RNG seed.
+	Seed uint64
+}
+
+func (o Options) withDefaults(defaultCorr float64) Options {
+	if o.Dist == nil {
+		o.Dist = PaperServiceDist()
+	}
+	if !o.CorrSet {
+		o.Corr = defaultCorr
+	}
+	if o.Utilization == 0 {
+		o.Utilization = 0.30
+	}
+	if o.Servers == 0 {
+		o.Servers = DefaultServers
+	}
+	if o.Queries == 0 {
+		o.Queries = 40000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Queries / 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// WithCorr returns a copy of o with the correlation ratio set.
+func (o Options) WithCorr(r float64) Options {
+	o.Corr = r
+	o.CorrSet = true
+	return o
+}
+
+// Independent builds the paper's Independent workload: infinite
+// servers (no queueing delays), independent primary and reissue
+// service times.
+func Independent(o Options) (*cluster.Cluster, error) {
+	o = o.withDefaults(0)
+	return cluster.New(cluster.Config{
+		Servers: 0,
+		Queries: o.Queries,
+		Warmup:  0, // no queueing: nothing to warm up
+		Source:  cluster.DistSource{Dist: o.Dist, Corr: o.Corr},
+		Seed:    o.Seed,
+	})
+}
+
+// Correlated builds the paper's Correlated workload: infinite
+// servers, reissue service times Y = 0.5*X + Z.
+func Correlated(o Options) (*cluster.Cluster, error) {
+	o = o.withDefaults(DefaultCorrelation)
+	return Independent(o.WithCorr(o.Corr))
+}
+
+// Queueing builds the paper's Queueing workload: 10 servers fed by a
+// Poisson process at the target utilization, FIFO queues, random
+// load balancing, and correlated service times (Y = 0.5*X + Z).
+func Queueing(o Options) (*cluster.Cluster, error) {
+	o = o.withDefaults(DefaultCorrelation)
+	mean := o.Dist.Mean()
+	if math.IsInf(mean, 0) || math.IsNaN(mean) || mean <= 0 {
+		// The paper's Pareto(1.1, 2) has a finite mean (22); reject
+		// distributions where an arrival rate cannot be derived.
+		return nil, errInfiniteMean
+	}
+	return cluster.New(cluster.Config{
+		Servers:     o.Servers,
+		ArrivalRate: cluster.ArrivalRateForUtilization(o.Utilization, o.Servers, mean),
+		Queries:     o.Queries,
+		Warmup:      o.Warmup,
+		Source:      cluster.DistSource{Dist: o.Dist, Corr: o.Corr},
+		LB:          o.LB,
+		Discipline:  o.Discipline,
+		Seed:        o.Seed,
+	})
+}
+
+type workloadError string
+
+func (e workloadError) Error() string { return string(e) }
+
+const errInfiniteMean = workloadError(
+	"workload: service-time distribution has no finite positive mean; cannot derive an arrival rate")

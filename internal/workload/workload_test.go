@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func TestPaperServiceDist(t *testing.T) {
+	d := PaperServiceDist()
+	p, ok := d.(stats.Pareto)
+	if !ok {
+		t.Fatalf("default dist is %T", d)
+	}
+	if p.Shape != 1.1 || p.Mode != 2.0 {
+		t.Fatalf("default Pareto = %+v", p)
+	}
+}
+
+func TestIndependentNoQueueing(t *testing.T) {
+	c, err := Independent(Options{Queries: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Servers != 0 {
+		t.Fatal("Independent should use infinite servers")
+	}
+	res := c.RunDetailed(core.None{})
+	// Response == service: minimum equals the Pareto mode.
+	if min := stats.Summarize(res.Log.ResponseTimes()).Min; min < 2 {
+		t.Fatalf("response %v below Pareto mode", min)
+	}
+}
+
+func TestIndependentUncorrelated(t *testing.T) {
+	c, err := Independent(Options{Queries: 5000, Seed: 2, Dist: stats.NewExponential(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.SingleD{D: 0})
+	var xs, ys []float64
+	for _, p := range res.Pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	if corr := stats.PearsonCorrelation(xs, ys); math.Abs(corr) > 0.1 {
+		t.Fatalf("Independent workload has correlation %v", corr)
+	}
+}
+
+func TestCorrelatedWorkloadCorrelation(t *testing.T) {
+	c, err := Correlated(Options{Queries: 10000, Seed: 3, Dist: stats.NewExponential(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.SingleD{D: 0})
+	var xs, ys []float64
+	for _, p := range res.Pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	if corr := stats.PearsonCorrelation(xs, ys); corr < 0.25 {
+		t.Fatalf("Correlated workload correlation %v too weak", corr)
+	}
+}
+
+func TestQueueingDefaults(t *testing.T) {
+	c, err := Queueing(Options{Queries: 5000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.Servers != 10 {
+		t.Fatalf("servers = %d, want 10", cfg.Servers)
+	}
+	wantRate := cluster.ArrivalRateForUtilization(0.30, 10, PaperServiceDist().Mean())
+	if math.Abs(cfg.ArrivalRate-wantRate) > 1e-12 {
+		t.Fatalf("arrival rate = %v, want %v", cfg.ArrivalRate, wantRate)
+	}
+}
+
+func TestQueueingUtilizationOption(t *testing.T) {
+	c, err := Queueing(Options{
+		Queries: 20000, Seed: 5, Utilization: 0.5,
+		Dist: stats.NewExponential(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.None{})
+	if math.Abs(res.Utilization-0.5) > 0.05 {
+		t.Fatalf("measured utilization %v, want ~0.5", res.Utilization)
+	}
+}
+
+func TestQueueingRejectsInfiniteMean(t *testing.T) {
+	if _, err := Queueing(Options{Dist: stats.NewPareto(1.0, 2)}); err == nil {
+		t.Fatal("infinite-mean distribution accepted")
+	}
+}
+
+func TestWithCorrZeroDisablesCorrelation(t *testing.T) {
+	o := Options{Queries: 5000, Seed: 6, Dist: stats.NewExponential(0.5)}.WithCorr(0)
+	c, err := Queueing(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.SingleD{D: 0})
+	var xs, ys []float64
+	for _, p := range res.Pairs {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	// Queueing can induce mild correlation, but service-time
+	// correlation should be absent.
+	if corr := stats.PearsonCorrelation(xs, ys); corr > 0.35 {
+		t.Fatalf("WithCorr(0) still strongly correlated: %v", corr)
+	}
+}
+
+func TestQueueingTailFarAboveMedian(t *testing.T) {
+	// The heavy-tailed Queueing workload must exhibit the tail-vs-
+	// median gap that motivates the paper.
+	c, err := Queueing(Options{Queries: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(core.None{})
+	rts := res.Log.ResponseTimes()
+	med := metrics.TailLatency(rts, 50)
+	p99 := metrics.TailLatency(rts, 99)
+	if p99/med < 5 {
+		t.Fatalf("P99/median = %v, expected a heavy tail", p99/med)
+	}
+}
+
+func TestOptionsPlumbing(t *testing.T) {
+	c, err := Queueing(Options{
+		Queries: 100, Warmup: 10, Seed: 8,
+		LB:         cluster.MinOfAllLB{},
+		Discipline: cluster.PrioFIFO,
+		Servers:    4,
+		Dist:       stats.NewExponential(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := c.Config()
+	if cfg.Servers != 4 || cfg.Discipline != cluster.PrioFIFO {
+		t.Fatalf("options not plumbed: %+v", cfg)
+	}
+	if _, ok := cfg.LB.(cluster.MinOfAllLB); !ok {
+		t.Fatalf("LB = %T", cfg.LB)
+	}
+}
