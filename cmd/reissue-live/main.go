@@ -1,0 +1,285 @@
+// Command reissue-live demonstrates the goroutine-based hedging
+// runtime end to end: it stands up a live replicated backend serving
+// a real workload (kvstore set intersections or searchengine queries)
+// on this machine, drives it with open-loop Poisson traffic, tunes a
+// SingleR policy from the measured no-hedging baseline with the
+// paper's optimizer, reruns the same traffic hedged, and — unless
+// -sim=false — cross-validates the live measurements against the
+// discrete-event cluster simulator on the same trace at the same
+// load.
+//
+// Examples:
+//
+//	# 4 replicas (one 2.5x slow), P99 target, 5% budget
+//	reissue-live
+//
+//	# the search workload, bigger run, homogeneous replicas
+//	reissue-live -workload search -queries 6000 -slow 1
+//
+//	# self-tuning client (online adapter) instead of one-shot tuning
+//	reissue-live -online
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"slices"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/searchengine"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+type options struct {
+	workload string
+	queries  int
+	warmup   int
+	replicas int
+	slow     float64 // speed factor of the last replica; <=1 disables
+	util     float64
+	k        float64
+	budget   float64
+	unitMS   float64
+	minMS    float64 // model-time clamp; 0 = auto from sleep response
+	seed     uint64
+	sim      bool
+	online   bool
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.workload, "workload", "kv", "live backend workload: kv, search")
+	flag.IntVar(&o.queries, "queries", 4000, "queries per run")
+	flag.IntVar(&o.warmup, "warmup", 400, "lead-in queries excluded from statistics")
+	flag.IntVar(&o.replicas, "replicas", 4, "number of single-threaded replicas")
+	flag.Float64Var(&o.slow, "slow", 2.5, "speed factor of the last replica (<=1 for homogeneous)")
+	flag.Float64Var(&o.util, "util", 0.25, "target nominal utilization")
+	flag.Float64Var(&o.k, "k", 0.99, "target percentile")
+	flag.Float64Var(&o.budget, "budget", 0.05, "reissue budget (fraction of requests)")
+	flag.Float64Var(&o.unitMS, "unit", 2.0, "wall-clock milliseconds per model millisecond")
+	flag.Float64Var(&o.minMS, "min-service", 0, "clamp model service times to at least this (0 = auto)")
+	flag.Uint64Var(&o.seed, "seed", 7, "random seed")
+	flag.BoolVar(&o.sim, "sim", true, "cross-validate against the cluster simulator")
+	flag.BoolVar(&o.online, "online", false, "use the self-tuning online client instead of one-shot tuning")
+	flag.Parse()
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "reissue-live:", err)
+		os.Exit(1)
+	}
+}
+
+// pctl is nearest-rank percentile over a raw latency log, k in
+// (0, 1]; it delegates to the shared metrics implementation.
+func pctl(xs []float64, k float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return metrics.TailLatency(xs, k*100)
+}
+
+func buildBackend(o options) (*backend.Cluster, error) {
+	unit := time.Duration(o.unitMS * float64(time.Millisecond))
+	minMS := o.minMS
+	if minMS == 0 {
+		// Auto-clamp: keep every hold above the kernel's sleep floor
+		// so replica holds track model times linearly.
+		sr := backend.MeasureSleepResponse()
+		minMS = 1.5 * float64(sr.Floor) / float64(unit)
+	}
+	var speeds []float64
+	if o.slow > 1 && o.replicas > 1 {
+		speeds = make([]float64, o.replicas)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+		speeds[o.replicas-1] = o.slow
+	}
+	cfg := backend.Config{
+		Replicas:     o.replicas,
+		Unit:         unit,
+		SpeedFactors: speeds,
+		MinServiceMS: minMS,
+	}
+	switch o.workload {
+	case "kv":
+		w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+			NumSets: 300, NumQueries: o.queries, Seed: o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return backend.NewKV(w, cfg)
+	case "search":
+		w, err := searchengine.GenerateWorkload(searchengine.WorkloadConfig{
+			NumQueries: o.queries, Seed: o.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return backend.NewSearch(w, cfg)
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want kv or search)", o.workload)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	if o.queries <= o.warmup {
+		return fmt.Errorf("queries=%d must exceed warmup=%d", o.queries, o.warmup)
+	}
+	back, err := buildBackend(o)
+	if err != nil {
+		return err
+	}
+	lambda := back.ArrivalRate(o.util)
+	fmt.Fprintf(out, "live backend: %s workload, %d replicas (slow factor %.2g), unit %.2g ms\n",
+		o.workload, o.replicas, o.slow, o.unitMS)
+	fmt.Fprintf(out, "load: %.3f queries/model-ms (nominal utilization %.2f), %d queries + %d warmup\n\n",
+		lambda, o.util, o.queries-o.warmup, o.warmup)
+
+	sys := &backend.LiveSystem{
+		Back: back, N: o.queries, Warmup: o.warmup, Lambda: lambda, Seed: o.seed,
+	}
+
+	report := func(name string, lats []float64) {
+		fmt.Fprintf(out, "%-12s P50=%6.1f  P90=%6.1f  P%.0f=%6.1f model-ms\n",
+			name, pctl(lats, 0.50), pctl(lats, 0.90), o.k*100, pctl(lats, o.k))
+	}
+
+	fmt.Fprintln(out, "running no-hedging baseline...")
+	base := sys.Run(reissue.None{})
+	report("baseline:", base.Query)
+
+	if o.online {
+		return runOnline(o, out, back, lambda, base)
+	}
+
+	pol, pred, err := reissue.ComputeOptimalSingleR(base.Query, nil, o.k, o.budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ntuned policy %v from the baseline log\n", pol)
+	fmt.Fprintf(out, "predicted:   P%.0f=%6.1f model-ms, reissue fraction %.4f\n\n",
+		o.k*100, pred.TailLatency, pred.Budget)
+
+	fmt.Fprintln(out, "running hedged (same arrival stream)...")
+	first := sys.Run(pol)
+	report("hedged:", first.Query)
+
+	// One step of the paper's Section 4.3 adaptation, delay held: the
+	// reissues themselves shift the response-time distribution, so
+	// re-bind the probability to the budget on the distribution
+	// measured *under hedging* and rerun. This is what pins the
+	// realized reissue fraction to the configured budget.
+	pol, err = reissue.BindBudget(first.Query, pol.D, o.budget)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nre-bound policy %v on the hedged distribution; rerunning...\n", pol)
+	hedged := sys.Run(pol)
+	report("hedged #2:", hedged.Query)
+
+	baseP := pctl(base.Query, o.k)
+	hedgeP := pctl(hedged.Query, o.k)
+	fmt.Fprintf(out, "\nP%.0f change: %.1f -> %.1f model-ms (%+.1f%%)\n",
+		o.k*100, baseP, hedgeP, 100*(hedgeP-baseP)/baseP)
+	diff := math.Abs(hedged.ReissueRate - o.budget)
+	fmt.Fprintf(out, "reissue fraction: observed %.4f vs configured budget %.4f (|diff| %.2f points)\n",
+		hedged.ReissueRate, o.budget, 100*diff)
+
+	if o.sim {
+		if err := crossValidate(o, out, back, lambda, pol, base, hedged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOnline demonstrates the self-tuning client: a single pass where
+// the online adapter re-solves the optimizer against the live
+// response-time stream while serving.
+func runOnline(o options, out io.Writer, back *backend.Cluster, lambda float64, base reissue.RunResult) error {
+	client, err := hedge.New(hedge.Config{
+		Online: &reissue.OnlineConfig{
+			K: o.k, B: o.budget, Lambda: 0.5,
+			Window: max(200, (o.queries-o.warmup)/4),
+		},
+		Unit:        back.Unit(),
+		LetLoserRun: true,
+		Seed:        o.seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nrunning self-tuning hedged pass (online adapter)...")
+	lats, err := back.RunOpenLoop(context.Background(), client, o.queries, lambda, o.seed+1)
+	if err != nil {
+		return err
+	}
+	lats = lats[o.warmup:]
+	s := client.Snapshot()
+	fmt.Fprintf(out, "online:      P50=%6.1f  P90=%6.1f  P%.0f=%6.1f model-ms\n",
+		pctl(lats, 0.50), pctl(lats, 0.90), o.k*100, pctl(lats, o.k))
+	fmt.Fprintf(out, "\nfinal policy %s after %d re-tuning epochs\n", s.Policy, s.Epochs)
+	baseP := pctl(base.Query, o.k)
+	hedgeP := pctl(lats, o.k)
+	fmt.Fprintf(out, "P%.0f change: %.1f -> %.1f model-ms (%+.1f%%), reissue fraction %.4f (budget %.2f)\n",
+		o.k*100, baseP, hedgeP, 100*(hedgeP-baseP)/baseP, s.ReissueRate, o.budget)
+	fmt.Fprintf(out, "copy wins: primary %d, reissue %d\n", s.PrimaryWins, s.ReissueWins)
+	return nil
+}
+
+// crossValidate replays the live experiment on the discrete-event
+// simulator: same effective service-time trace, same arrival rate,
+// same heterogeneity, same policy.
+func crossValidate(o options, out io.Writer, back *backend.Cluster, lambda float64,
+	pol reissue.SingleR, liveBase, liveHedge reissue.RunResult) error {
+
+	speeds := back.SpeedFactors()
+	// A short bursty run's extreme tail is dominated by whether a
+	// queue-of-death burst hit the slow replica inside the window, so
+	// a single simulated sample path scatters as widely as the live
+	// one. The simulator is cheap — run several seeds and report the
+	// median path.
+	const simSeeds = 5
+	var basePs, hedgePs, rates []float64
+	for i := uint64(0); i < simSeeds; i++ {
+		sim, err := cluster.New(cluster.Config{
+			Servers:      o.replicas,
+			ArrivalRate:  lambda,
+			Queries:      o.queries - o.warmup,
+			Warmup:       o.warmup,
+			Source:       &cluster.TraceSource{Times: back.EffectiveModelTimes()},
+			SpeedFactors: speeds,
+			Seed:         o.seed ^ (0xdead + i*0x9e37),
+		})
+		if err != nil {
+			return err
+		}
+		simBase := sim.Run(reissue.None{})
+		simHedge := sim.Run(pol)
+		basePs = append(basePs, pctl(simBase.Query, o.k))
+		hedgePs = append(hedgePs, pctl(simHedge.Query, o.k))
+		rates = append(rates, simHedge.ReissueRate)
+	}
+
+	fmt.Fprintf(out, "\ncross-validation against the cluster simulator (same trace, same load):\n")
+	fmt.Fprintf(out, "%-24s %18s %18s %14s\n", "",
+		fmt.Sprintf("baseline P%.0f", o.k*100), fmt.Sprintf("hedged P%.0f", o.k*100), "reissue rate")
+	fmt.Fprintf(out, "%-24s %15.1f ms %15.1f ms %14.4f\n", "live (one path)",
+		pctl(liveBase.Query, o.k), pctl(liveHedge.Query, o.k), liveHedge.ReissueRate)
+	fmt.Fprintf(out, "%-24s %15.1f ms %15.1f ms %14.4f\n",
+		fmt.Sprintf("simulator (med. of %d)", simSeeds),
+		pctl(basePs, 0.5), pctl(hedgePs, 0.5), pctl(rates, 0.5))
+	fmt.Fprintf(out, "%-24s %8.1f-%.1f ms %8.1f-%.1f ms\n", "simulator (range)",
+		slices.Min(basePs), slices.Max(basePs), slices.Min(hedgePs), slices.Max(hedgePs))
+	return nil
+}

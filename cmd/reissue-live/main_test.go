@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run: few queries, a
+// small unit, no slow replica amplification beyond the default.
+func fast() options {
+	return options{
+		workload: "kv",
+		queries:  300,
+		warmup:   50,
+		replicas: 3,
+		slow:     2.0,
+		util:     0.20,
+		k:        0.95,
+		budget:   0.05,
+		unitMS:   0.2,
+		seed:     3,
+		sim:      true,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(fast(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline:", "hedged #2:", "reissue fraction", "cross-validation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSearchWorkload(t *testing.T) {
+	o := fast()
+	o.workload = "search"
+	o.sim = false
+	o.unitMS = 0.05
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnlineMode(t *testing.T) {
+	o := fast()
+	o.online = true
+	o.queries = 600
+	var buf bytes.Buffer
+	if err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "re-tuning epochs") {
+		t.Errorf("online output missing epochs line:\n%s", buf.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	o := fast()
+	o.workload = "bogus"
+	if err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted an unknown workload")
+	}
+	o = fast()
+	o.warmup = o.queries
+	if err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted warmup >= queries")
+	}
+}

@@ -1,14 +1,22 @@
 // Package repro is a from-scratch Go reproduction of "Optimal Reissue
 // Policies for Reducing Tail Latency" (Kaler, He, Elnikety — SPAA
-// 2017).
+// 2017), grown toward a production-shape system.
 //
 // The paper's contribution — the SingleR reissue-policy family, its
 // optimality theorems, the data-driven parameter optimizer, and the
-// adaptive refinement and budget-search procedures — lives in
-// internal/core. The substrates it is evaluated on (a discrete-event
-// cluster simulator, a Redis-like set store, a Lucene-like search
-// engine, statistics and range-query structures) live in the other
-// internal packages. See DESIGN.md for the system inventory,
-// EXPERIMENTS.md for paper-vs-measured results, and bench_test.go for
-// the per-figure benchmark harness.
+// adaptive refinement and budget-search procedures — lives in the
+// public reissue package; internal/core remains as a thin alias shim
+// for older callers. The reissue/hedge subpackage executes policies
+// for real: a goroutine-based hedging client with context
+// cancellation, and live replicated backends over the in-repo
+// kvstore and searchengine workloads (reissue/hedge/backend),
+// cross-validated against the discrete-event cluster simulator. The
+// evaluation substrates (the simulator, a Redis-like set store, a
+// Lucene-like search engine, statistics and range-query structures)
+// live in the other internal packages.
+//
+// See DESIGN.md for the system inventory, the public-API layering,
+// and the simulator-for-testbed substitution argument; bench_test.go
+// and ablation_bench_test.go hold the per-figure benchmark harness.
+// cmd/reissue-live is the live end-to-end demo.
 package repro

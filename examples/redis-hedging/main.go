@@ -1,64 +1,85 @@
-// Redis hedging: reduce the P99 latency of a Redis-like
-// set-intersection service with a tiny reissue budget.
+// Redis hedging, live: reduce the P99 latency of a Redis-like
+// set-intersection service with a tiny reissue budget — using real
+// goroutines, not the simulator.
 //
-// This example reproduces the paper's headline Redis result in
-// miniature: a synthetic store of 1000 integer sets with log-normal
-// cardinalities, real SINTER executions, "queries of death" from
-// intersecting two huge sets, and a 10-server simulated cluster with
-// Redis's round-robin connection scheduling. A SingleR policy tuned
-// by the adaptive optimizer cuts the P99 substantially while
-// reissuing only ~2-3% of requests. Run with:
+// The example stands up four single-threaded replicas of an in-memory
+// set store (one runs 2.5x slow, the way a real fleet always has a
+// degraded box), drives them with open-loop Poisson traffic through
+// the hedging client, tunes a SingleR policy from the measured
+// no-hedging baseline with the paper's optimizer, and reruns the same
+// arrival stream hedged. The reissue rescues queries stuck behind the
+// slow replica's queue while spending only ~5% extra requests. Run
+// with:
 //
 //	go run ./examples/redis-hedging
+//
+// For the full experiment — simulator cross-validation, the search
+// workload, the self-tuning online client — see cmd/reissue-live.
 package main
 
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/experiments"
-	"repro/internal/metrics"
+	"repro/internal/kvstore"
+	"repro/reissue"
+	"repro/reissue/hedge/backend"
 )
 
 func main() {
-	const util = 0.40 // high load for an interactive service
+	const (
+		queries = 2500
+		warmup  = 300
+		util    = 0.25
+		K       = 0.99 // target percentile
+		B       = 0.05 // reissue budget
+	)
 
-	fmt.Println("building synthetic Redis workload (1000 sets, 40k intersections)...")
-	sys, err := experiments.NewSystemCluster(experiments.Redis, util,
-		experiments.Scale{Queries: 20000, AdaptiveTrials: 6, Seed: 7})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	base := sys.RunDetailed(core.None{})
-	rts := base.Log.ResponseTimes()
-	fmt.Printf("no reissue:   P50=%.0f ms  P99=%.0f ms  (util %.2f)\n",
-		metrics.TailLatency(rts, 50), metrics.TailLatency(rts, 99), base.Utilization)
-
-	// Tune SingleR for P99 with a 2% budget, adapting to the load the
-	// reissues themselves add.
-	ar, err := core.AdaptiveOptimize(sys, core.AdaptiveConfig{
-		K: 0.99, B: 0.02, Lambda: 0.5, Trials: 6, Correlated: true,
+	fmt.Println("building synthetic Redis workload (300 sets, real SINTER queries)...")
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 300, NumQueries: queries, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("singler:      P99=%.0f ms with policy %v (measured reissue rate %.3f)\n",
-		ar.Final.TailLatency(0.99), ar.Policy,
-		ar.Trials[len(ar.Trials)-1].ReissueRate)
 
-	// The deterministic alternative at the same budget.
-	ad, err := core.AdaptiveOptimizeSingleD(sys, core.AdaptiveConfig{
-		K: 0.99, B: 0.02, Lambda: 0.5, Trials: 6,
+	unit := time.Millisecond // 1 wall ms per model ms
+	back, err := backend.NewKV(w, backend.Config{
+		Replicas:     4,
+		Unit:         unit,
+		SpeedFactors: []float64{1, 1, 1, 2.5},
+		MinServiceMS: 1.5 * float64(backend.MeasureSleepResponse().Floor) / float64(unit),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("singled:      P99=%.0f ms with delay %.0f ms (measured reissue rate %.3f)\n",
-		ad.Final.TailLatency(0.99), ad.Policy.D,
-		ad.Trials[len(ad.Trials)-1].ReissueRate)
+	sys := &backend.LiveSystem{
+		Back: back, N: queries, Warmup: warmup,
+		Lambda: back.ArrivalRate(util), Seed: 7,
+	}
 
-	fmt.Println("\nSingleR reissues earlier (with probability < 1), so its copies have")
-	fmt.Println("time to respond before the deadline — the advantage randomization buys.")
+	fmt.Println("running live no-hedging baseline...")
+	base := sys.Run(reissue.None{})
+	baseP50, baseP99 := base.TailLatency(0.50), base.TailLatency(K)
+	fmt.Printf("no hedging:  P50=%.1f ms  P99=%.1f ms\n", baseP50, baseP99)
+
+	// Tune SingleR for P99 with a 5% budget on the measured log.
+	pol, pred, err := reissue.ComputeOptimalSingleR(base.Query, nil, K, B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuned %v (predicted P99 %.1f ms at %.1f%% reissues)\n",
+		pol, pred.TailLatency, 100*pred.Budget)
+
+	fmt.Println("running live hedged (same arrival stream)...")
+	hedged := sys.Run(pol)
+	hedgeP50, hedgeP99 := hedged.TailLatency(0.50), hedged.TailLatency(K)
+	fmt.Printf("hedged:      P50=%.1f ms  P99=%.1f ms  (reissue rate %.3f)\n",
+		hedgeP50, hedgeP99, hedged.ReissueRate)
+
+	fmt.Printf("\nP99: %.1f -> %.1f ms (%+.1f%%) for %.1f%% extra requests\n",
+		baseP99, hedgeP99, 100*(hedgeP99-baseP99)/baseP99, 100*hedged.ReissueRate)
+	fmt.Println("\nThe reissue lands on a fast replica while the primary waits out the")
+	fmt.Println("slow one's queue — randomized hedging buys the tail back cheaply.")
 }

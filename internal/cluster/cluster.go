@@ -57,11 +57,10 @@ type TraceSource struct {
 	next  int
 }
 
-// Sample returns the next recorded service time for both copies.
+// Sample returns the next recorded service time for both copies. An
+// empty trace is a configuration error; Config validation (New)
+// rejects it before any run starts.
 func (s *TraceSource) Sample(*stats.RNG) (float64, float64) {
-	if len(s.Times) == 0 {
-		panic("cluster: empty TraceSource")
-	}
 	t := s.Times[s.next]
 	s.next = (s.next + 1) % len(s.Times)
 	return t, t
@@ -188,6 +187,9 @@ func (c Config) validate() error {
 	}
 	if c.Source == nil {
 		return fmt.Errorf("cluster: Source must be set")
+	}
+	if ts, ok := c.Source.(*TraceSource); ok && len(ts.Times) == 0 {
+		return fmt.Errorf("cluster: TraceSource has no service times; record or generate a workload first")
 	}
 	if c.Warmup < 0 {
 		return fmt.Errorf("cluster: Warmup=%d must be non-negative", c.Warmup)

@@ -280,13 +280,16 @@ func TestTraceSourceReplaysDeterministically(t *testing.T) {
 	}
 }
 
-func TestTraceSourceEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty TraceSource did not panic")
-		}
-	}()
-	(&TraceSource{}).Sample(stats.NewRNG(1))
+func TestTraceSourceEmptyRejectedByConfig(t *testing.T) {
+	_, err := New(Config{
+		Queries: 100,
+		Servers: 2, ArrivalRate: 1,
+		Source: &TraceSource{},
+		Seed:   1,
+	})
+	if err == nil {
+		t.Fatal("New accepted an empty TraceSource")
+	}
 }
 
 func TestClusterImplementsSystem(t *testing.T) {

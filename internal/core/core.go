@@ -1,1 +1,84 @@
+// Package core is a thin compatibility shim over the public
+// top-level reissue package, which is where the paper's policy
+// families, optimizers, adaptive loops and budget searches now live.
+// Every name here is a type alias or a forwarding variable, so values
+// flow freely between old internal callers and the public API —
+// core.SingleR and reissue.SingleR are the same type. New code should
+// import repro/reissue directly.
 package core
+
+import "repro/reissue"
+
+// Policy families (reissue/policy.go).
+type (
+	Policy    = reissue.Policy
+	None      = reissue.None
+	SingleR   = reissue.SingleR
+	SingleD   = reissue.SingleD
+	Immediate = reissue.Immediate
+	MultipleR = reissue.MultipleR
+)
+
+var (
+	NewMultipleR = reissue.NewMultipleR
+	DoubleR      = reissue.DoubleR
+)
+
+// Data-driven optimizer (reissue/optimizer.go).
+type Prediction = reissue.Prediction
+
+var (
+	ComputeOptimalSingleR           = reissue.ComputeOptimalSingleR
+	ComputeOptimalSingleRCorrelated = reissue.ComputeOptimalSingleRCorrelated
+	PredictSingleR                  = reissue.PredictSingleR
+	OptimalSingleD                  = reissue.OptimalSingleD
+)
+
+// Systems and the adaptive loop (reissue/adaptive.go).
+type (
+	RunResult      = reissue.RunResult
+	System         = reissue.System
+	SystemFunc     = reissue.SystemFunc
+	AdaptiveConfig = reissue.AdaptiveConfig
+	AdaptiveTrial  = reissue.AdaptiveTrial
+	AdaptiveResult = reissue.AdaptiveResult
+)
+
+var (
+	AdaptiveOptimize        = reissue.AdaptiveOptimize
+	AdaptiveOptimizeSingleD = reissue.AdaptiveOptimizeSingleD
+)
+
+// Analytic model (reissue/analytic.go).
+var (
+	SingleRSuccess         = reissue.SingleRSuccess
+	SingleRBudget          = reissue.SingleRBudget
+	SingleDSuccess         = reissue.SingleDSuccess
+	SingleDBudget          = reissue.SingleDBudget
+	MultipleRSuccess       = reissue.MultipleRSuccess
+	MultipleRBudget        = reissue.MultipleRBudget
+	TailLatency            = reissue.TailLatency
+	OptimalSingleRAnalytic = reissue.OptimalSingleRAnalytic
+)
+
+// Budget selection (reissue/budget.go).
+type (
+	BudgetTrial        = reissue.BudgetTrial
+	BudgetSearchConfig = reissue.BudgetSearchConfig
+	BudgetSearchResult = reissue.BudgetSearchResult
+	SLAConfig          = reissue.SLAConfig
+	SLAResult          = reissue.SLAResult
+)
+
+var (
+	BudgetSearch         = reissue.BudgetSearch
+	MinimizeBudgetForSLA = reissue.MinimizeBudgetForSLA
+)
+
+// Online adaptation (reissue/online.go).
+type (
+	OnlineConfig  = reissue.OnlineConfig
+	OnlineAdapter = reissue.OnlineAdapter
+)
+
+var NewOnlineAdapter = reissue.NewOnlineAdapter

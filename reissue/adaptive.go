@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import (
 	"fmt"
@@ -97,10 +97,10 @@ type AdaptiveResult struct {
 // distribution.
 func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 	if cfg.Trials <= 0 {
-		return AdaptiveResult{}, fmt.Errorf("core: Trials=%d must be positive", cfg.Trials)
+		return AdaptiveResult{}, fmt.Errorf("reissue: Trials=%d must be positive", cfg.Trials)
 	}
 	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
-		return AdaptiveResult{}, fmt.Errorf("core: Lambda=%v outside (0, 1]", cfg.Lambda)
+		return AdaptiveResult{}, fmt.Errorf("reissue: Lambda=%v outside (0, 1]", cfg.Lambda)
 	}
 	if err := checkOptimizerArgs(1, cfg.K, cfg.B); err != nil {
 		return AdaptiveResult{}, err
@@ -111,12 +111,12 @@ func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 	for trial := 0; trial < cfg.Trials; trial++ {
 		run := sys.Run(pol)
 		if len(run.Primary) == 0 || len(run.Query) == 0 {
-			return res, fmt.Errorf("core: system returned empty measurements on trial %d", trial)
+			return res, fmt.Errorf("reissue: system returned empty measurements on trial %d", trial)
 		}
 
 		local, pred, err := solveLocal(run, cfg)
 		if err != nil {
-			return res, fmt.Errorf("core: trial %d: %w", trial, err)
+			return res, fmt.Errorf("reissue: trial %d: %w", trial, err)
 		}
 
 		res.Trials = append(res.Trials, AdaptiveTrial{

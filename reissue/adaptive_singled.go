@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import "fmt"
 
@@ -16,10 +16,10 @@ import "fmt"
 // of the way there.
 func AdaptiveOptimizeSingleD(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 	if cfg.Trials <= 0 {
-		return AdaptiveResult{}, fmt.Errorf("core: Trials=%d must be positive", cfg.Trials)
+		return AdaptiveResult{}, fmt.Errorf("reissue: Trials=%d must be positive", cfg.Trials)
 	}
 	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
-		return AdaptiveResult{}, fmt.Errorf("core: Lambda=%v outside (0, 1]", cfg.Lambda)
+		return AdaptiveResult{}, fmt.Errorf("reissue: Lambda=%v outside (0, 1]", cfg.Lambda)
 	}
 	if err := checkOptimizerArgs(1, cfg.K, cfg.B); err != nil {
 		return AdaptiveResult{}, err
@@ -30,7 +30,7 @@ func AdaptiveOptimizeSingleD(sys System, cfg AdaptiveConfig) (AdaptiveResult, er
 	// would overload the system on the very first trial.
 	base := sys.Run(None{})
 	if len(base.Primary) == 0 {
-		return AdaptiveResult{}, fmt.Errorf("core: system returned empty baseline measurements")
+		return AdaptiveResult{}, fmt.Errorf("reissue: system returned empty baseline measurements")
 	}
 	seed, err := OptimalSingleD(base.Primary, cfg.B)
 	if err != nil {
@@ -42,11 +42,11 @@ func AdaptiveOptimizeSingleD(sys System, cfg AdaptiveConfig) (AdaptiveResult, er
 		pol := SingleD{D: d}
 		run := sys.Run(pol)
 		if len(run.Primary) == 0 || len(run.Query) == 0 {
-			return res, fmt.Errorf("core: system returned empty measurements on trial %d", trial)
+			return res, fmt.Errorf("reissue: system returned empty measurements on trial %d", trial)
 		}
 		local, err := OptimalSingleD(run.Primary, cfg.B)
 		if err != nil {
-			return res, fmt.Errorf("core: trial %d: %w", trial, err)
+			return res, fmt.Errorf("reissue: trial %d: %w", trial, err)
 		}
 		res.Trials = append(res.Trials, AdaptiveTrial{
 			Trial:       trial,

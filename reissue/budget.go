@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import (
 	"fmt"
@@ -47,13 +47,13 @@ type BudgetSearchResult struct {
 // best, regression flips and halves it (delta <- -delta/2).
 func BudgetSearch(sys System, cfg BudgetSearchConfig) (BudgetSearchResult, error) {
 	if cfg.Trials <= 0 {
-		return BudgetSearchResult{}, fmt.Errorf("core: Trials=%d must be positive", cfg.Trials)
+		return BudgetSearchResult{}, fmt.Errorf("reissue: Trials=%d must be positive", cfg.Trials)
 	}
 	if cfg.InitialDelta <= 0 {
-		return BudgetSearchResult{}, fmt.Errorf("core: InitialDelta=%v must be positive", cfg.InitialDelta)
+		return BudgetSearchResult{}, fmt.Errorf("reissue: InitialDelta=%v must be positive", cfg.InitialDelta)
 	}
 	if cfg.MaxBudget <= 0 || cfg.MaxBudget > 1 {
-		return BudgetSearchResult{}, fmt.Errorf("core: MaxBudget=%v outside (0, 1]", cfg.MaxBudget)
+		return BudgetSearchResult{}, fmt.Errorf("reissue: MaxBudget=%v outside (0, 1]", cfg.MaxBudget)
 	}
 
 	// Baseline: no reissue at all is "budget 0".
@@ -76,7 +76,7 @@ func BudgetSearch(sys System, cfg BudgetSearchConfig) (BudgetSearchResult, error
 
 		lat, pol, err := probeBudget(sys, cand, cfg)
 		if err != nil {
-			return res, fmt.Errorf("core: budget trial %d: %w", trial, err)
+			return res, fmt.Errorf("reissue: budget trial %d: %w", trial, err)
 		}
 
 		if lat < res.BestLatency {
@@ -162,10 +162,10 @@ type SLAResult struct {
 // over-achieving the SLA does not attract extra budget.
 func MinimizeBudgetForSLA(sys System, cfg SLAConfig) (SLAResult, error) {
 	if cfg.Target <= 0 {
-		return SLAResult{}, fmt.Errorf("core: SLA target %v must be positive", cfg.Target)
+		return SLAResult{}, fmt.Errorf("reissue: SLA target %v must be positive", cfg.Target)
 	}
 	if cfg.MaxBudget <= 0 || cfg.MaxBudget > 1 {
-		return SLAResult{}, fmt.Errorf("core: MaxBudget=%v outside (0, 1]", cfg.MaxBudget)
+		return SLAResult{}, fmt.Errorf("reissue: MaxBudget=%v outside (0, 1]", cfg.MaxBudget)
 	}
 	tol := cfg.Tolerance
 	if tol <= 0 {

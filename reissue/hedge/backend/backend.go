@@ -1,0 +1,384 @@
+// Package backend turns the repository's in-process workloads — the
+// Redis-like kvstore and the Lucene-like searchengine — into live
+// replicated services a hedge.Client can issue real concurrent
+// requests against.
+//
+// Each replica is a single-threaded server, exactly like the paper's
+// Redis and Lucene testbed processes: requests queue on the replica,
+// the replica executes the query's real computation (an actual SINTER
+// or index search), and it stays busy for the workload's calibrated
+// model service time scaled to wall clock by Config.Unit. A copy that
+// has started service always finishes — the same non-preemption rule
+// the cluster simulator applies — while a copy still queued is
+// reclaimable through context cancellation.
+//
+// Because every replica serves the identical data, a reissue executes
+// the same work as the primary and gets the same model service time:
+// the strongest service-time correlation, matching the simulator's
+// TraceSource. The package exposes the model times so callers can run
+// the simulator on the very same trace and cross-validate live
+// measurements against simulated ones at matched load.
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/searchengine"
+	"repro/reissue"
+	"repro/reissue/hedge"
+)
+
+// Config parametrizes a live replicated backend.
+type Config struct {
+	// Replicas is the number of identical single-threaded servers.
+	Replicas int
+	// Unit is the wall-clock duration of one model millisecond.
+	// Shrinking it speeds up experiments without changing queueing
+	// behaviour; it must match the hedge.Config.Unit of the client
+	// issuing the requests. Default time.Millisecond.
+	Unit time.Duration
+	// SpeedFactors optionally gives each replica a static service-
+	// time multiplier (1 = nominal, 2.5 = 2.5x slower), modelling the
+	// permanently heterogeneous hardware of real fleets — identical
+	// semantics to the simulator's cluster.Config.SpeedFactors.
+	// Heterogeneity is the canonical reason hedging pays: a request
+	// stuck behind a slow replica's queue is rescued by its reissue
+	// landing on a fast one. Length must equal Replicas when set.
+	SpeedFactors []float64
+	// MinServiceMS, when positive, clamps every model service time to
+	// at least this many model milliseconds. A scaled-down replay
+	// cannot represent holds below the kernel's sleep floor
+	// (SleepResponse.Floor): below it the floor applies after the
+	// replica's speed factor while a simulator's trace scaling
+	// applies before, and the two systems silently diverge. Clamping
+	// the trace above the floor keeps the sleep response linear so
+	// live and simulated runs see the same workload.
+	MinServiceMS float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Replicas <= 0 {
+		return c, fmt.Errorf("backend: Replicas=%d must be positive", c.Replicas)
+	}
+	if c.Unit < 0 {
+		return c, fmt.Errorf("backend: negative Unit %v", c.Unit)
+	}
+	if c.Unit == 0 {
+		c.Unit = time.Millisecond
+	}
+	if c.SpeedFactors != nil {
+		if len(c.SpeedFactors) != c.Replicas {
+			return c, fmt.Errorf("backend: %d speed factors for %d replicas", len(c.SpeedFactors), c.Replicas)
+		}
+		for i, f := range c.SpeedFactors {
+			if f <= 0 {
+				return c, fmt.Errorf("backend: speed factor %v for replica %d must be positive", f, i)
+			}
+		}
+	}
+	return c, nil
+}
+
+// replica is one single-threaded server. The one-slot channel is its
+// run queue: goroutines blocked on it are requests waiting for the
+// server thread.
+type replica struct {
+	slot  chan struct{}
+	speed float64 // static service-time multiplier, 1 = nominal
+}
+
+// serve executes work on the replica: wait for the server thread
+// (cancellable), then hold the thread for the model service time,
+// running the real computation inside the hold — the model time was
+// calibrated from that computation, so the two overlap rather than
+// add. Service is not preempted once started, matching the
+// simulator's cancellation rule.
+//
+// The hold uses a plain time.Sleep, so it inherits the kernel's
+// timer resolution: short holds are rounded up to the sleep floor
+// and long ones overshoot slightly. SleepResponse/EffectiveModelTimes
+// measure that response so the simulator can be driven with the
+// service times the replicas actually deliver.
+func (r *replica) serve(ctx context.Context, unit time.Duration, modelMS float64, work func()) error {
+	select {
+	case r.slot <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-r.slot }()
+	deadline := time.Now().Add(time.Duration(modelMS * r.speed * float64(unit)))
+	work()
+	if rem := time.Until(deadline); rem > 0 {
+		time.Sleep(rem)
+	}
+	return nil
+}
+
+// SleepResponse is the measured response of time.Sleep on this
+// machine: a request to sleep d actually sleeps about
+// max(Floor, d+Overshoot). On kernels with ~1 ms timer resolution the
+// floor dominates every sub-millisecond hold, so a scaled-down
+// workload's effective service times differ from its nominal ones in
+// a way any live-vs-simulator comparison must account for.
+type SleepResponse struct {
+	Floor     time.Duration // minimum achievable sleep
+	Overshoot time.Duration // extra time on top of long sleeps
+}
+
+// Apply returns the duration a requested sleep of d actually takes.
+func (sr SleepResponse) Apply(d time.Duration) time.Duration {
+	if eff := d + sr.Overshoot; eff > sr.Floor {
+		return eff
+	}
+	return sr.Floor
+}
+
+var (
+	sleepOnce sync.Once
+	sleepResp SleepResponse
+)
+
+// MeasureSleepResponse measures the machine's sleep response once per
+// process (a few tens of milliseconds of one-time calibration).
+func MeasureSleepResponse() SleepResponse {
+	sleepOnce.Do(func() {
+		measure := func(d time.Duration, n int) time.Duration {
+			var tot time.Duration
+			for i := 0; i < n; i++ {
+				t0 := time.Now()
+				time.Sleep(d)
+				tot += time.Since(t0)
+			}
+			return tot / time.Duration(n)
+		}
+		const long = 3 * time.Millisecond
+		sleepResp = SleepResponse{
+			Floor:     measure(50*time.Microsecond, 12),
+			Overshoot: measure(long, 12) - long,
+		}
+		if sleepResp.Overshoot < 0 {
+			sleepResp.Overshoot = 0
+		}
+	})
+	return sleepResp
+}
+
+// Cluster is a set of identical single-threaded replicas serving a
+// recorded query trace.
+type Cluster struct {
+	cfg      Config
+	replicas []*replica
+	times    []float64
+	exec     func(i int) (any, error)
+}
+
+func newCluster(cfg Config, times []float64, exec func(i int) (any, error)) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(times) == 0 {
+		return nil, fmt.Errorf("backend: empty workload")
+	}
+	if cfg.MinServiceMS < 0 {
+		return nil, fmt.Errorf("backend: negative MinServiceMS %v", cfg.MinServiceMS)
+	}
+	if cfg.MinServiceMS > 0 {
+		clamped := make([]float64, len(times))
+		for i, t := range times {
+			if t < cfg.MinServiceMS {
+				t = cfg.MinServiceMS
+			}
+			clamped[i] = t
+		}
+		times = clamped
+	}
+	c := &Cluster{cfg: cfg, times: times, exec: exec}
+	for i := 0; i < cfg.Replicas; i++ {
+		speed := 1.0
+		if cfg.SpeedFactors != nil {
+			speed = cfg.SpeedFactors[i]
+		}
+		c.replicas = append(c.replicas, &replica{slot: make(chan struct{}, 1), speed: speed})
+	}
+	return c, nil
+}
+
+// NewKV builds a live replicated kvstore backend: every replica
+// serves the same generated store, and requests execute real
+// set intersections.
+func NewKV(w *kvstore.Workload, cfg Config) (*Cluster, error) {
+	if w == nil || len(w.Queries) == 0 {
+		return nil, fmt.Errorf("backend: nil or empty kvstore workload")
+	}
+	return newCluster(cfg, w.Times, func(i int) (any, error) {
+		q := w.Queries[i]
+		set, _ := w.Store.SInter(q.A, q.B)
+		return len(set), nil
+	})
+}
+
+// NewSearch builds a live replicated searchengine backend: every
+// replica serves the same inverted index, and requests execute real
+// top-K searches.
+func NewSearch(w *searchengine.Workload, cfg Config) (*Cluster, error) {
+	if w == nil || len(w.Queries) == 0 {
+		return nil, fmt.Errorf("backend: nil or empty searchengine workload")
+	}
+	return newCluster(cfg, w.Times, func(i int) (any, error) {
+		res := w.Index.Search(w.Queries[i], 10)
+		return len(res.Hits), nil
+	})
+}
+
+// NumQueries returns the length of the query trace.
+func (c *Cluster) NumQueries() int { return len(c.times) }
+
+// Replicas returns the number of replicas.
+func (c *Cluster) Replicas() int { return len(c.replicas) }
+
+// SpeedFactors returns each replica's service-time multiplier —
+// always Replicas() entries, 1 for nominal replicas — so callers
+// simulating this backend configure the simulator from the backend
+// itself rather than re-deriving the topology.
+func (c *Cluster) SpeedFactors() []float64 {
+	out := make([]float64, len(c.replicas))
+	for i, r := range c.replicas {
+		out[i] = r.speed
+	}
+	return out
+}
+
+// ModelTimes returns the trace of model service times in
+// milliseconds, in query order.
+func (c *Cluster) ModelTimes() []float64 { return c.times }
+
+// EffectiveModelTimes returns the service times the replicas actually
+// deliver, in model milliseconds: the nominal trace passed through
+// the machine's measured sleep response at this cluster's Unit. Feed
+// this trace to the simulator's TraceSource when cross-validating
+// live measurements against simulated ones — it is the live-system
+// calibration step, the same role the paper's testbed measurements
+// play for its simulator.
+//
+// The transform is applied to the nominal per-query time; a
+// simulator multiplying it by a replica speed factor s then carries
+// s times the sleep Overshoot where the live replica incurs it once,
+// a second-order bias of (s-1)·Overshoot per slow-replica request
+// (about 2% of a slow hold at the default configuration). Clamping
+// with MinServiceMS removes the much larger Floor nonlinearity; the
+// residual Overshoot term is accepted and is one reason agreement
+// checks compare rates with tolerances rather than exactly.
+func (c *Cluster) EffectiveModelTimes() []float64 {
+	sr := MeasureSleepResponse()
+	out := make([]float64, len(c.times))
+	for i, t := range c.times {
+		out[i] = float64(sr.Apply(time.Duration(t*float64(c.cfg.Unit)))) / float64(c.cfg.Unit)
+	}
+	return out
+}
+
+// MeanServiceMS returns the mean model service time, the quantity
+// that converts a target utilization into an arrival rate.
+func (c *Cluster) MeanServiceMS() float64 {
+	var sum float64
+	for _, t := range c.times {
+		sum += t
+	}
+	return sum / float64(len(c.times))
+}
+
+// ArrivalRate returns the open-loop Poisson arrival rate (queries
+// per model millisecond) that loads the cluster to utilization rho,
+// the same formula the simulator uses: rho * replicas / E[S].
+func (c *Cluster) ArrivalRate(rho float64) float64 {
+	return rho * float64(len(c.replicas)) / c.MeanServiceMS()
+}
+
+// RunOpenLoop replays the first n trace queries through client at
+// open-loop Poisson arrival rate lambda (queries per model
+// millisecond) — the same arrival process the cluster simulator
+// generates — and returns each query's end-to-end latency in model
+// milliseconds, in query order. Queries the client fails to answer
+// (all copies failed, context cancelled) are returned as NaN-free
+// zero entries along with the first error; callers comparing against
+// the simulator should treat any error as fatal.
+func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
+	if n <= 0 || lambda <= 0 {
+		return nil, fmt.Errorf("backend: n=%d and lambda=%v must be positive", n, lambda)
+	}
+	rng := reissue.NewRNG(seed)
+	latencies := make([]float64, n)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	at := 0.0 // next arrival in model ms since start
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			// Arrivals are scheduled against absolute deadlines, like
+			// the simulator's event list: a late wakeup delays one
+			// arrival but does not drift the rate of the whole run.
+			at += rng.ExpFloat64() / lambda
+			deadline := start.Add(time.Duration(at * float64(c.cfg.Unit)))
+			if wait := time.Until(deadline); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					wg.Wait()
+					return latencies, ctx.Err()
+				}
+			}
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			if _, err := client.Do(ctx, c.Request(i)); err != nil {
+				errs <- err
+				return
+			}
+			latencies[i] = float64(time.Since(t0)) / float64(c.cfg.Unit)
+		}()
+	}
+	wg.Wait()
+	client.Wait()
+	select {
+	case err := <-errs:
+		return latencies, err
+	default:
+		return latencies, nil
+	}
+}
+
+// Request returns the hedge.Fn for query i (mod the trace length).
+// The primary copy goes to a pseudo-randomly placed replica (the
+// simulator's RandomLB, derandomized per query id so concurrent
+// requests need no shared RNG); each reissue attempt goes to a
+// different replica, the way a real hedging client routes its backup
+// request to another server so it does not share the primary's queue.
+func (c *Cluster) Request(i int) hedge.Fn {
+	idx := i % len(c.times)
+	// SplitMix64-style finalizer over the query id.
+	h := uint64(i) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	base := int(h % uint64(len(c.replicas)))
+	return func(ctx context.Context, attempt int) (any, error) {
+		r := c.replicas[(base+attempt)%len(c.replicas)]
+		var v any
+		var err error
+		serr := r.serve(ctx, c.cfg.Unit, c.times[idx], func() {
+			v, err = c.exec(idx)
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		return v, err
+	}
+}

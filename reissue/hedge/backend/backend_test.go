@@ -1,0 +1,176 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/searchengine"
+	"repro/reissue"
+	"repro/reissue/hedge"
+)
+
+const unit = 500 * time.Microsecond
+
+func kvWorkload(t *testing.T, queries int) *kvstore.Workload {
+	t.Helper()
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 300, NumQueries: queries, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := kvWorkload(t, 50)
+	if _, err := NewKV(w, Config{Replicas: 0}); err == nil {
+		t.Error("NewKV accepted zero replicas")
+	}
+	if _, err := NewKV(w, Config{Replicas: 2, Unit: -time.Second}); err == nil {
+		t.Error("NewKV accepted a negative unit")
+	}
+	if _, err := NewKV(nil, Config{Replicas: 2}); err == nil {
+		t.Error("NewKV accepted a nil workload")
+	}
+	if _, err := NewSearch(nil, Config{Replicas: 2}); err == nil {
+		t.Error("NewSearch accepted a nil workload")
+	}
+}
+
+func TestRequestExecutesRealWork(t *testing.T) {
+	w := kvWorkload(t, 50)
+	c, err := NewKV(w, Config{Replicas: 2, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v, err := c.Request(i)(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The live backend runs the same SInter the workload generator
+		// timed, so the returned cardinality must match a re-execution.
+		q := w.Queries[i]
+		want, _ := w.Store.SInter(q.A, q.B)
+		if v.(int) != len(want) {
+			t.Fatalf("query %d returned %v, want %d", i, v, len(want))
+		}
+	}
+}
+
+func TestSearchBackendServes(t *testing.T) {
+	w, err := searchengine.GenerateWorkload(searchengine.WorkloadConfig{NumQueries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewSearch(w, Config{Replicas: 2, Unit: 50 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Request(0)(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicaSerializes checks the single-threaded-server model: two
+// concurrent requests on a one-replica cluster must take at least the
+// sum of their service times.
+func TestReplicaSerializes(t *testing.T) {
+	w := kvWorkload(t, 50)
+	c, err := NewKV(w, Config{Replicas: 1, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const serviceMS = 4.0
+	c.times[0], c.times[1] = serviceMS, serviceMS
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Request(i)(context.Background(), 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got < time.Duration(2*serviceMS*float64(unit)) {
+		t.Fatalf("two requests on one replica finished in %v, faster than serial execution", got)
+	}
+}
+
+// TestCancelWhileQueued checks that a request still waiting for the
+// server thread is reclaimable via context cancellation — the path
+// the hedging client uses to withdraw the losing copy.
+func TestCancelWhileQueued(t *testing.T) {
+	w := kvWorkload(t, 50)
+	c, err := NewKV(w, Config{Replicas: 1, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.times[0] = 40 // long occupant
+
+	occupying := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(occupying)
+		c.Request(0)(context.Background(), 0)
+		close(done)
+	}()
+	<-occupying
+	time.Sleep(time.Duration(2 * float64(unit))) // let it enter service
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(2 * float64(unit)))
+		cancel()
+	}()
+	if _, err := c.Request(1)(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request returned %v, want context.Canceled", err)
+	}
+	<-done
+}
+
+// TestHedgedOpenLoopRun drives the full stack — open-loop Poisson
+// load through a hedge.Client against live replicas — and checks the
+// counters stay consistent under the race detector.
+func TestHedgedOpenLoopRun(t *testing.T) {
+	w := kvWorkload(t, 1000)
+	c, err := NewKV(w, Config{Replicas: 4, Unit: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := hedge.New(hedge.Config{
+		Policy: reissue.SingleR{D: 5, Q: 0.5},
+		Unit:   100 * time.Microsecond,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 600
+	lats, err := c.RunOpenLoop(context.Background(), client, n, c.ArrivalRate(0.3), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lats) != n {
+		t.Fatalf("got %d latencies, want %d", len(lats), n)
+	}
+	for i, l := range lats {
+		if l <= 0 {
+			t.Fatalf("latency[%d] = %v, want positive", i, l)
+		}
+	}
+	s := client.Snapshot()
+	if s.Completed != n || s.Failures != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

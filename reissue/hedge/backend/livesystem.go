@@ -1,0 +1,96 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/reissue"
+	"repro/reissue/hedge"
+)
+
+// LiveSystem adapts a live replicated backend plus a load profile to
+// the reissue.System interface, so the paper's data-driven machinery
+// — AdaptiveOptimize, BudgetSearch, MinimizeBudgetForSLA — runs
+// unchanged against real goroutine traffic instead of the simulator.
+// Each Run stands up a fresh hedging client for the trial's policy,
+// replays the workload open-loop at the configured arrival rate, and
+// reports the measured per-copy and end-to-end response times.
+//
+// Losing copies run to completion (hedge.Config.LetLoserRun): that is
+// the paper's execution model, it matches the simulator's default,
+// and it is what gives the optimizer a full reissue response-time
+// log.
+type LiveSystem struct {
+	// Back is the replicated backend to drive.
+	Back *Cluster
+	// N is the number of queries per trial; Warmup of them lead-in
+	// excluded from the end-to-end latency log.
+	N, Warmup int
+	// Lambda is the open-loop Poisson arrival rate in queries per
+	// model millisecond.
+	Lambda float64
+	// Seed drives arrivals and policy coin flips.
+	Seed uint64
+	// FreshPerRun gives every successive Run its own random streams.
+	// The default (false) applies common random numbers, exactly like
+	// the simulator: every run replays the identical Poisson arrival
+	// stream, so two policies are compared on the same sample path —
+	// the variance reduction that makes baseline-vs-hedged
+	// comparisons and adaptive refinement converge at practical run
+	// lengths.
+	FreshPerRun bool
+
+	runs uint64
+}
+
+// Run implements reissue.System: one live trial under policy p.
+// Configuration errors (invalid N, Warmup, Lambda) panic, since the
+// System interface has no error path and a half-configured trial
+// would silently corrupt every measurement derived from it.
+func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
+	if s.Warmup < 0 || s.Warmup >= s.N {
+		panic(fmt.Sprintf("backend: LiveSystem Warmup=%d outside [0, N=%d)", s.Warmup, s.N))
+	}
+	seed := s.Seed
+	if s.FreshPerRun {
+		s.runs++
+		seed += s.runs * 0x9e3779b9
+	}
+	var mu sync.Mutex
+	var rx, ry []float64
+	client, err := hedge.New(hedge.Config{
+		Policy:      p,
+		Unit:        s.Back.Unit(),
+		LetLoserRun: true,
+		Seed:        seed,
+		OnCopyComplete: func(reissue bool, rt float64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if reissue {
+				ry = append(ry, rt)
+			} else {
+				rx = append(rx, rt)
+			}
+		},
+	})
+	if err != nil {
+		// Config errors are programming mistakes here (the policy
+		// comes from the optimizer); surface them loudly.
+		panic(err)
+	}
+	lats, err := s.Back.RunOpenLoop(context.Background(), client, s.N, s.Lambda, seed)
+	if err != nil {
+		panic(err)
+	}
+	return reissue.RunResult{
+		Primary:     rx,
+		Reissue:     ry,
+		Query:       lats[s.Warmup:],
+		ReissueRate: client.Snapshot().ReissueRate,
+	}
+}
+
+// Unit returns the wall-clock duration of one model millisecond.
+func (c *Cluster) Unit() time.Duration { return c.cfg.Unit }

@@ -1,0 +1,389 @@
+// Package hedge executes reissue policies for real: a goroutine-based
+// hedging client in the style of "The Tail at Scale" that wraps any
+// request function, schedules redundant copies at the delays a
+// reissue.Policy plans, returns the first response, and cancels the
+// losing copy through context cancellation.
+//
+// Where the cluster simulator (internal/cluster) evaluates policies
+// on virtual time, a Client issues real concurrent requests on wall
+// time. The two are designed to agree: both check whether the query
+// already completed before sending its reissue (the paper's client
+// harness), both leave a copy that has started service to finish, and
+// both measure per-copy response times from that copy's own dispatch.
+// The agreement test in reissue/hedge/backend cross-validates the
+// measured reissue rate and tail latency against the simulator at
+// matched load.
+//
+// A Client can run a static policy, or — with Config.Online set — a
+// self-tuning one: every completed copy's response time feeds a
+// sliding-window quantile tracker and the reissue.OnlineAdapter,
+// which re-solves the paper's offline optimizer each epoch so the
+// reissue delay follows drifting load, exactly as in Section 4.4.
+package hedge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/reissue"
+)
+
+// Fn executes one copy of a request. attempt is 0 for the primary and
+// counts up for each reissue copy. Implementations should honor ctx
+// cancellation — that is how the client reclaims the losing copy —
+// and route different attempts to different replicas when they can,
+// since a reissue only helps if it does not share the primary's fate.
+type Fn func(ctx context.Context, attempt int) (any, error)
+
+// Config parametrizes a hedging client.
+type Config struct {
+	// Policy is the static reissue policy to execute. Exactly one of
+	// Policy and Online must be set.
+	Policy reissue.Policy
+	// Online, when set, makes the client self-tuning: it starts from
+	// the immediate-reissue seed and re-tunes per the online adapter.
+	Online *reissue.OnlineConfig
+	// Unit is the wall-clock duration of one policy time unit. The
+	// repository's policies and workloads are calibrated in
+	// milliseconds, so the default is time.Millisecond; tests shrink
+	// it to run the same schedules faster.
+	Unit time.Duration
+	// LetLoserRun, when true, lets the losing copy run to completion
+	// instead of cancelling it on first response. Completed losers
+	// contribute response-time observations (better data for the
+	// optimizer, as the paper's measurement harness collects), at the
+	// cost of the wasted work the paper's model assumes.
+	LetLoserRun bool
+	// QuantileWindow is the sliding window (in completed queries) of
+	// the end-to-end latency tracker; default 4096.
+	QuantileWindow int
+	// QuantileEps is the tracker's rank error; default 0.005.
+	QuantileEps float64
+	// OnCopyComplete, when set, is invoked for every copy that
+	// actually completes successfully, with whether it was a reissue
+	// and its response time in policy units, measured from that
+	// copy's own dispatch — the live counterpart of the simulator's
+	// Config.OnRequestComplete. It is called from the client's
+	// goroutines and must be safe for concurrent use.
+	OnCopyComplete func(reissue bool, rt float64)
+	// Seed drives the policy's coin flips.
+	Seed uint64
+}
+
+// Snapshot is a point-in-time view of a client's counters and
+// latency tracker.
+type Snapshot struct {
+	// Issued is the number of Do calls started; Completed the number
+	// that returned a result (success or failure).
+	Issued, Completed int64
+	// Reissued counts reissue copies actually dispatched. Planned
+	// copies whose query completed before their delay elapsed are not
+	// dispatched and not counted — the paper's completion check.
+	Reissued int64
+	// PrimaryWins and ReissueWins count which copy answered first;
+	// Failures counts queries where every copy failed.
+	PrimaryWins, ReissueWins, Failures int64
+	// ReissueRate is Reissued / Completed — directly comparable to
+	// the simulator's Result.ReissueRate and the policy's configured
+	// budget q·Pr(X > d).
+	ReissueRate float64
+	// P50, P95, P99 are end-to-end query latencies in policy time
+	// units over the sliding window (NaN until data arrives).
+	P50, P95, P99 float64
+	// Policy is the current policy (the adapter's latest parameters
+	// when self-tuning).
+	Policy string
+	// Epochs is the number of online re-tuning epochs run (0 for
+	// static policies).
+	Epochs int
+}
+
+// Client is a concurrent hedging client. All methods are safe for
+// concurrent use; a single Client is meant to be shared by every
+// goroutine issuing requests to the same backend.
+type Client struct {
+	cfg  Config
+	unit time.Duration
+
+	mu      sync.Mutex // guards rng, adapter, tracker
+	rng     *reissue.RNG
+	static  reissue.Policy
+	adapter *reissue.OnlineAdapter
+	tracker *reissue.WindowedQuantile
+
+	issued      atomic.Int64
+	completed   atomic.Int64
+	reissued    atomic.Int64
+	primaryWins atomic.Int64
+	reissueWins atomic.Int64
+	failures    atomic.Int64
+
+	wg sync.WaitGroup // all copy and drain goroutines
+}
+
+// New validates the configuration and returns a Client.
+func New(cfg Config) (*Client, error) {
+	if (cfg.Policy == nil) == (cfg.Online == nil) {
+		return nil, fmt.Errorf("hedge: exactly one of Policy and Online must be set")
+	}
+	if cfg.Unit < 0 {
+		return nil, fmt.Errorf("hedge: negative Unit %v", cfg.Unit)
+	}
+	if cfg.Unit == 0 {
+		cfg.Unit = time.Millisecond
+	}
+	if cfg.QuantileWindow <= 0 {
+		cfg.QuantileWindow = 4096
+	}
+	if cfg.QuantileEps <= 0 {
+		cfg.QuantileEps = 0.005
+	}
+	c := &Client{
+		cfg:     cfg,
+		unit:    cfg.Unit,
+		rng:     reissue.NewRNG(cfg.Seed),
+		static:  cfg.Policy,
+		tracker: reissue.NewWindowedQuantile(cfg.QuantileEps, cfg.QuantileWindow),
+	}
+	if cfg.Online != nil {
+		a, err := reissue.NewOnlineAdapter(*cfg.Online)
+		if err != nil {
+			return nil, err
+		}
+		c.adapter = a
+	}
+	return c, nil
+}
+
+// Policy returns the policy currently in force — the static policy,
+// or the online adapter's latest SingleR parameters.
+func (c *Client) Policy() reissue.Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.currentPolicy()
+}
+
+func (c *Client) currentPolicy() reissue.Policy {
+	if c.adapter != nil {
+		return c.adapter.Policy()
+	}
+	return c.static
+}
+
+// plan samples the current policy's reissue schedule.
+func (c *Client) plan() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adapter != nil {
+		return c.adapter.Plan(c.rng)
+	}
+	return c.static.Plan(c.rng)
+}
+
+// observe feeds one completed copy's response time (in policy units)
+// to the online adapter.
+func (c *Client) observe(isReissue bool, rt float64) {
+	if c.adapter == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if isReissue {
+		c.adapter.ObserveReissue(rt)
+	} else {
+		c.adapter.ObservePrimary(rt)
+	}
+}
+
+// observeQuery feeds one query's end-to-end latency to the tracker.
+func (c *Client) observeQuery(rt float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracker.Add(rt)
+}
+
+// outcome is one copy's terminal report.
+type outcome struct {
+	attempt int
+	val     any
+	err     error
+	rt      float64 // response time in policy units, valid when executed
+	skipped bool    // copy was never dispatched (query done, or cancelled first)
+}
+
+// ErrAllCopiesFailed wraps the primary's error when every dispatched
+// copy of a query failed.
+var ErrAllCopiesFailed = errors.New("hedge: all copies failed")
+
+// Do executes one request under the hedging policy: it dispatches fn
+// as the primary immediately, schedules a redundant copy at each
+// delay the policy plans (skipping copies whose query already
+// completed — the paper's completion check), and returns the first
+// successful response. The losing copy's context is cancelled as soon
+// as a winner exists unless Config.LetLoserRun is set, in which case
+// it runs to completion in the background and its response time is
+// still observed.
+//
+// If every dispatched copy fails, Do returns an error wrapping
+// ErrAllCopiesFailed and the primary's error. If ctx is cancelled
+// before any copy succeeds, Do returns ctx.Err().
+func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
+	c.issued.Add(1)
+	start := time.Now()
+	plan := c.plan()
+
+	hctx, cancel := context.WithCancel(ctx)
+	copies := 1 + len(plan)
+	results := make(chan outcome, copies)
+	var done atomic.Bool
+
+	run := func(attempt int) {
+		t0 := time.Now()
+		v, err := fn(hctx, attempt)
+		results <- outcome{attempt: attempt, val: v, err: err,
+			rt: float64(time.Since(t0)) / float64(c.unit)}
+	}
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		run(0)
+	}()
+
+	for i, d := range plan {
+		attempt := i + 1
+		delay := time.Duration(d * float64(c.unit))
+		c.wg.Add(1)
+		timer := time.NewTimer(delay)
+		go func() {
+			defer c.wg.Done()
+			select {
+			case <-hctx.Done():
+				timer.Stop()
+				results <- outcome{attempt: attempt, err: hctx.Err(), skipped: true}
+			case <-timer.C:
+				// The paper's client checks a completion flag before
+				// actually sending the reissue.
+				if done.Load() {
+					results <- outcome{attempt: attempt, skipped: true}
+					return
+				}
+				c.reissued.Add(1)
+				run(attempt)
+			}
+		}()
+	}
+
+	// Collect until a winner emerges; then hand the rest to a drain
+	// goroutine so Do can return without leaking copies.
+	var winner outcome
+	var won bool
+	var primaryErr error
+	remaining := copies
+	for remaining > 0 {
+		o := <-results
+		remaining--
+		c.record(o, &primaryErr)
+		if !o.skipped && o.err == nil {
+			winner, won = o, true
+			break
+		}
+	}
+
+	if won {
+		done.Store(true)
+		if !c.cfg.LetLoserRun {
+			cancel()
+		}
+		if remaining > 0 {
+			c.wg.Add(1)
+			go func(remaining int) {
+				defer c.wg.Done()
+				defer cancel()
+				var discard error
+				for ; remaining > 0; remaining-- {
+					c.record(<-results, &discard)
+				}
+			}(remaining)
+		} else {
+			cancel()
+		}
+		switch winner.attempt {
+		case 0:
+			c.primaryWins.Add(1)
+		default:
+			c.reissueWins.Add(1)
+		}
+		c.completed.Add(1)
+		c.observeQuery(float64(time.Since(start)) / float64(c.unit))
+		return winner.val, nil
+	}
+
+	// No copy succeeded.
+	cancel()
+	c.failures.Add(1)
+	c.completed.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: %w", ErrAllCopiesFailed, primaryErr)
+}
+
+// record feeds a completed copy's measurements to the adapter and
+// remembers the primary's error for failure reporting.
+func (c *Client) record(o outcome, primaryErr *error) {
+	if o.skipped {
+		return
+	}
+	if o.err == nil {
+		c.observe(o.attempt > 0, o.rt)
+		if c.cfg.OnCopyComplete != nil {
+			c.cfg.OnCopyComplete(o.attempt > 0, o.rt)
+		}
+	} else if o.attempt == 0 && *primaryErr == nil {
+		*primaryErr = o.err
+	}
+}
+
+// Wait blocks until every in-flight copy and drain goroutine has
+// finished — losing copies included. Call it before shutdown, or in
+// tests that assert on goroutine counts or final counter values. New
+// Do calls must not race with Wait.
+func (c *Client) Wait() { c.wg.Wait() }
+
+// Snapshot returns the client's current counters and window
+// quantiles.
+func (c *Client) Snapshot() Snapshot {
+	c.mu.Lock()
+	p50 := c.tracker.Quantile(0.50)
+	p95 := c.tracker.Quantile(0.95)
+	p99 := c.tracker.Quantile(0.99)
+	pol := c.currentPolicy().String()
+	epochs := 0
+	if c.adapter != nil {
+		epochs = c.adapter.Epochs()
+	}
+	c.mu.Unlock()
+
+	s := Snapshot{
+		Issued:      c.issued.Load(),
+		Completed:   c.completed.Load(),
+		Reissued:    c.reissued.Load(),
+		PrimaryWins: c.primaryWins.Load(),
+		ReissueWins: c.reissueWins.Load(),
+		Failures:    c.failures.Load(),
+		P50:         p50,
+		P95:         p95,
+		P99:         p99,
+		Policy:      pol,
+		Epochs:      epochs,
+	}
+	if s.Completed > 0 {
+		s.ReissueRate = float64(s.Reissued) / float64(s.Completed)
+	}
+	return s
+}

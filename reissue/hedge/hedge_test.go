@@ -1,0 +1,362 @@
+package hedge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/reissue"
+)
+
+// unit is the wall-clock length of one policy "millisecond" in these
+// tests — small enough to keep them fast, large enough that sleeps
+// dominate scheduling noise.
+const unit = 200 * time.Microsecond
+
+func sleepFor(ctx context.Context, modelMS float64) error {
+	t := time.NewTimer(time.Duration(modelMS * float64(unit)))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func mustClient(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	cfg.Unit = unit
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted neither Policy nor Online")
+	}
+	if _, err := New(Config{
+		Policy: reissue.None{},
+		Online: &reissue.OnlineConfig{K: 0.99, B: 0.02, Lambda: 0.5, Window: 200},
+	}); err == nil {
+		t.Error("New accepted both Policy and Online")
+	}
+	if _, err := New(Config{Policy: reissue.None{}, Unit: -time.Second}); err == nil {
+		t.Error("New accepted a negative Unit")
+	}
+	if _, err := New(Config{Online: &reissue.OnlineConfig{K: 2, B: 0.02, Lambda: 0.5, Window: 200}}); err == nil {
+		t.Error("New accepted an invalid OnlineConfig")
+	}
+}
+
+func TestPrimaryWinsNoReissueSent(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 50, Q: 1}, Seed: 1})
+	var calls atomic.Int64
+	for i := 0; i < 20; i++ {
+		v, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+			calls.Add(1)
+			if err := sleepFor(ctx, 1); err != nil {
+				return nil, err
+			}
+			return attempt, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != 0 {
+			t.Fatalf("winner attempt = %v, want primary", v)
+		}
+	}
+	c.Wait()
+	s := c.Snapshot()
+	if s.Reissued != 0 {
+		t.Errorf("fast primary still triggered %d reissues", s.Reissued)
+	}
+	if s.PrimaryWins != 20 || s.Completed != 20 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if calls.Load() != 20 {
+		t.Errorf("fn called %d times, want 20", calls.Load())
+	}
+}
+
+func TestReissueWinsAndLoserCancelled(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 2, Q: 1}, Seed: 1})
+	primaryCancelled := make(chan struct{})
+	v, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		if attempt == 0 {
+			// Slow primary: blocks until cancelled.
+			<-ctx.Done()
+			close(primaryCancelled)
+			return nil, ctx.Err()
+		}
+		if err := sleepFor(ctx, 1); err != nil {
+			return nil, err
+		}
+		return "reissue", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "reissue" {
+		t.Fatalf("winner = %v, want reissue", v)
+	}
+	select {
+	case <-primaryCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing primary was never cancelled")
+	}
+	c.Wait()
+	s := c.Snapshot()
+	if s.ReissueWins != 1 || s.Reissued != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestLetLoserRunObservesBothCopies(t *testing.T) {
+	c := mustClient(t, Config{
+		Policy:      reissue.SingleR{D: 1, Q: 1},
+		LetLoserRun: true,
+		Seed:        1,
+	})
+	var finished atomic.Int64
+	_, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		ms := 2.0
+		if attempt == 0 {
+			ms = 10.0 // slow primary, but allowed to finish
+		}
+		if err := sleepFor(ctx, ms); err != nil {
+			return nil, err
+		}
+		finished.Add(1)
+		return attempt, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+	if finished.Load() != 2 {
+		t.Errorf("%d copies finished, want both", finished.Load())
+	}
+}
+
+func TestAllCopiesFail(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 1, Q: 1}, Seed: 1})
+	boom := errors.New("boom")
+	_, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		if err := sleepFor(ctx, 2); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("attempt %d: %w", attempt, boom)
+	})
+	if !errors.Is(err, ErrAllCopiesFailed) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrAllCopiesFailed wrapping boom", err)
+	}
+	c.Wait()
+	if s := c.Snapshot(); s.Failures != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestReissueRescuesFailedPrimary(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 1, Q: 1}, Seed: 1})
+	v, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		if attempt == 0 {
+			return nil, errors.New("primary died")
+		}
+		if err := sleepFor(ctx, 1); err != nil {
+			return nil, err
+		}
+		return "rescued", nil
+	})
+	if err != nil || v != "rescued" {
+		t.Fatalf("v, err = %v, %v", v, err)
+	}
+	c.Wait()
+}
+
+func TestParentContextCancellation(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 5, Q: 1}, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(1 * float64(unit)))
+		cancel()
+	}()
+	_, err := c.Do(ctx, func(ctx context.Context, attempt int) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	c.Wait()
+}
+
+func TestConcurrentDoCountersConsistent(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 1, Q: 0.5}, Seed: 42})
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ms := 0.5 + float64((w+i)%5)
+				_, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+					if err := sleepFor(ctx, ms); err != nil {
+						return nil, err
+					}
+					return attempt, nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Wait()
+	s := c.Snapshot()
+	total := int64(workers * perWorker)
+	if s.Issued != total || s.Completed != total {
+		t.Fatalf("issued/completed = %d/%d, want %d", s.Issued, s.Completed, total)
+	}
+	if s.PrimaryWins+s.ReissueWins+s.Failures != total {
+		t.Fatalf("wins+failures = %d, want %d (snapshot %+v)",
+			s.PrimaryWins+s.ReissueWins+s.Failures, total, s)
+	}
+	if s.Failures != 0 {
+		t.Fatalf("unexpected failures: %+v", s)
+	}
+	if math.IsNaN(s.P50) || s.P50 <= 0 {
+		t.Errorf("tracker P50 = %v, want positive", s.P50)
+	}
+}
+
+// TestReissueFractionMatchesQ checks the live client's dispatched
+// reissue fraction against the configured SingleR parameters: with a
+// service time always exceeding the delay D, Pr(X > D) = 1, so the
+// dispatch rate must equal the coin-flip probability Q. The timing is
+// deliberately coarse (1 ms delay against a 6 ms service time) so
+// scheduling noise cannot flip the "already completed?" check.
+func TestReissueFractionMatchesQ(t *testing.T) {
+	const q = 0.3
+	coarse := 2 * time.Millisecond
+	c, err := New(Config{Policy: reissue.SingleR{D: 0.5, Q: q}, Seed: 7, Unit: coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, workers = 2000, 32
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				if _, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+					timer := time.NewTimer(3 * coarse)
+					defer timer.Stop()
+					select {
+					case <-timer.C:
+						return attempt, nil
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	c.Wait()
+	s := c.Snapshot()
+	if math.Abs(s.ReissueRate-q) > 0.03 {
+		t.Fatalf("reissue rate = %.3f, want %.2f ± 0.03 (snapshot %+v)", s.ReissueRate, q, s)
+	}
+}
+
+func TestNoGoroutineLeak(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 1, Q: 1}, Seed: 3})
+	before := runtime.NumGoroutine()
+	for i := 0; i < 200; i++ {
+		if _, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+			if err := sleepFor(ctx, 0.5+float64(i%3)); err != nil {
+				return nil, err
+			}
+			return attempt, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Wait()
+	// Give exiting goroutines a moment to be reaped.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestOnlineRetuning drives an adaptive client with a bimodal
+// latency backend and checks that the adapter runs epochs and moves
+// the reissue delay off the immediate-reissue seed, while the client
+// keeps answering from the fast mode via its reissues.
+func TestOnlineRetuning(t *testing.T) {
+	c := mustClient(t, Config{
+		Online: &reissue.OnlineConfig{K: 0.95, B: 0.10, Lambda: 0.5, Window: 200},
+		Seed:   11,
+	})
+	rng := reissue.NewRNG(99)
+	const n = 1200
+	for i := 0; i < n; i++ {
+		slow := rng.Float64() < 0.08
+		if _, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+			ms := 1.0
+			if slow && attempt == 0 {
+				ms = 20.0
+			}
+			if err := sleepFor(ctx, ms); err != nil {
+				return nil, err
+			}
+			return attempt, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Wait()
+	s := c.Snapshot()
+	if s.Epochs == 0 {
+		t.Fatalf("online adapter never re-tuned: %+v", s)
+	}
+	pol, ok := c.Policy().(reissue.SingleR)
+	if !ok {
+		t.Fatalf("adaptive policy has type %T", c.Policy())
+	}
+	if pol.D <= 0 {
+		t.Errorf("adapter left the immediate-reissue seed in place: %+v", pol)
+	}
+	if s.ReissueWins == 0 {
+		t.Errorf("reissues never rescued a slow primary: %+v", s)
+	}
+}

@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import (
 	"fmt"
@@ -59,10 +59,10 @@ func NewOnlineAdapter(cfg OnlineConfig) (*OnlineAdapter, error) {
 		return nil, err
 	}
 	if cfg.Lambda <= 0 || cfg.Lambda > 1 {
-		return nil, fmt.Errorf("core: Lambda=%v outside (0, 1]", cfg.Lambda)
+		return nil, fmt.Errorf("reissue: Lambda=%v outside (0, 1]", cfg.Lambda)
 	}
 	if cfg.Window < 100 {
-		return nil, fmt.Errorf("core: Window=%d too small to estimate tail quantiles", cfg.Window)
+		return nil, fmt.Errorf("reissue: Window=%d too small to estimate tail quantiles", cfg.Window)
 	}
 	return &OnlineAdapter{
 		cfg:     cfg,

@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import (
 	"fmt"
@@ -128,7 +128,7 @@ func ComputeOptimalSingleRCorrelated(rx []float64, pairs []rangequery.Point, k, 
 		return SingleR{}, Prediction{}, err
 	}
 	if len(pairs) == 0 {
-		return SingleR{}, Prediction{}, fmt.Errorf("core: no response-time pairs")
+		return SingleR{}, Prediction{}, fmt.Errorf("reissue: no response-time pairs")
 	}
 	sx := sortedCopy(rx)
 	sy := make([]float64, len(pairs))
@@ -220,15 +220,38 @@ func predictOnLog(sx, sy []float64, pol SingleR, k float64) Prediction {
 	}
 }
 
+// BindBudget returns the SingleR policy at delay d whose probability
+// spends budget B on the measured response-time log:
+// q = min(1, B / Pr(X > d)). This is the re-binding step the
+// adaptive loop applies every trial (Section 4.3); deployments apply
+// it after measuring a tuned policy live, because the reissues
+// themselves shift the response-time distribution the rate depends
+// on.
+func BindBudget(rx []float64, d, B float64) (SingleR, error) {
+	if err := checkOptimizerArgs(len(rx), 0.5, B); err != nil {
+		return SingleR{}, err
+	}
+	if d < 0 || math.IsNaN(d) {
+		return SingleR{}, fmt.Errorf("reissue: negative or NaN delay %v", d)
+	}
+	sx := sortedCopy(rx)
+	pxGT := 1 - float64(countLE(sx, d))/float64(len(sx))
+	q := 1.0
+	if pxGT > 0 {
+		q = math.Min(1, B/pxGT)
+	}
+	return SingleR{D: d, Q: q}, nil
+}
+
 // OptimalSingleD returns the SingleD policy for budget B given
 // primary response times rx — Equation (2): the delay d with
 // Pr(X > d) = B, i.e. the (1-B)-th empirical quantile of rx.
 func OptimalSingleD(rx []float64, B float64) (SingleD, error) {
 	if len(rx) == 0 {
-		return SingleD{}, fmt.Errorf("core: no samples")
+		return SingleD{}, fmt.Errorf("reissue: no samples")
 	}
 	if B <= 0 || B >= 1 {
-		return SingleD{}, fmt.Errorf("core: SingleD budget %v outside (0, 1)", B)
+		return SingleD{}, fmt.Errorf("reissue: SingleD budget %v outside (0, 1)", B)
 	}
 	sx := sortedCopy(rx)
 	// Smallest sample d with fraction of samples > d at most B.
@@ -245,13 +268,13 @@ func OptimalSingleD(rx []float64, B float64) (SingleD, error) {
 
 func checkOptimizerArgs(n int, k, B float64) error {
 	if n == 0 {
-		return fmt.Errorf("core: no response-time samples")
+		return fmt.Errorf("reissue: no response-time samples")
 	}
 	if k <= 0 || k >= 1 || math.IsNaN(k) {
-		return fmt.Errorf("core: percentile k=%v outside (0, 1)", k)
+		return fmt.Errorf("reissue: percentile k=%v outside (0, 1)", k)
 	}
 	if B < 0 || B > 1 || math.IsNaN(B) {
-		return fmt.Errorf("core: budget B=%v outside [0, 1]", B)
+		return fmt.Errorf("reissue: budget B=%v outside [0, 1]", B)
 	}
 	return nil
 }

@@ -1,4 +1,4 @@
-package core
+package reissue
 
 import (
 	"math"
@@ -330,5 +330,38 @@ func BenchmarkComputeOptimalSingleRCorrelated(b *testing.B) {
 		if _, _, err := ComputeOptimalSingleRCorrelated(rx, pairs, 0.99, 0.05); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestBindBudget(t *testing.T) {
+	// 100 samples 1..100: Pr(X > 80) = 0.20, so a 5% budget binds
+	// q = 0.25.
+	rx := make([]float64, 100)
+	for i := range rx {
+		rx[i] = float64(i + 1)
+	}
+	pol, err := BindBudget(rx, 80, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.D != 80 || math.Abs(pol.Q-0.25) > 1e-12 {
+		t.Fatalf("BindBudget = %+v, want D=80 Q=0.25", pol)
+	}
+	// Delay beyond every sample: Pr(X > d) = 0, q saturates at 1.
+	pol, err = BindBudget(rx, 1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Q != 1 {
+		t.Fatalf("BindBudget beyond max sample gave q=%v, want 1", pol.Q)
+	}
+	if _, err := BindBudget(nil, 10, 0.05); err == nil {
+		t.Error("BindBudget accepted an empty log")
+	}
+	if _, err := BindBudget(rx, -1, 0.05); err == nil {
+		t.Error("BindBudget accepted a negative delay")
+	}
+	if _, err := BindBudget(rx, 10, 1.5); err == nil {
+		t.Error("BindBudget accepted budget > 1")
 	}
 }

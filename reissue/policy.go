@@ -1,10 +1,13 @@
-// Package core implements the paper's contribution: the reissue
-// policy families (SingleR, SingleD, DoubleR, MultipleR, immediate
-// reissue, and the no-reissue baseline), the data-driven optimizer
-// ComputeOptimalSingleR from Section 4.1, its correlation-aware
-// variant from Section 4.2, the iterative adaptation loop for
-// load-dependent queueing delays from Section 4.3, and the budget
-// search procedures from Section 4.4.
+// Package reissue is the public API of the repository: the reissue
+// policy families of Kaler, He and Elnikety, "Optimal Reissue
+// Policies for Reducing Tail Latency" (SPAA 2017) — SingleR, SingleD,
+// DoubleR, MultipleR, immediate reissue, and the no-reissue baseline
+// — the data-driven optimizer ComputeOptimalSingleR from Section 4.1,
+// its correlation-aware variant from Section 4.2, the iterative
+// adaptation loop for load-dependent queueing delays from Section
+// 4.3, the budget search procedures from Section 4.4, and the
+// OnlineAdapter that re-tunes a policy against a live response-time
+// stream.
 //
 // A reissue policy decides, per query, at which delays after the
 // primary dispatch a redundant copy of the request should be sent if
@@ -13,7 +16,15 @@
 // model (Theorems 3.1 and 3.2); the other families exist as baselines
 // and as subjects for the property tests that verify those theorems
 // numerically.
-package core
+//
+// The policy and optimizer layer is deliberately transport-agnostic:
+// anything implementing System (the cluster simulator in
+// internal/cluster, or a live service) can be tuned. The subpackage
+// reissue/hedge executes policies for real, as a goroutine-based
+// hedging client that issues redundant copies of actual requests and
+// cancels the loser via context cancellation. See DESIGN.md for the
+// layering.
+package reissue
 
 import (
 	"fmt"
@@ -100,19 +111,19 @@ type MultipleR struct {
 // must be sorted ascending and each probability must lie in [0, 1].
 func NewMultipleR(delays, probs []float64) (MultipleR, error) {
 	if len(delays) != len(probs) {
-		return MultipleR{}, fmt.Errorf("core: %d delays but %d probabilities", len(delays), len(probs))
+		return MultipleR{}, fmt.Errorf("reissue: %d delays but %d probabilities", len(delays), len(probs))
 	}
 	if !sort.Float64sAreSorted(delays) {
-		return MultipleR{}, fmt.Errorf("core: MultipleR delays must be sorted ascending")
+		return MultipleR{}, fmt.Errorf("reissue: MultipleR delays must be sorted ascending")
 	}
 	for i, q := range probs {
 		if q < 0 || q > 1 || math.IsNaN(q) {
-			return MultipleR{}, fmt.Errorf("core: probability %v at index %d outside [0, 1]", q, i)
+			return MultipleR{}, fmt.Errorf("reissue: probability %v at index %d outside [0, 1]", q, i)
 		}
 	}
 	for _, d := range delays {
 		if d < 0 || math.IsNaN(d) {
-			return MultipleR{}, fmt.Errorf("core: negative or NaN delay %v", d)
+			return MultipleR{}, fmt.Errorf("reissue: negative or NaN delay %v", d)
 		}
 	}
 	return MultipleR{Delays: delays, Probs: probs}, nil
@@ -143,10 +154,10 @@ func DoubleR(d1, q1, d2, q2 float64) (MultipleR, error) {
 // non-negative finite delay and probability in [0, 1].
 func (p SingleR) Validate() error {
 	if p.D < 0 || math.IsNaN(p.D) || math.IsInf(p.D, 0) {
-		return fmt.Errorf("core: invalid SingleR delay %v", p.D)
+		return fmt.Errorf("reissue: invalid SingleR delay %v", p.D)
 	}
 	if p.Q < 0 || p.Q > 1 || math.IsNaN(p.Q) {
-		return fmt.Errorf("core: invalid SingleR probability %v", p.Q)
+		return fmt.Errorf("reissue: invalid SingleR probability %v", p.Q)
 	}
 	return nil
 }

@@ -1,0 +1,56 @@
+package reissue
+
+import (
+	"repro/internal/quantile"
+	"repro/internal/rangequery"
+	"repro/internal/stats"
+)
+
+// This file re-exports the statistics and quantile machinery that
+// appears in the public API's signatures, so callers outside the
+// module can use the package without importing internal paths. The
+// aliases are the internal types themselves — no wrapping, no copying
+// — which keeps every in-repo caller (simulator, experiments,
+// workloads) interoperable with external ones.
+
+// RNG is the deterministic, splittable random-number generator every
+// policy's Plan consumes (= internal/stats.RNG).
+type RNG = stats.RNG
+
+// NewRNG returns an RNG seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG { return stats.NewRNG(seed) }
+
+// Dist is a service/response-time distribution with Sample, CDF and
+// Quantile — the analytic model's input (= internal/stats.Dist).
+type Dist = stats.Dist
+
+// Summary holds the moment and percentile summary of a sample
+// (= internal/stats.Summary).
+type Summary = stats.Summary
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary { return stats.Summarize(xs) }
+
+// Point is an (X, Y) = (primary, reissue) response-time pair consumed
+// by the correlation-aware optimizer (= internal/rangequery.Point).
+type Point = rangequery.Point
+
+// QuantileSketch is a Greenwald-Khanna epsilon-approximate streaming
+// quantile sketch (= internal/quantile.GK) — the building block for
+// tracking tail latency over unbounded live response-time streams.
+type QuantileSketch = quantile.GK
+
+// NewQuantileSketch creates a sketch answering quantile queries
+// within eps rank error.
+func NewQuantileSketch(eps float64) *QuantileSketch { return quantile.NewGK(eps) }
+
+// WindowedQuantile tracks quantiles over a sliding window of the most
+// recent observations (= internal/quantile.Windowed), forgetting old
+// behaviour so drifting distributions are tracked.
+type WindowedQuantile = quantile.Windowed
+
+// NewWindowedQuantile creates a sliding-window quantile tracker with
+// the given rank error and window size.
+func NewWindowedQuantile(eps float64, window int) *WindowedQuantile {
+	return quantile.NewWindowed(eps, window)
+}
