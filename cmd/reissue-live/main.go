@@ -214,7 +214,9 @@ func runOnline(o options, out io.Writer, back *backend.Cluster, lambda float64, 
 		},
 		Unit:        back.Unit(),
 		LetLoserRun: true,
-		Seed:        o.seed + 1,
+		// Distinct stream from the arrival seed below — identical
+		// streams correlate policy coins with inter-arrival gaps.
+		Seed: (o.seed + 1) ^ 0x94d049bb133111eb,
 	})
 	if err != nil {
 		return err

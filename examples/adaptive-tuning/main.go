@@ -12,52 +12,63 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
 func main() {
-	// The paper's Queueing workload: 10 servers at 30% utilization,
-	// heavy-tailed correlated service times.
-	wl, err := workload.Queueing(workload.Options{Queries: 20000, Seed: 3})
-	if err != nil {
+	if err := run(20000, 10, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// run executes the adaptive-refinement and budget-search phases over
+// a queries-long simulated workload with the given trial count.
+func run(queries, trials int, out io.Writer) error {
+	// The paper's Queueing workload: 10 servers at 30% utilization,
+	// heavy-tailed correlated service times.
+	wl, err := workload.Queueing(workload.Options{Queries: queries, Seed: 3})
+	if err != nil {
+		return err
+	}
 	base := wl.Run(core.None{}).TailLatency(0.95)
-	fmt.Printf("baseline P95: %.1f\n\n", base)
+	fmt.Fprintf(out, "baseline P95: %.1f\n\n", base)
 
 	// Phase 1: adaptive refinement at a fixed 30% budget, lambda 0.2
 	// (the setup of the paper's Figure 2b).
-	fmt.Println("adaptive refinement (B=30%, lambda=0.2):")
-	fmt.Printf("%5s  %10s  %10s  %8s  %22s\n", "trial", "predicted", "actual", "rate", "policy")
+	fmt.Fprintln(out, "adaptive refinement (B=30%, lambda=0.2):")
+	fmt.Fprintf(out, "%5s  %10s  %10s  %8s  %22s\n", "trial", "predicted", "actual", "rate", "policy")
 	ar, err := core.AdaptiveOptimize(wl, core.AdaptiveConfig{
-		K: 0.95, B: 0.30, Lambda: 0.2, Trials: 10, Correlated: true,
+		K: 0.95, B: 0.30, Lambda: 0.2, Trials: trials, Correlated: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, tr := range ar.Trials {
-		fmt.Printf("%5d  %10.1f  %10.1f  %8.3f  %22v\n",
+		fmt.Fprintf(out, "%5d  %10.1f  %10.1f  %8.3f  %22v\n",
 			tr.Trial, tr.Predicted, tr.Actual, tr.ReissueRate, tr.Policy)
 	}
-	fmt.Printf("converged: %v\n\n", ar.Converged(0.30, 0.15))
+	fmt.Fprintf(out, "converged: %v\n\n", ar.Converged(0.30, 0.15))
 
 	// Phase 2: search for the best budget for the P95.
-	fmt.Println("budget binary search (P95):")
+	fmt.Fprintln(out, "budget binary search (P95):")
 	bs, err := core.BudgetSearch(wl, core.BudgetSearchConfig{
-		K: 0.95, Lambda: 0.5, AdaptiveSteps: 4, Trials: 10,
+		K: 0.95, Lambda: 0.5, AdaptiveSteps: 4, Trials: trials,
 		InitialDelta: 0.01, MaxBudget: 0.5, Correlated: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%5s  %10s  %10s  %12s  %12s\n", "trial", "budget", "P95", "best budget", "best P95")
+	fmt.Fprintf(out, "%5s  %10s  %10s  %12s  %12s\n", "trial", "budget", "P95", "best budget", "best P95")
 	for _, tr := range bs.Trials {
-		fmt.Printf("%5d  %10.3f  %10.1f  %12.3f  %12.1f\n",
+		fmt.Fprintf(out, "%5d  %10.3f  %10.1f  %12.3f  %12.1f\n",
 			tr.Trial, tr.Budget, tr.Latency, tr.BestBudget, tr.BestLatency)
 	}
-	fmt.Printf("\nbest: budget %.3f -> P95 %.1f (baseline %.1f, %.1fx better) with %v\n",
+	fmt.Fprintf(out, "\nbest: budget %.3f -> P95 %.1f (baseline %.1f, %.1fx better) with %v\n",
 		bs.BestBudget, bs.BestLatency, base, base/bs.BestLatency, bs.Policy)
+	return nil
 }

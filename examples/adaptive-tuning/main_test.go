@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example body with a short trace and few
+// trials.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(3000, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"adaptive refinement", "budget binary search", "best:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -15,8 +15,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -25,24 +27,31 @@ import (
 )
 
 func main() {
+	if err := run(30000, 2000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run simulates queries requests with a mid-run load step, re-tuning
+// over a window-sized sliding sample.
+func run(queries, window int, out io.Writer) error {
 	dist := stats.NewLogNormal(1, 1)
 	const servers = 10
 	baseRate := cluster.ArrivalRateForUtilization(0.25, servers, dist.Mean())
 
 	adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
-		K: 0.99, B: 0.10, Lambda: 0.5, Window: 2000,
+		K: 0.99, B: 0.10, Lambda: 0.5, Window: window,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	const queries = 30000
 	stepTime := float64(queries) / 2 / baseRate
 	cfg := cluster.Config{
 		Servers:     servers,
 		ArrivalRate: baseRate,
 		Queries:     queries,
-		Warmup:      2000,
+		Warmup:      window,
 		Source:      cluster.DistSource{Dist: dist},
 		Seed:        99,
 		RateMultiplier: func(t float64) float64 {
@@ -62,7 +71,7 @@ func main() {
 
 	c, err := cluster.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res := c.RunDetailed(adapter)
 	online99 := metrics.TailLatency(res.Log.ResponseTimes(), 99)
@@ -71,20 +80,21 @@ func main() {
 	cfg.OnRequestComplete = nil
 	bc, err := cluster.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	base99 := metrics.TailLatency(bc.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
 	frozen99 := metrics.TailLatency(
 		bc.RunDetailed(core.SingleR{D: 0, Q: 0.10}).Log.ResponseTimes(), 99)
 
-	fmt.Printf("load steps 25%% -> 50%% utilization at t=%.0f ms\n\n", stepTime)
-	fmt.Printf("no reissue:          P99 = %6.1f ms\n", base99)
-	fmt.Printf("frozen SingleR(0,B): P99 = %6.1f ms\n", frozen99)
-	fmt.Printf("online adapter:      P99 = %6.1f ms  (%.1fx vs baseline)\n",
+	fmt.Fprintf(out, "load steps 25%% -> 50%% utilization at t=%.0f ms\n\n", stepTime)
+	fmt.Fprintf(out, "no reissue:          P99 = %6.1f ms\n", base99)
+	fmt.Fprintf(out, "frozen SingleR(0,B): P99 = %6.1f ms\n", frozen99)
+	fmt.Fprintf(out, "online adapter:      P99 = %6.1f ms  (%.1fx vs baseline)\n",
 		online99, base99/online99)
-	fmt.Printf("\nfinal policy %v after %d epochs, measured reissue rate %.3f\n",
+	fmt.Fprintf(out, "\nfinal policy %v after %d epochs, measured reissue rate %.3f\n",
 		adapter.Policy(), adapter.Epochs(), res.ReissueRate)
 	if math.Abs(res.ReissueRate-0.10) < 0.03 {
-		fmt.Println("reissue spend stayed pinned to the 10% budget through the load step")
+		fmt.Fprintln(out, "reissue spend stayed pinned to the 10% budget through the load step")
 	}
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example body with a short trace and a
+// proportionally small re-tuning window.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(4000, 300, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load steps", "online adapter:", "final policy"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

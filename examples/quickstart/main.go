@@ -10,25 +10,35 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 )
 
 func main() {
+	if err := run(50000, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run computes and reports the optimal policy from samples synthetic
+// response times.
+func run(samples int, out io.Writer) error {
 	// Pretend these are response times measured from your service.
 	// The paper's canonical example: heavy-tailed Pareto latencies
 	// where the P99 is an order of magnitude above the median.
 	dist := stats.NewPareto(1.1, 2.0) // milliseconds
 	rng := stats.NewRNG(42)
-	responses := make([]float64, 50000)
+	responses := make([]float64, samples)
 	for i := range responses {
 		responses[i] = dist.Sample(rng)
 	}
 
 	baseline := stats.Percentile(responses, 99)
-	fmt.Printf("baseline:  P50=%.1f ms  P99=%.1f ms\n",
+	fmt.Fprintf(out, "baseline:  P50=%.1f ms  P99=%.1f ms\n",
 		stats.Percentile(responses, 50), baseline)
 
 	// Find the SingleR policy minimizing P99 while reissuing at most
@@ -36,10 +46,10 @@ func main() {
 	// replicas here, so one sample set serves as both RX and RY.
 	pol, pred, err := core.ComputeOptimalSingleR(responses, nil, 0.99, 0.02)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("policy:    reissue after %.1f ms with probability %.2f\n", pol.D, pol.Q)
-	fmt.Printf("predicted: P99=%.1f ms (%.1fx reduction) reissuing %.2f%% of requests\n",
+	fmt.Fprintf(out, "policy:    reissue after %.1f ms with probability %.2f\n", pol.D, pol.Q)
+	fmt.Fprintf(out, "predicted: P99=%.1f ms (%.1fx reduction) reissuing %.2f%% of requests\n",
 		pred.TailLatency, baseline/pred.TailLatency, 100*pred.Budget)
 
 	// Compare with the best deterministic policy ("The Tail at
@@ -47,9 +57,10 @@ func main() {
 	// requests remain outstanding — far too late to help the P99.
 	polD, err := core.OptimalSingleD(responses, 0.02)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	predD := core.PredictSingleR(responses, nil, core.SingleR{D: polD.D, Q: 1}, 0.99)
-	fmt.Printf("singled:   delay %.1f ms -> predicted P99=%.1f ms (%.2fx)\n",
+	fmt.Fprintf(out, "singled:   delay %.1f ms -> predicted P99=%.1f ms (%.2fx)\n",
 		polD.D, predD.TailLatency, baseline/predD.TailLatency)
+	return nil
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example body at a tiny sample count.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(3000, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline:", "policy:", "predicted:", "singled:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

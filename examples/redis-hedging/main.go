@@ -14,12 +14,16 @@
 //	go run ./examples/redis-hedging
 //
 // For the full experiment — simulator cross-validation, the search
-// workload, the self-tuning online client — see cmd/reissue-live.
+// workload, the self-tuning online client — see cmd/reissue-live;
+// for the same hedging over out-of-process HTTP replicas, see
+// examples/search-hedging and cmd/reissue-remote.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/kvstore"
@@ -28,23 +32,28 @@ import (
 )
 
 func main() {
+	if err := run(2500, 300, time.Millisecond, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run replays a queries-long trace (with warmup lead-in) at the given
+// wall-clock unit per model millisecond.
+func run(queries, warmup int, unit time.Duration, out io.Writer) error {
 	const (
-		queries = 2500
-		warmup  = 300
-		util    = 0.25
-		K       = 0.99 // target percentile
-		B       = 0.05 // reissue budget
+		util = 0.25
+		K    = 0.99 // target percentile
+		B    = 0.05 // reissue budget
 	)
 
-	fmt.Println("building synthetic Redis workload (300 sets, real SINTER queries)...")
+	fmt.Fprintln(out, "building synthetic Redis workload (300 sets, real SINTER queries)...")
 	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
 		NumSets: 300, NumQueries: queries, Seed: 7,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	unit := time.Millisecond // 1 wall ms per model ms
 	back, err := backend.NewKV(w, backend.Config{
 		Replicas:     4,
 		Unit:         unit,
@@ -52,34 +61,35 @@ func main() {
 		MinServiceMS: 1.5 * float64(backend.MeasureSleepResponse().Floor) / float64(unit),
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys := &backend.LiveSystem{
 		Back: back, N: queries, Warmup: warmup,
 		Lambda: back.ArrivalRate(util), Seed: 7,
 	}
 
-	fmt.Println("running live no-hedging baseline...")
+	fmt.Fprintln(out, "running live no-hedging baseline...")
 	base := sys.Run(reissue.None{})
 	baseP50, baseP99 := base.TailLatency(0.50), base.TailLatency(K)
-	fmt.Printf("no hedging:  P50=%.1f ms  P99=%.1f ms\n", baseP50, baseP99)
+	fmt.Fprintf(out, "no hedging:  P50=%.1f ms  P99=%.1f ms\n", baseP50, baseP99)
 
 	// Tune SingleR for P99 with a 5% budget on the measured log.
 	pol, pred, err := reissue.ComputeOptimalSingleR(base.Query, nil, K, B)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("tuned %v (predicted P99 %.1f ms at %.1f%% reissues)\n",
+	fmt.Fprintf(out, "tuned %v (predicted P99 %.1f ms at %.1f%% reissues)\n",
 		pol, pred.TailLatency, 100*pred.Budget)
 
-	fmt.Println("running live hedged (same arrival stream)...")
+	fmt.Fprintln(out, "running live hedged (same arrival stream)...")
 	hedged := sys.Run(pol)
 	hedgeP50, hedgeP99 := hedged.TailLatency(0.50), hedged.TailLatency(K)
-	fmt.Printf("hedged:      P50=%.1f ms  P99=%.1f ms  (reissue rate %.3f)\n",
+	fmt.Fprintf(out, "hedged:      P50=%.1f ms  P99=%.1f ms  (reissue rate %.3f)\n",
 		hedgeP50, hedgeP99, hedged.ReissueRate)
 
-	fmt.Printf("\nP99: %.1f -> %.1f ms (%+.1f%%) for %.1f%% extra requests\n",
+	fmt.Fprintf(out, "\nP99: %.1f -> %.1f ms (%+.1f%%) for %.1f%% extra requests\n",
 		baseP99, hedgeP99, 100*(hedgeP99-baseP99)/baseP99, 100*hedged.ReissueRate)
-	fmt.Println("\nThe reissue lands on a fast replica while the primary waits out the")
-	fmt.Println("slow one's queue — randomized hedging buys the tail back cheaply.")
+	fmt.Fprintln(out, "\nThe reissue lands on a fast replica while the primary waits out the")
+	fmt.Fprintln(out, "slow one's queue — randomized hedging buys the tail back cheaply.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke executes the live example at a tiny scale: few
+// queries, a sub-millisecond unit so the whole replay takes well
+// under a second of wall clock.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(300, 50, 200*time.Microsecond, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no hedging:", "tuned", "hedged:", "P99:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

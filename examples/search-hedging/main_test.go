@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke executes the live HTTP-transport example at a tiny
+// scale: a short trace, one utilization level, and a small unit.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(300, 50, 50*time.Microsecond, []float64{0.20}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P99 baseline", "0.20"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -12,22 +12,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/workload"
 )
 
 func main() {
-	wl, err := workload.Queueing(workload.Options{Queries: 20000, Seed: 2})
-	if err != nil {
+	if err := run(20000, []float64{0.75, 0.50, 0.25, 0.10, 0.002}, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	base := wl.Run(core.None{}).TailLatency(0.95)
-	fmt.Printf("baseline P95 without reissue: %.0f ms\n\n", base)
-	fmt.Printf("%-14s  %-10s  %-12s  %s\n", "SLA target", "feasible", "min budget", "achieved P95")
+}
 
-	for _, frac := range []float64{0.75, 0.50, 0.25, 0.10, 0.002} {
+// run searches for the minimum budget meeting each SLA target, given
+// as fractions of the baseline P95.
+func run(queries int, fracs []float64, out io.Writer) error {
+	wl, err := workload.Queueing(workload.Options{Queries: queries, Seed: 2})
+	if err != nil {
+		return err
+	}
+	base := wl.Run(core.None{}).TailLatency(0.95)
+	fmt.Fprintf(out, "baseline P95 without reissue: %.0f ms\n\n", base)
+	fmt.Fprintf(out, "%-14s  %-10s  %-12s  %s\n", "SLA target", "feasible", "min budget", "achieved P95")
+
+	for _, frac := range fracs {
 		target := base * frac
 		res, err := core.MinimizeBudgetForSLA(wl, core.SLAConfig{
 			K: 0.95, Target: target, Lambda: 0.5,
@@ -35,14 +45,15 @@ func main() {
 			Correlated: true,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if res.Feasible {
-			fmt.Printf("%8.0f ms    %-10v  %10.3f  %9.0f ms\n",
+			fmt.Fprintf(out, "%8.0f ms    %-10v  %10.3f  %9.0f ms\n",
 				target, true, res.Budget, res.Latency)
 		} else {
-			fmt.Printf("%8.0f ms    %-10v  %10s  %9.0f ms (best seen)\n",
+			fmt.Fprintf(out, "%8.0f ms    %-10v  %10s  %9.0f ms (best seen)\n",
 				target, false, "-", res.Latency)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example body with a short trace and two
+// SLA targets — one loose (feasible), one absurd (infeasible).
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(3000, []float64{0.75, 0.002}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline P95", "SLA target", "best seen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/reissue"
+)
+
+// The shim's whole contract is type identity: every name in
+// internal/core must be an alias of (or forwarding variable for) the
+// corresponding repro/reissue name, so values flow freely between old
+// internal callers and the public API. These declarations are
+// compile-time assertions of that contract — assigning a core value
+// to a reissue-typed variable (and vice versa) only compiles while
+// the alias holds.
+var (
+	_ reissue.Policy    = core.None{}
+	_ reissue.None      = core.None{}
+	_ reissue.SingleR   = core.SingleR{}
+	_ reissue.SingleD   = core.SingleD{}
+	_ reissue.Immediate = core.Immediate{}
+	_ reissue.MultipleR = core.MultipleR{}
+
+	_ reissue.Prediction     = core.Prediction{}
+	_ reissue.RunResult      = core.RunResult{}
+	_ reissue.System         = core.SystemFunc(nil)
+	_ reissue.SystemFunc     = core.SystemFunc(nil)
+	_ reissue.AdaptiveConfig = core.AdaptiveConfig{}
+	_ reissue.AdaptiveTrial  = core.AdaptiveTrial{}
+	_ reissue.AdaptiveResult = core.AdaptiveResult{}
+
+	_ reissue.BudgetTrial        = core.BudgetTrial{}
+	_ reissue.BudgetSearchConfig = core.BudgetSearchConfig{}
+	_ reissue.BudgetSearchResult = core.BudgetSearchResult{}
+	_ reissue.SLAConfig          = core.SLAConfig{}
+	_ reissue.SLAResult          = core.SLAResult{}
+
+	_ reissue.OnlineConfig   = core.OnlineConfig{}
+	_ *reissue.OnlineAdapter = (*core.OnlineAdapter)(nil)
+)
+
+// Forwarding variables must point at the reissue implementations:
+// assigning them to variables of the reissue functions' exact types
+// only compiles while the signatures stay in sync.
+var (
+	_ func(delays, probs []float64) (reissue.MultipleR, error)                                             = core.NewMultipleR
+	_ func(d1, q1, d2, q2 float64) (reissue.MultipleR, error)                                              = core.DoubleR
+	_ func(rx, ry []float64, k, b float64) (reissue.SingleR, reissue.Prediction, error)                    = core.ComputeOptimalSingleR
+	_ func(rx []float64, pairs []reissue.Point, k, b float64) (reissue.SingleR, reissue.Prediction, error) = core.ComputeOptimalSingleRCorrelated
+	_ func(rx, ry []float64, p reissue.SingleR, k float64) reissue.Prediction                              = core.PredictSingleR
+	_ func(rx []float64, b float64) (reissue.SingleD, error)                                               = core.OptimalSingleD
+	_ func(reissue.System, reissue.AdaptiveConfig) (reissue.AdaptiveResult, error)                         = core.AdaptiveOptimize
+	_ func(reissue.System, reissue.BudgetSearchConfig) (reissue.BudgetSearchResult, error)                 = core.BudgetSearch
+	_ func(reissue.System, reissue.SLAConfig) (reissue.SLAResult, error)                                   = core.MinimizeBudgetForSLA
+	_ func(reissue.OnlineConfig) (*reissue.OnlineAdapter, error)                                           = core.NewOnlineAdapter
+)
+
+// TestAliasValueFlow exercises the identity at runtime once, in both
+// directions: a policy built through the shim is planned by code that
+// only knows the public type, and vice versa.
+func TestAliasValueFlow(t *testing.T) {
+	var viaCore core.SingleR = reissue.SingleR{D: 3, Q: 1}
+	var viaPublic reissue.SingleR = viaCore
+	rng := reissue.NewRNG(1)
+	if got := viaPublic.Plan(rng); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("plan through the alias = %v, want [3]", got)
+	}
+	mr, err := core.DoubleR(1, 0.5, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub reissue.MultipleR = mr
+	if len(pub.Delays) != 2 {
+		t.Fatalf("DoubleR through the shim = %+v", pub)
+	}
+}

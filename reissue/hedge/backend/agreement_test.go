@@ -143,9 +143,10 @@ func TestSimLiveAgreement(t *testing.T) {
 }
 
 // TestLiveSystemRunResult checks the System adapter's measurement
-// plumbing at light load: every query contributes a primary response
-// time, reissues contribute reissue response times, and the reported
-// reissue rate matches the copy log.
+// plumbing at light load, with the simulator's semantics: every
+// post-warmup query contributes a primary response time, reissues
+// contribute reissue response times, warmup is excluded everywhere,
+// and the reported reissue rate matches the copy log.
 func TestLiveSystemRunResult(t *testing.T) {
 	w := kvWorkload(t, 400)
 	back, err := NewKV(w, Config{Replicas: 3, Unit: 200 * time.Microsecond})
@@ -154,8 +155,8 @@ func TestLiveSystemRunResult(t *testing.T) {
 	}
 	sys := &LiveSystem{Back: back, N: 400, Warmup: 50, Lambda: back.ArrivalRate(0.2), Seed: 5}
 	run := sys.Run(reissue.SingleR{D: 0, Q: 0.5})
-	if len(run.Primary) != 400 {
-		t.Fatalf("got %d primary samples, want 400", len(run.Primary))
+	if len(run.Primary) != 350 {
+		t.Fatalf("got %d primary samples, want 350 (warmup excluded)", len(run.Primary))
 	}
 	if len(run.Query) != 350 {
 		t.Fatalf("got %d query samples, want 350", len(run.Query))
@@ -163,7 +164,7 @@ func TestLiveSystemRunResult(t *testing.T) {
 	if len(run.Reissue) == 0 {
 		t.Fatal("no reissue response times collected")
 	}
-	wantRate := float64(len(run.Reissue)) / 400
+	wantRate := float64(len(run.Reissue)) / 350
 	if math.Abs(run.ReissueRate-wantRate) > 1e-9 {
 		t.Fatalf("reissue rate %.4f does not match %d collected copies (%.4f)",
 			run.ReissueRate, len(run.Reissue), wantRate)

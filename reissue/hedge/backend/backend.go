@@ -292,25 +292,50 @@ func (c *Cluster) MeanServiceMS() float64 {
 	return sum / float64(len(c.times))
 }
 
-// ArrivalRate returns the open-loop Poisson arrival rate (queries
-// per model millisecond) that loads the cluster to utilization rho,
-// the same formula the simulator uses: rho * replicas / E[S].
-func (c *Cluster) ArrivalRate(rho float64) float64 {
-	return rho * float64(len(c.replicas)) / c.MeanServiceMS()
+// FleetArrivalRate returns the open-loop Poisson arrival rate
+// (queries per model millisecond) that loads a fleet of the given
+// size to utilization rho, the same formula the simulator uses:
+// rho * replicas / E[S]. Use it when the fleet is not one Cluster —
+// e.g. single-replica clusters behind the HTTP transport — with the
+// mean of the (clamped) trace the replicas actually serve.
+func FleetArrivalRate(rho float64, replicas int, meanServiceMS float64) float64 {
+	return rho * float64(replicas) / meanServiceMS
 }
 
-// RunOpenLoop replays the first n trace queries through client at
-// open-loop Poisson arrival rate lambda (queries per model
+// ArrivalRate returns the open-loop Poisson arrival rate that loads
+// this cluster to utilization rho; see FleetArrivalRate.
+func (c *Cluster) ArrivalRate(rho float64) float64 {
+	return FleetArrivalRate(rho, len(c.replicas), c.MeanServiceMS())
+}
+
+// Source produces the per-query request functions a hedge.Client
+// executes, plus the wall-clock scale and trace length an open-loop
+// driver needs. It is the seam between the load generator and the
+// execution substrate: *Cluster implements it with in-process
+// replicas, and transport.Client implements it with replicas behind
+// an HTTP boundary, so LiveSystem and RunOpenLoop drive either
+// without knowing which.
+type Source interface {
+	// Request returns the hedge.Fn for query i (mod the trace
+	// length), routing attempt n off the primary's replica.
+	Request(i int) hedge.Fn
+	// Unit is the wall-clock duration of one model millisecond.
+	Unit() time.Duration
+}
+
+// RunOpenLoop replays the first n trace queries from src through
+// client at open-loop Poisson arrival rate lambda (queries per model
 // millisecond) — the same arrival process the cluster simulator
 // generates — and returns each query's end-to-end latency in model
 // milliseconds, in query order. Queries the client fails to answer
 // (all copies failed, context cancelled) are returned as NaN-free
 // zero entries along with the first error; callers comparing against
 // the simulator should treat any error as fatal.
-func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
+func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
 	if n <= 0 || lambda <= 0 {
 		return nil, fmt.Errorf("backend: n=%d and lambda=%v must be positive", n, lambda)
 	}
+	unit := src.Unit()
 	rng := reissue.NewRNG(seed)
 	latencies := make([]float64, n)
 	errs := make(chan error, n)
@@ -323,7 +348,7 @@ func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, 
 			// the simulator's event list: a late wakeup delays one
 			// arrival but does not drift the rate of the whole run.
 			at += rng.ExpFloat64() / lambda
-			deadline := start.Add(time.Duration(at * float64(c.cfg.Unit)))
+			deadline := start.Add(time.Duration(at * float64(unit)))
 			if wait := time.Until(deadline); wait > 0 {
 				select {
 				case <-time.After(wait):
@@ -338,11 +363,11 @@ func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, 
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			if _, err := client.Do(ctx, c.Request(i)); err != nil {
+			if _, err := client.Do(ctx, src.Request(i)); err != nil {
 				errs <- err
 				return
 			}
-			latencies[i] = float64(time.Since(t0)) / float64(c.cfg.Unit)
+			latencies[i] = float64(time.Since(t0)) / float64(unit)
 		}()
 	}
 	wg.Wait()
@@ -355,20 +380,33 @@ func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, 
 	}
 }
 
-// Request returns the hedge.Fn for query i (mod the trace length).
-// The primary copy goes to a pseudo-randomly placed replica (the
-// simulator's RandomLB, derandomized per query id so concurrent
-// requests need no shared RNG); each reissue attempt goes to a
-// different replica, the way a real hedging client routes its backup
-// request to another server so it does not share the primary's queue.
-func (c *Cluster) Request(i int) hedge.Fn {
-	idx := i % len(c.times)
-	// SplitMix64-style finalizer over the query id.
+// RunOpenLoop replays the trace through client against this cluster;
+// see the package-level RunOpenLoop.
+func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
+	return RunOpenLoop(ctx, c, client, n, lambda, seed)
+}
+
+// PrimaryReplica returns the replica the primary copy of query i is
+// routed to: a pseudo-random placement (the simulator's RandomLB),
+// derandomized per query id with a SplitMix64-style finalizer so
+// concurrent requests need no shared RNG — and so an HTTP transport
+// client places primaries exactly like the in-process cluster does.
+func PrimaryReplica(i, replicas int) int {
 	h := uint64(i) * 0x9e3779b97f4a7c15
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
-	base := int(h % uint64(len(c.replicas)))
+	return int(h % uint64(replicas))
+}
+
+// Request returns the hedge.Fn for query i (mod the trace length).
+// The primary copy goes to the PrimaryReplica placement; each reissue
+// attempt n goes to replica (primary+n) mod Replicas, the way a real
+// hedging client routes its backup request to another server so it
+// does not share the primary's queue.
+func (c *Cluster) Request(i int) hedge.Fn {
+	idx := i % len(c.times)
+	base := PrimaryReplica(i, len(c.replicas))
 	return func(ctx context.Context, attempt int) (any, error) {
 		r := c.replicas[(base+attempt)%len(c.replicas)]
 		var v any

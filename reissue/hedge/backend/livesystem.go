@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/reissue"
@@ -18,15 +19,22 @@ import (
 // replays the workload open-loop at the configured arrival rate, and
 // reports the measured per-copy and end-to-end response times.
 //
+// Measurement follows the simulator's semantics: the Warmup lead-in
+// queries (queues ramping up from empty) are excluded from the
+// per-copy logs, the end-to-end latency log, and the reissue rate,
+// so a live RunResult and a simulated one are the same statistic.
+//
 // Losing copies run to completion (hedge.Config.LetLoserRun): that is
 // the paper's execution model, it matches the simulator's default,
 // and it is what gives the optimizer a full reissue response-time
 // log.
 type LiveSystem struct {
-	// Back is the replicated backend to drive.
-	Back *Cluster
+	// Back is the replicated backend to drive: an in-process *Cluster
+	// or any other Source, such as a transport.Client fronting
+	// out-of-process HTTP replicas.
+	Back Source
 	// N is the number of queries per trial; Warmup of them lead-in
-	// excluded from the end-to-end latency log.
+	// excluded from every reported statistic.
 	N, Warmup int
 	// Lambda is the open-loop Poisson arrival rate in queries per
 	// model millisecond.
@@ -45,6 +53,44 @@ type LiveSystem struct {
 	runs uint64
 }
 
+// measuredSource wraps a Source to collect the simulator's
+// measurement semantics on the live path: per-copy response times
+// and the dispatched-reissue count, restricted to post-warmup
+// queries. Copies of warmup queries pass through unrecorded.
+type measuredSource struct {
+	Source
+	warmup   int
+	unit     time.Duration
+	reissues *atomic.Int64
+	mu       *sync.Mutex
+	rx, ry   *[]float64
+}
+
+func (m measuredSource) Request(i int) hedge.Fn {
+	fn := m.Source.Request(i)
+	if i < m.warmup {
+		return fn
+	}
+	return func(ctx context.Context, attempt int) (any, error) {
+		if attempt > 0 {
+			m.reissues.Add(1)
+		}
+		t0 := time.Now()
+		v, err := fn(ctx, attempt)
+		if err == nil {
+			rt := float64(time.Since(t0)) / float64(m.unit)
+			m.mu.Lock()
+			if attempt > 0 {
+				*m.ry = append(*m.ry, rt)
+			} else {
+				*m.rx = append(*m.rx, rt)
+			}
+			m.mu.Unlock()
+		}
+		return v, err
+	}
+}
+
 // Run implements reissue.System: one live trial under policy p.
 // Configuration errors (invalid N, Warmup, Lambda) panic, since the
 // System interface has no error path and a half-configured trial
@@ -60,27 +106,33 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 	}
 	var mu sync.Mutex
 	var rx, ry []float64
+	var reissues atomic.Int64
+	src := measuredSource{
+		Source:   s.Back,
+		warmup:   s.Warmup,
+		unit:     s.Back.Unit(),
+		reissues: &reissues,
+		mu:       &mu,
+		rx:       &rx,
+		ry:       &ry,
+	}
 	client, err := hedge.New(hedge.Config{
 		Policy:      p,
 		Unit:        s.Back.Unit(),
 		LetLoserRun: true,
-		Seed:        seed,
-		OnCopyComplete: func(reissue bool, rt float64) {
-			mu.Lock()
-			defer mu.Unlock()
-			if reissue {
-				ry = append(ry, rt)
-			} else {
-				rx = append(rx, rt)
-			}
-		},
+		// The arrival process consumes the raw seed below; the policy
+		// coins must come from a distinct stream, or the coin of query
+		// i correlates with inter-arrival gap i (identical uniform
+		// sequences) and hedging systematically targets bursts. The
+		// simulator decorrelates its streams the same way.
+		Seed: seed ^ 0x94d049bb133111eb,
 	})
 	if err != nil {
 		// Config errors are programming mistakes here (the policy
 		// comes from the optimizer); surface them loudly.
 		panic(err)
 	}
-	lats, err := s.Back.RunOpenLoop(context.Background(), client, s.N, s.Lambda, seed)
+	lats, err := RunOpenLoop(context.Background(), src, client, s.N, s.Lambda, seed)
 	if err != nil {
 		panic(err)
 	}
@@ -88,7 +140,7 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 		Primary:     rx,
 		Reissue:     ry,
 		Query:       lats[s.Warmup:],
-		ReissueRate: client.Snapshot().ReissueRate,
+		ReissueRate: float64(reissues.Load()) / float64(s.N-s.Warmup),
 	}
 }
 

@@ -33,10 +33,16 @@ import (
 )
 
 // Fn executes one copy of a request. attempt is 0 for the primary and
-// counts up for each reissue copy. Implementations should honor ctx
-// cancellation — that is how the client reclaims the losing copy —
-// and route different attempts to different replicas when they can,
-// since a reissue only helps if it does not share the primary's fate.
+// identifies the policy slot of each reissue copy: for single-delay
+// policies it is simply 1, and for multi-delay policies (DoubleR,
+// MultipleR) attempt k is the copy sent at the policy's k-th
+// configured delay — whether or not earlier delays' coins came up —
+// so routing by attempt spreads the policy's reissue times over
+// distinct replicas deterministically. Implementations should honor
+// ctx cancellation — that is how the client reclaims the losing copy
+// — and route different attempts to different replicas when they
+// can, since a reissue only helps if it does not share the primary's
+// fate.
 type Fn func(ctx context.Context, attempt int) (any, error)
 
 // Config parametrizes a hedging client.
@@ -64,12 +70,13 @@ type Config struct {
 	// QuantileEps is the tracker's rank error; default 0.005.
 	QuantileEps float64
 	// OnCopyComplete, when set, is invoked for every copy that
-	// actually completes successfully, with whether it was a reissue
-	// and its response time in policy units, measured from that
+	// actually completes successfully, with the copy's attempt number
+	// (0 for the primary, n for the copy sent at the plan's n-th
+	// delay) and its response time in policy units, measured from that
 	// copy's own dispatch — the live counterpart of the simulator's
 	// Config.OnRequestComplete. It is called from the client's
 	// goroutines and must be safe for concurrent use.
-	OnCopyComplete func(reissue bool, rt float64)
+	OnCopyComplete func(attempt int, rt float64)
 	// Seed drives the policy's coin flips.
 	Seed uint64
 }
@@ -100,6 +107,27 @@ type Snapshot struct {
 	// Epochs is the number of online re-tuning epochs run (0 for
 	// static policies).
 	Epochs int
+	// Attempts holds per-attempt execution statistics, indexed by
+	// attempt number: Attempts[0] is the primary, Attempts[n] the
+	// copy sent at the plan's n-th delay. Multi-delay policies
+	// (DoubleR, MultipleR) populate entries beyond index 1; the
+	// winning-attempt histogram is the Wins column.
+	Attempts []AttemptStats
+}
+
+// AttemptStats aggregates one attempt slot's counters and response
+// times across all queries a Client has executed.
+type AttemptStats struct {
+	// Dispatched counts copies of this attempt actually sent. A
+	// planned copy suppressed by the completion check (or cancelled
+	// before its delay elapsed) is not dispatched.
+	Dispatched int64
+	// Wins counts queries this attempt answered first.
+	Wins int64
+	// P50 and P99 are response-time quantiles of this attempt's
+	// completed copies, in policy units over the sliding window (NaN
+	// until data arrives).
+	P50, P99 float64
 }
 
 // Client is a concurrent hedging client. All methods are safe for
@@ -109,11 +137,17 @@ type Client struct {
 	cfg  Config
 	unit time.Duration
 
-	mu      sync.Mutex // guards rng, adapter, tracker
+	mu      sync.Mutex // guards rng, adapter, all trackers, attempts growth
 	rng     *reissue.RNG
 	static  reissue.Policy
 	adapter *reissue.OnlineAdapter
 	tracker *reissue.WindowedQuantile
+	// attempts is the per-attempt aggregate table, indexed by attempt
+	// number. It is grown copy-on-write under mu (in plan, before any
+	// copy of the query runs), and the published slice and its
+	// entries' counters are safe to read lock-free — dispatch
+	// accounting happens on every copy's hot path.
+	attempts atomic.Pointer[[]*attemptAgg]
 
 	issued      atomic.Int64
 	completed   atomic.Int64
@@ -149,6 +183,9 @@ func New(cfg Config) (*Client, error) {
 		static:  cfg.Policy,
 		tracker: reissue.NewWindowedQuantile(cfg.QuantileEps, cfg.QuantileWindow),
 	}
+	c.attempts.Store(&[]*attemptAgg{{
+		tracker: reissue.NewWindowedQuantile(cfg.QuantileEps, cfg.QuantileWindow),
+	}})
 	if cfg.Online != nil {
 		a, err := reissue.NewOnlineAdapter(*cfg.Online)
 		if err != nil {
@@ -174,36 +211,99 @@ func (c *Client) currentPolicy() reissue.Policy {
 	return c.static
 }
 
-// plan samples the current policy's reissue schedule.
-func (c *Client) plan() []float64 {
+// plan samples the current policy's reissue schedule and maps each
+// sampled delay to its attempt number. For MultipleR (and DoubleR)
+// the attempt number is the configured delay's slot — 1 + its index
+// in Delays — so a copy's routing and the winning-attempt histogram
+// identify which of the policy's reissue times fired. For every
+// other policy the attempt number is the position in the sampled
+// plan.
+func (c *Client) plan() (delays []float64, slots []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pol := c.static
+	if c.adapter != nil {
+		pol = c.adapter.Policy()
+	}
+	if mr, ok := pol.(reissue.MultipleR); ok {
+		delays, slots = mr.PlanSlots(c.rng)
+	} else {
+		delays = pol.Plan(c.rng)
+		slots = make([]int, len(delays))
+		for i := range slots {
+			slots[i] = i + 1
+		}
+	}
+	// Cover every slot this query can dispatch (slots are ascending)
+	// while the lock is held, so the per-copy accounting on the hot
+	// path is lock-free.
+	max := 0
+	if len(slots) > 0 {
+		max = slots[len(slots)-1]
+	}
+	c.growAttempts(max)
+	return delays, slots
+}
+
+// observeCopy feeds one completed copy's response time (in policy
+// units) to the online adapter and the copy's attempt tracker. It
+// sits on every copy's completion path, so both observations share
+// one lock acquisition.
+func (c *Client) observeCopy(attempt int, rt float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.adapter != nil {
-		return c.adapter.Plan(c.rng)
+		if attempt > 0 {
+			c.adapter.ObserveReissue(rt)
+		} else {
+			c.adapter.ObservePrimary(rt)
+		}
 	}
-	return c.static.Plan(c.rng)
+	(*c.attempts.Load())[attempt].tracker.Add(rt)
 }
 
-// observe feeds one completed copy's response time (in policy units)
-// to the online adapter.
-func (c *Client) observe(isReissue bool, rt float64) {
-	if c.adapter == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if isReissue {
-		c.adapter.ObserveReissue(rt)
-	} else {
-		c.adapter.ObservePrimary(rt)
-	}
-}
-
-// observeQuery feeds one query's end-to-end latency to the tracker.
-func (c *Client) observeQuery(rt float64) {
+// observeWin records which attempt answered the query and the query's
+// end-to-end latency, under one lock acquisition.
+func (c *Client) observeWin(attempt int, rt float64) {
+	(*c.attempts.Load())[attempt].wins.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tracker.Add(rt)
+}
+
+// attemptAgg accumulates one attempt slot's counters and response
+// times. The counters are atomics (bumped lock-free on the copy hot
+// path); the tracker is guarded by Client.mu.
+type attemptAgg struct {
+	dispatched atomic.Int64
+	wins       atomic.Int64
+	tracker    *reissue.WindowedQuantile
+}
+
+// growAttempts ensures the aggregate table covers attempt numbers up
+// to max, copy-on-write so published slices stay valid for lock-free
+// readers. Caller holds c.mu.
+func (c *Client) growAttempts(max int) []*attemptAgg {
+	cur := *c.attempts.Load()
+	if len(cur) > max {
+		return cur
+	}
+	grown := make([]*attemptAgg, max+1)
+	copy(grown, cur)
+	for i := len(cur); i <= max; i++ {
+		grown[i] = &attemptAgg{
+			tracker: reissue.NewWindowedQuantile(c.cfg.QuantileEps, c.cfg.QuantileWindow),
+		}
+	}
+	c.attempts.Store(&grown)
+	return grown
+}
+
+// noteDispatch records, lock-free, that a copy of the given attempt
+// number was actually sent. plan() grew the table to cover every
+// slot of this query's schedule before any copy was started.
+func (c *Client) noteDispatch(attempt int) {
+	(*c.attempts.Load())[attempt].dispatched.Add(1)
 }
 
 // outcome is one copy's terminal report.
@@ -234,9 +334,15 @@ var ErrAllCopiesFailed = errors.New("hedge: all copies failed")
 func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 	c.issued.Add(1)
 	start := time.Now()
-	plan := c.plan()
+	plan, slots := c.plan()
 
 	hctx, cancel := context.WithCancel(ctx)
+	// timerCtx releases planned-but-undispatched copies the moment a
+	// winner exists: with LetLoserRun the losing dispatched copies
+	// keep running on hctx, but a copy that was never sent has
+	// nothing to finish — without this its timer goroutine would
+	// park for the full delay and stall Wait.
+	timerCtx, timerCancel := context.WithCancel(hctx)
 	copies := 1 + len(plan)
 	results := make(chan outcome, copies)
 	var done atomic.Bool
@@ -248,6 +354,7 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 			rt: float64(time.Since(t0)) / float64(c.unit)}
 	}
 
+	c.noteDispatch(0)
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -255,16 +362,16 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 	}()
 
 	for i, d := range plan {
-		attempt := i + 1
+		attempt := slots[i]
 		delay := time.Duration(d * float64(c.unit))
 		c.wg.Add(1)
 		timer := time.NewTimer(delay)
 		go func() {
 			defer c.wg.Done()
 			select {
-			case <-hctx.Done():
+			case <-timerCtx.Done():
 				timer.Stop()
-				results <- outcome{attempt: attempt, err: hctx.Err(), skipped: true}
+				results <- outcome{attempt: attempt, err: timerCtx.Err(), skipped: true}
 			case <-timer.C:
 				// The paper's client checks a completion flag before
 				// actually sending the reissue.
@@ -273,6 +380,7 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 					return
 				}
 				c.reissued.Add(1)
+				c.noteDispatch(attempt)
 				run(attempt)
 			}
 		}()
@@ -296,6 +404,7 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 
 	if won {
 		done.Store(true)
+		timerCancel()
 		if !c.cfg.LetLoserRun {
 			cancel()
 		}
@@ -319,11 +428,12 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 			c.reissueWins.Add(1)
 		}
 		c.completed.Add(1)
-		c.observeQuery(float64(time.Since(start)) / float64(c.unit))
+		c.observeWin(winner.attempt, float64(time.Since(start))/float64(c.unit))
 		return winner.val, nil
 	}
 
 	// No copy succeeded.
+	timerCancel()
 	cancel()
 	c.failures.Add(1)
 	c.completed.Add(1)
@@ -340,9 +450,9 @@ func (c *Client) record(o outcome, primaryErr *error) {
 		return
 	}
 	if o.err == nil {
-		c.observe(o.attempt > 0, o.rt)
+		c.observeCopy(o.attempt, o.rt)
 		if c.cfg.OnCopyComplete != nil {
-			c.cfg.OnCopyComplete(o.attempt > 0, o.rt)
+			c.cfg.OnCopyComplete(o.attempt, o.rt)
 		}
 	} else if o.attempt == 0 && *primaryErr == nil {
 		*primaryErr = o.err
@@ -367,6 +477,16 @@ func (c *Client) Snapshot() Snapshot {
 	if c.adapter != nil {
 		epochs = c.adapter.Epochs()
 	}
+	table := *c.attempts.Load()
+	attempts := make([]AttemptStats, len(table))
+	for i, a := range table {
+		attempts[i] = AttemptStats{
+			Dispatched: a.dispatched.Load(),
+			Wins:       a.wins.Load(),
+			P50:        a.tracker.Quantile(0.50),
+			P99:        a.tracker.Quantile(0.99),
+		}
+	}
 	c.mu.Unlock()
 
 	s := Snapshot{
@@ -381,6 +501,7 @@ func (c *Client) Snapshot() Snapshot {
 		P99:         p99,
 		Policy:      pol,
 		Epochs:      epochs,
+		Attempts:    attempts,
 	}
 	if s.Completed > 0 {
 		s.ReissueRate = float64(s.Reissued) / float64(s.Completed)

@@ -1,0 +1,278 @@
+// Package transport carries the hedging runtime across a process
+// boundary: a net/http RPC layer that serves the live replicated
+// backends of reissue/hedge/backend as standalone replica servers,
+// and a client that turns a fleet of replica URLs back into the
+// hedge.Fn contract the hedging client executes.
+//
+// The in-process runtime and the transport share one routing rule:
+// the primary copy of query i goes to replica backend.PrimaryReplica
+// (i, R), and attempt n goes to replica (primary+n) mod R — so a
+// reissue never shares the primary's queue, and multi-delay policies
+// (DoubleR, MultipleR) spread across the whole fleet instead of
+// bouncing between two replicas. Context cancellation propagates to
+// the wire: when the hedger cancels a losing copy, the HTTP request
+// is aborted, the server sees its request context cancelled, and a
+// copy still queued on the replica is reclaimed — the same
+// cancel-while-queued, never-preempt-in-service semantics as the
+// in-process backend and the cluster simulator.
+//
+// Client implements backend.Source, so backend.RunOpenLoop and
+// backend.LiveSystem — and through them the paper's optimizer
+// machinery (ComputeOptimalSingleR, AdaptiveOptimize, the budget
+// searches) — drive out-of-process replicas unchanged. See
+// cmd/reissue-remote for the end-to-end demo with simulator
+// cross-validation.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+// statusClientClosedRequest is the nginx-convention status a replica
+// reports when the peer abandoned the request — here, the hedger
+// cancelling a losing copy that was still queued.
+const statusClientClosedRequest = 499
+
+// Server serves one replica over HTTP: typically a single-replica
+// backend.Cluster standing in for a standalone replica process. The
+// handler exposes
+//
+//	GET /query?i=<index>&attempt=<n>  ->  {"value": <result>}
+//	GET /healthz                      ->  ok
+//
+// and executes each query through the cluster's own Request path, so
+// queueing, speed factors, and the non-preemption rule are exactly
+// the in-process semantics. Cancellation of the peer's request
+// aborts a copy still waiting for the replica's server thread.
+type Server struct {
+	back      *backend.Cluster
+	mux       *http.ServeMux
+	served    atomic.Int64
+	cancelled atomic.Int64
+}
+
+// NewServer wraps a backend cluster as an HTTP replica server. Pass a
+// single-replica cluster to model one replica process; a multi-replica
+// cluster is also valid (the forwarded attempt number spreads copies
+// over its internal replicas).
+func NewServer(back *backend.Cluster) *Server {
+	s := &Server{back: back, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Served reports how many queries this replica completed.
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Cancelled reports how many queries were abandoned by the peer
+// before completing — losing copies the hedger reclaimed.
+func (s *Server) Cancelled() int64 { return s.cancelled.Load() }
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	i, err := strconv.Atoi(q.Get("i"))
+	if err != nil || i < 0 {
+		http.Error(w, "transport: bad or missing query index", http.StatusBadRequest)
+		return
+	}
+	attempt := 0
+	if a := q.Get("attempt"); a != "" {
+		attempt, err = strconv.Atoi(a)
+		if err != nil || attempt < 0 {
+			http.Error(w, "transport: bad attempt number", http.StatusBadRequest)
+			return
+		}
+	}
+	// r.Context() is cancelled when the client aborts the request, so
+	// a copy still queued on the replica is reclaimed right here.
+	v, err := s.back.Request(i)(r.Context(), attempt)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.cancelled.Add(1)
+			http.Error(w, err.Error(), statusClientClosedRequest)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.served.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"value": v})
+}
+
+// ReplicaServer couples a Server with its own loopback listener,
+// standing in for a standalone replica process. Close tears the
+// listener and every open connection down immediately — the "replica
+// process dies mid-flight" failure the fault tests exercise.
+type ReplicaServer struct {
+	Handler *Server
+	srv     *http.Server
+	url     string
+}
+
+// Serve starts an HTTP replica server for back on an ephemeral
+// loopback port.
+func Serve(back *backend.Cluster) (*ReplicaServer, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	h := NewServer(back)
+	rs := &ReplicaServer{
+		Handler: h,
+		srv:     &http.Server{Handler: h},
+		url:     "http://" + lis.Addr().String(),
+	}
+	go rs.srv.Serve(lis)
+	return rs, nil
+}
+
+// URL returns the server's base URL.
+func (rs *ReplicaServer) URL() string { return rs.url }
+
+// Close stops the server abruptly: the listener and all active
+// connections are closed without waiting for in-flight requests.
+func (rs *ReplicaServer) Close() error { return rs.srv.Close() }
+
+// ServeAll starts one ReplicaServer per cluster and returns the
+// servers with their base URLs, closing any already-started server on
+// error.
+func ServeAll(clusters []*backend.Cluster) ([]*ReplicaServer, []string, error) {
+	servers := make([]*ReplicaServer, 0, len(clusters))
+	urls := make([]string, 0, len(clusters))
+	for _, back := range clusters {
+		rs, err := Serve(back)
+		if err != nil {
+			for _, s := range servers {
+				s.Close()
+			}
+			return nil, nil, err
+		}
+		servers = append(servers, rs)
+		urls = append(urls, rs.URL())
+	}
+	return servers, urls, nil
+}
+
+// ClientConfig parametrizes a transport client.
+type ClientConfig struct {
+	// Replicas is the fleet's base URLs, one per replica server, in
+	// replica order. Routing is positional: attempt n of query i goes
+	// to Replicas[(backend.PrimaryReplica(i, R)+n) mod R].
+	Replicas []string
+	// Unit is the wall-clock duration of one model millisecond; it
+	// must match the replica servers' backend Unit. Default
+	// time.Millisecond.
+	Unit time.Duration
+	// HTTPClient optionally overrides the HTTP client. The default
+	// keeps enough idle connections per replica that a hedged open
+	// loop reuses connections instead of churning through ports.
+	HTTPClient *http.Client
+}
+
+// Client issues queries against a fleet of HTTP replica servers and
+// implements backend.Source, so RunOpenLoop and LiveSystem drive the
+// remote fleet exactly as they drive an in-process cluster.
+type Client struct {
+	urls []string
+	unit time.Duration
+	hc   *http.Client
+}
+
+var _ backend.Source = (*Client)(nil)
+
+// NewClient validates the configuration and returns a Client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("transport: no replica URLs")
+	}
+	if cfg.Unit < 0 {
+		return nil, fmt.Errorf("transport: negative Unit %v", cfg.Unit)
+	}
+	if cfg.Unit == 0 {
+		cfg.Unit = time.Millisecond
+	}
+	urls := make([]string, len(cfg.Replicas))
+	for i, u := range cfg.Replicas {
+		if u == "" {
+			return nil, fmt.Errorf("transport: empty URL for replica %d", i)
+		}
+		urls[i] = strings.TrimRight(u, "/")
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 1024
+		tr.MaxIdleConnsPerHost = 256
+		hc = &http.Client{Transport: tr}
+	}
+	return &Client{urls: urls, unit: cfg.Unit, hc: hc}, nil
+}
+
+// Unit returns the wall-clock duration of one model millisecond.
+func (c *Client) Unit() time.Duration { return c.unit }
+
+// Replicas returns the fleet size.
+func (c *Client) Replicas() int { return len(c.urls) }
+
+// Request returns the hedge.Fn for query i: attempt n is sent to
+// replica (backend.PrimaryReplica(i, R)+n) mod R over HTTP, with the
+// copy's context attached to the request so cancelling the loser
+// aborts it on the wire.
+func (c *Client) Request(i int) hedge.Fn {
+	base := backend.PrimaryReplica(i, len(c.urls))
+	return func(ctx context.Context, attempt int) (any, error) {
+		url := fmt.Sprintf("%s/query?i=%d&attempt=%d",
+			c.urls[(base+attempt)%len(c.urls)], i, attempt)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// A cancelled loser surfaces here as an *url.Error
+			// wrapping context.Canceled; hedge.Client matches it
+			// with errors.Is through this return.
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return nil, fmt.Errorf("transport: replica %d: %s: %s",
+				(base+attempt)%len(c.urls), resp.Status, strings.TrimSpace(string(msg)))
+		}
+		var out struct {
+			Value any `json:"value"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		// Drain to EOF so net/http returns the connection to the idle
+		// pool — otherwise every copy pays a fresh TCP handshake and
+		// the measured wire overhead balloons.
+		io.Copy(io.Discard, resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decoding replica response: %w", err)
+		}
+		return out.Value, nil
+	}
+}

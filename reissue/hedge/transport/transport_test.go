@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+const unit = 200 * time.Microsecond
+
+// kvFleet stands up one single-replica HTTP server per entry in
+// speeds, all serving the same kvstore workload — the out-of-process
+// topology, on loopback. It returns the servers (in replica order)
+// and a transport client over them.
+func kvFleet(t *testing.T, w *kvstore.Workload, speeds []float64, u time.Duration) ([]*ReplicaServer, *Client) {
+	t.Helper()
+	clusters := make([]*backend.Cluster, len(speeds))
+	for r, s := range speeds {
+		back, err := backend.NewKV(w, backend.Config{
+			Replicas: 1, Unit: u, SpeedFactors: []float64{s},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters[r] = back
+	}
+	servers, urls, err := ServeAll(clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	client, err := NewClient(ClientConfig{Replicas: urls, Unit: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return servers, client
+}
+
+func kvWorkload(t *testing.T, queries int) *kvstore.Workload {
+	t.Helper()
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 200, NumQueries: queries, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Error("NewClient accepted an empty fleet")
+	}
+	if _, err := NewClient(ClientConfig{Replicas: []string{"http://x"}, Unit: -time.Second}); err == nil {
+		t.Error("NewClient accepted a negative unit")
+	}
+	if _, err := NewClient(ClientConfig{Replicas: []string{""}}); err == nil {
+		t.Error("NewClient accepted an empty replica URL")
+	}
+}
+
+// TestValueMatchesInProcess checks that a query served over HTTP
+// returns the same result as executing it in process (modulo JSON
+// turning the integer cardinality into a float64).
+func TestValueMatchesInProcess(t *testing.T) {
+	w := kvWorkload(t, 40)
+	_, client := kvFleet(t, w, []float64{1, 1}, unit)
+	for i := 0; i < 6; i++ {
+		v, err := client.Request(i)(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := w.Queries[i]
+		want, _ := w.Store.SInter(q.A, q.B)
+		if got := v.(float64); int(got) != len(want) {
+			t.Fatalf("query %d returned %v over HTTP, want %d", i, v, len(want))
+		}
+	}
+}
+
+// TestPerAttemptRouting verifies the transport's routing rule:
+// attempt n of query i lands on replica (PrimaryReplica(i,R)+n) mod
+// R — so DoubleR/MultipleR attempts beyond the first reissue spread
+// across the whole fleet rather than revisiting the primary.
+func TestPerAttemptRouting(t *testing.T) {
+	w := kvWorkload(t, 40)
+	servers, client := kvFleet(t, w, []float64{1, 1, 1, 1}, unit)
+	const R = 4
+	for _, i := range []int{0, 3, 17} {
+		base := backend.PrimaryReplica(i, R)
+		fn := client.Request(i)
+		for attempt := 0; attempt < R+1; attempt++ {
+			want := (base + attempt) % R
+			before := servers[want].Handler.Served()
+			if _, err := fn(context.Background(), attempt); err != nil {
+				t.Fatal(err)
+			}
+			if got := servers[want].Handler.Served(); got != before+1 {
+				t.Fatalf("query %d attempt %d did not land on replica %d", i, attempt, want)
+			}
+		}
+	}
+}
+
+// TestCancelPropagatesToWire occupies a single-replica server with a
+// long request and then cancels a queued one: the abort must travel
+// through the HTTP connection and reclaim the copy on the replica —
+// the loser-cancellation path of the hedger, across the wire.
+func TestCancelPropagatesToWire(t *testing.T) {
+	w := kvWorkload(t, 40)
+	w.Times[0] = 300 // long occupant, model ms
+	w.Times[1] = 1
+	servers, client := kvFleet(t, w, []float64{1}, unit)
+
+	occupied := make(chan struct{})
+	go func() {
+		close(occupied)
+		client.Request(0)(context.Background(), 0)
+	}()
+	<-occupied
+	time.Sleep(time.Duration(5 * float64(unit))) // let it enter service
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(5 * float64(unit)))
+		cancel()
+	}()
+	if _, err := client.Request(1)(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued remote request returned %v, want context.Canceled", err)
+	}
+
+	// The server notices the peer is gone asynchronously; poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if servers[0].Handler.Cancelled() >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("replica never recorded the cancelled copy")
+}
+
+// TestReplicaDownMidFlight is the transport fault test: the primary's
+// replica process dies while its copy is in flight, and the hedged
+// attempt on the surviving replica still answers the query. The
+// failed primary is recorded, no query is lost, and the run is race-
+// detector clean.
+func TestReplicaDownMidFlight(t *testing.T) {
+	w := kvWorkload(t, 40)
+	for i := range w.Times {
+		w.Times[i] = 50 // model ms: long enough to be mid-flight when the replica dies
+	}
+	servers, client := kvFleet(t, w, []float64{1, 1}, unit)
+
+	// Find a query whose primary lands on replica 0 — the one we kill.
+	i := 0
+	for backend.PrimaryReplica(i, 2) != 0 {
+		i++
+	}
+	hc, err := hedge.New(hedge.Config{
+		Policy: reissue.SingleD{D: 5}, // reissue well before the 50 ms service completes
+		Unit:   unit,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var v any
+	var doErr error
+	go func() {
+		defer close(done)
+		v, doErr = hc.Do(context.Background(), client.Request(i))
+	}()
+
+	// Let the primary enter service and the reissue dispatch, then
+	// kill the primary's replica abruptly.
+	time.Sleep(time.Duration(15 * float64(unit)))
+	servers[0].Close()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged query never completed after replica death")
+	}
+	if doErr != nil {
+		t.Fatalf("hedged query failed despite a surviving replica: %v", doErr)
+	}
+	q := w.Queries[i]
+	want, _ := w.Store.SInter(q.A, q.B)
+	if int(v.(float64)) != len(want) {
+		t.Fatalf("surviving replica returned %v, want %d", v, len(want))
+	}
+	hc.Wait()
+	s := hc.Snapshot()
+	if s.Completed != 1 || s.Failures != 0 {
+		t.Fatalf("snapshot after replica death: %+v", s)
+	}
+	if s.ReissueWins != 1 {
+		t.Fatalf("the surviving replica's reissue did not win: %+v", s)
+	}
+	if len(s.Attempts) < 2 || s.Attempts[1].Wins != 1 || s.Attempts[1].Dispatched != 1 {
+		t.Fatalf("attempt histogram did not record the rescue: %+v", s.Attempts)
+	}
+}
+
+// TestLiveSystemOverTransport runs the reissue.System adapter over
+// the HTTP fleet: the optimizer machinery's measurement contract
+// (per-copy logs, warmup trimming, reissue rate) must hold across
+// the process boundary exactly as in process.
+func TestLiveSystemOverTransport(t *testing.T) {
+	w := kvWorkload(t, 300)
+	_, client := kvFleet(t, w, []float64{1, 1, 1}, unit)
+	sys := &backend.LiveSystem{
+		Back: client, N: 300, Warmup: 50,
+		Lambda: 0.3, Seed: 13,
+	}
+	run := sys.Run(reissue.SingleR{D: 0, Q: 0.4})
+	if len(run.Primary) != 250 {
+		t.Fatalf("got %d primary samples, want 250 (warmup excluded)", len(run.Primary))
+	}
+	if len(run.Query) != 250 {
+		t.Fatalf("got %d query samples, want 250", len(run.Query))
+	}
+	if len(run.Reissue) == 0 {
+		t.Fatal("no reissue response times collected over the transport")
+	}
+	if run.ReissueRate < 0.25 || run.ReissueRate > 0.55 {
+		t.Fatalf("reissue rate %.3f far from Q=0.4", run.ReissueRate)
+	}
+}

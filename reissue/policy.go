@@ -131,13 +131,25 @@ func NewMultipleR(delays, probs []float64) (MultipleR, error) {
 
 // Plan flips each reissue time's coin independently.
 func (p MultipleR) Plan(r *stats.RNG) []float64 {
-	var out []float64
+	delays, _ := p.PlanSlots(r)
+	return delays
+}
+
+// PlanSlots samples the policy exactly like Plan — one coin per
+// configured delay, in order, so the two consume identical random
+// streams — and also reports each sampled delay's slot, 1 + its
+// index in Delays. Execution engines that route or attribute copies
+// by configured reissue time (reissue/hedge) need the slots: two
+// configured delays may be equal, which makes recovering them from
+// Plan's compacted output ambiguous.
+func (p MultipleR) PlanSlots(r *stats.RNG) (delays []float64, slots []int) {
 	for i, d := range p.Delays {
 		if r.Bool(p.Probs[i]) {
-			out = append(out, d)
+			delays = append(delays, d)
+			slots = append(slots, i+1)
 		}
 	}
-	return out
+	return delays, slots
 }
 
 func (p MultipleR) String() string {
