@@ -1,0 +1,321 @@
+// Command reissue-bench runs the repository's tracked performance
+// benchmarks — figure regeneration, the discrete-event engine's
+// schedule/fire micro-benchmarks, and the optimizer — and emits a
+// machine-readable BENCH_sim.json (ns/op, allocs/op, B/op per
+// benchmark). CI runs it on every push, uploads the result as an
+// artifact so the performance trajectory accumulates, and compares
+// against the checked-in baseline.
+//
+// Regression gating: allocs/op is deterministic for these workloads
+// (seeded simulations, no wall-clock paths), so it is gated strictly:
+// any benchmark allocating more than -max-regress over its baseline
+// fails the run. ns/op is only meaningful against a baseline recorded
+// on the same machine, so the time gate is opt-in (-time-gate); CI
+// compares allocations and archives the times. Record a new baseline
+// with:
+//
+//	go run ./cmd/reissue-bench -short -out BENCH_sim.json
+//
+// after verifying the change is an intentional improvement.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/reissue"
+)
+
+// benchResult is one benchmark's measurement, averaged over Iters
+// runs after one untimed warmup run.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// benchFile is the BENCH_sim.json schema. Config fields identify the
+// workload scale; comparisons across different scales are refused.
+type benchFile struct {
+	Schema         int           `json:"schema"`
+	GoVersion      string        `json:"go_version"`
+	Short          bool          `json:"short"`
+	Queries        int           `json:"queries"`
+	AdaptiveTrials int           `json:"adaptive_trials"`
+	Notes          []string      `json:"notes,omitempty"`
+	Benchmarks     []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_sim.json", "write results to this file")
+		baseline   = flag.String("baseline", "", "compare against this baseline file (empty: no comparison)")
+		maxRegress = flag.Float64("max-regress", 0.20, "fail when a gated metric regresses more than this fraction over baseline")
+		timeGate   = flag.Bool("time-gate", false, "also gate ns/op (only meaningful vs a baseline from the same machine)")
+		short      = flag.Bool("short", false, "reduced workload scale and a single timed iteration (the CI configuration)")
+		notes      = flag.String("notes", "", "free-form note recorded in the output")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{Queries: 2000, AdaptiveTrials: 3, Seed: 0x0511}
+	iters := 3
+	if *short {
+		sc = experiments.Scale{Queries: 1000, AdaptiveTrials: 2, Seed: 0x0511}
+		iters = 1
+	}
+
+	file := benchFile{
+		Schema:         1,
+		GoVersion:      runtime.Version(),
+		Short:          *short,
+		Queries:        sc.Queries,
+		AdaptiveTrials: sc.AdaptiveTrials,
+	}
+	if *notes != "" {
+		file.Notes = append(file.Notes, *notes)
+	}
+
+	for _, b := range benchmarks(sc) {
+		res, err := measure(b.name, iters, b.fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reissue-bench: %s: %v\n", b.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-32s %12.0f ns/op %10.0f allocs/op %12.0f B/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		file.Benchmarks = append(file.Benchmarks, res)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reissue-bench: encoding: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "reissue-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(file.Benchmarks), *out)
+
+	if *baseline == "" {
+		return
+	}
+	base, err := readBenchFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reissue-bench: baseline: %v\n", err)
+		os.Exit(1)
+	}
+	failures := compare(base, file, *maxRegress, *timeGate)
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "reissue-bench: %d regression(s) vs %s:\n", len(failures), *baseline)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions vs %s (max-regress %.0f%%, time gate %v)\n",
+		*baseline, *maxRegress*100, *timeGate)
+}
+
+type bench struct {
+	name string
+	fn   func() error
+}
+
+// benchmarks assembles the tracked suite. Figures 7 and 9 are
+// excluded: their runtime is dominated by one-time workload
+// generation (kvstore set construction, search indexing), which
+// drowns the engine signal the trajectory is meant to track; the
+// engine features they exercise (TraceSource, RoundRobin,
+// interference) are covered by Figure 5c and the extensions.
+func benchmarks(sc experiments.Scale) []bench {
+	errOnly := func(f func() error) func() error { return f }
+	bs := []bench{
+		{"Figure2a", errOnly(func() error { _, err := experiments.Figure2a(sc); return err })},
+		{"Figure2b", errOnly(func() error { _, err := experiments.Figure2b(sc); return err })},
+		{"Figure3/Independent", errOnly(func() error { _, err := experiments.Figure3(experiments.Independent, sc); return err })},
+		{"Figure3/Correlated", errOnly(func() error { _, err := experiments.Figure3(experiments.CorrelatedWL, sc); return err })},
+		{"Figure3/Queueing", errOnly(func() error { _, err := experiments.Figure3(experiments.Queueing, sc); return err })},
+		{"Figure4", errOnly(func() error { _, _, err := experiments.Figure4(sc); return err })},
+		{"Figure5a", errOnly(func() error { _, err := experiments.Figure5a(sc); return err })},
+		{"Figure5b", errOnly(func() error { _, err := experiments.Figure5b(sc); return err })},
+		{"Figure5c", errOnly(func() error { _, err := experiments.Figure5c(sc); return err })},
+		{"Figure6", errOnly(func() error { _, _, err := experiments.Figure6(stats.NewExponential(0.1), "Exp(0.1)", sc); return err })},
+		{"Figure8", errOnly(func() error { _, err := experiments.Figure8(sc); return err })},
+		{"ExtensionOnlineTracking", errOnly(func() error { _, err := experiments.ExtensionOnlineTracking(sc); return err })},
+		{"ExtensionCancellation", errOnly(func() error { _, err := experiments.ExtensionCancellation(sc); return err })},
+		{"ExtensionBurstiness", errOnly(func() error { _, err := experiments.ExtensionBurstiness(sc); return err })},
+		{"ExtensionFanOut", errOnly(func() error { _, err := experiments.ExtensionFanOut(sc); return err })},
+		{"DES/ScheduleFireFresh", desFresh},
+		{"DES/ScheduleFireReused", desReusedBench()},
+		{"Optimizer/ComputeOptimalSingleR", optimizerBench()},
+	}
+	return bs
+}
+
+// desFresh schedules and drains 10k randomly-timed events on a brand
+// new engine — the des schedule/fire cost including first-run slab
+// and heap growth.
+func desFresh() error {
+	s := des.New()
+	r := stats.NewRNG(1)
+	cb := func(now float64, arg int, x float64) {}
+	for j := 0; j < 10000; j++ {
+		s.AtArg(r.Float64()*1000, cb, j, 0)
+	}
+	s.Run()
+	if s.Fired() != 10000 {
+		return fmt.Errorf("fired %d events, want 10000", s.Fired())
+	}
+	return nil
+}
+
+// desReusedBench returns the steady-state variant: the engine is
+// Reset and reused, so schedule+fire runs allocation-free.
+func desReusedBench() func() error {
+	s := des.New()
+	cb := func(now float64, arg int, x float64) {}
+	return func() error {
+		s.Reset()
+		r := stats.NewRNG(1)
+		for j := 0; j < 10000; j++ {
+			s.AtArg(r.Float64()*1000, cb, j, 0)
+		}
+		s.Run()
+		if s.Fired() != 10000 {
+			return fmt.Errorf("fired %d events, want 10000", s.Fired())
+		}
+		return nil
+	}
+}
+
+// optimizerBench solves the paper's Figure 1 optimization on a fixed
+// 100k-sample Pareto log — the offline optimizer's end-to-end cost
+// including its sorts.
+func optimizerBench() func() error {
+	r := stats.NewRNG(7)
+	dist := stats.NewPareto(1, 1.1)
+	rx := make([]float64, 100_000)
+	for i := range rx {
+		rx[i] = dist.Sample(r)
+	}
+	return func() error {
+		_, _, err := reissue.ComputeOptimalSingleR(rx, nil, 0.99, 0.02)
+		return err
+	}
+}
+
+// measure runs fn once untimed (warming caches and pools), then
+// averages iters timed runs, tracking allocations via MemStats
+// deltas.
+func measure(name string, iters int, fn func() error) (benchResult, error) {
+	if err := fn(); err != nil {
+		return benchResult{}, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return benchResult{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return benchResult{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+	}, nil
+}
+
+// goMinor reduces a runtime.Version() string to its minor release
+// ("go1.24.3" -> "go1.24"); non-release strings (devel builds) pass
+// through unchanged.
+func goMinor(v string) string {
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 && strings.HasPrefix(parts[0], "go") {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
+
+func readBenchFile(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// compare reports regressions of current against base. Allocations
+// are gated with a small absolute slack (runtime-internal allocations
+// jitter by a few objects); ns/op only when timeGate is set.
+func compare(base, current benchFile, maxRegress float64, timeGate bool) []string {
+	var failures []string
+	if base.Short != current.Short || base.Queries != current.Queries ||
+		base.AdaptiveTrials != current.AdaptiveTrials {
+		return []string{fmt.Sprintf(
+			"workload mismatch: baseline (short=%v queries=%d trials=%d) vs current (short=%v queries=%d trials=%d); re-record the baseline",
+			base.Short, base.Queries, base.AdaptiveTrials,
+			current.Short, current.Queries, current.AdaptiveTrials)}
+	}
+	// Allocation counts shift across Go runtime releases, so a
+	// cross-version comparison would fire (or mask) the allocs gate
+	// spuriously. Patch releases are fine; minor releases are not.
+	if bm, cm := goMinor(base.GoVersion), goMinor(current.GoVersion); bm != cm {
+		return []string{fmt.Sprintf(
+			"go version mismatch: baseline %s vs current %s; re-record the baseline with this toolchain",
+			base.GoVersion, current.GoVersion)}
+	}
+	cur := make(map[string]benchResult, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	baseBy := make(map[string]benchResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	const allocSlack = 16 // absolute objects of runtime jitter
+	for _, name := range names {
+		b := baseBy[name]
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured (coverage dropped)", name))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+maxRegress)+allocSlack {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (>%+.0f%%)",
+				name, c.AllocsPerOp, b.AllocsPerOp, (c.AllocsPerOp/b.AllocsPerOp-1)*100))
+		}
+		if timeGate && c.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (>%+.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, (c.NsPerOp/b.NsPerOp-1)*100))
+		}
+	}
+	return failures
+}

@@ -19,4 +19,19 @@
 // and the simulator-for-testbed substitution argument; bench_test.go
 // and ablation_bench_test.go hold the per-figure benchmark harness.
 // cmd/reissue-live is the live end-to-end demo.
+//
+// # Benchmarking
+//
+// The simulation engine's performance is tracked: cmd/reissue-bench
+// runs the figure, engine, and optimizer benchmarks and writes
+// BENCH_sim.json (ns/op, allocs/op, B/op per benchmark). The copy at
+// the repository root is the recorded baseline; CI re-measures every
+// push, uploads the result as an artifact, and fails if any
+// benchmark's allocs/op regresses more than 20% (allocation counts
+// are deterministic for the seeded workloads — wall-clock times are
+// archived but only gated via -time-gate on matching hardware). See
+// DESIGN.md's "Engine internals" and "Benchmarking" sections for the
+// slab/heap design, the (time, seq) ordering invariant that keeps
+// seeded runs replay-identical across engine rewrites, and how to
+// read or re-record the baseline.
 package repro

@@ -7,6 +7,17 @@
 //
 // The simulator replaces the paper's physical 10-server testbed; see
 // DESIGN.md for the substitution argument.
+//
+// The hot path is allocation-free in steady state: a Cluster pools
+// its event list, per-query records, dispatched-copy arena, and
+// server queues across runs, and every simulation event is a typed
+// des.ArgEvent rather than a fresh closure. Repeated Run calls (the
+// adaptive optimizer's trials, figure sweeps) therefore cost no
+// per-query allocations; only the measurement set returned to the
+// caller is freshly allocated, pre-sized from Config. A Cluster is
+// NOT safe for concurrent Run calls — run one simulation at a time
+// per Cluster (this was always the case; the pooling makes it load-
+// bearing).
 package cluster
 
 import (
@@ -19,6 +30,7 @@ import (
 	"repro/internal/rangequery"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/reissue"
 )
 
 // ServiceSource produces per-query service times. Sample returns the
@@ -221,7 +233,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Result is the detailed outcome of one simulated run.
+// Result is the detailed outcome of one simulated run. Its slices are
+// freshly allocated per run (pre-sized from Config) and remain valid
+// after subsequent runs of the same Cluster.
 type Result struct {
 	// Log has one record per measured (post-warmup) query.
 	Log *trace.Log
@@ -245,10 +259,13 @@ type Result struct {
 
 // Cluster is a reusable simulation harness. It implements
 // core.System: each Run simulates the configured workload under the
-// given policy with a fresh RNG stream.
+// given policy with a fresh RNG stream. Runs reuse the cluster's
+// pooled simulation state, so a Cluster must not execute two Runs
+// concurrently.
 type Cluster struct {
 	cfg  Config
 	runs uint64
+	rs   *runState // pooled simulation state, reused across runs
 }
 
 // New validates the configuration and returns a Cluster.
@@ -282,11 +299,18 @@ func (c *Cluster) Run(p core.Policy) core.RunResult {
 }
 
 // query tracks one logical query across its primary and reissue
-// copies.
+// copies. Records live in the runState's pooled slice; requests refer
+// to them by stable pointer (the slice is sized before any event
+// fires and never grows mid-run).
 type query struct {
 	id       int
 	arrival  float64
 	measured bool
+
+	// Pre-drawn workload randomness (drawn at schedule time, in query
+	// order, exactly as the closure-based controller did).
+	sPrim, sReis float64
+	conn         int
 
 	done     bool
 	response float64
@@ -302,6 +326,239 @@ type query struct {
 
 	// outstanding tracks dispatched copies for CancelOnComplete.
 	outstanding []*request
+}
+
+// reqChunkShift sizes the request arena's chunks (512 records). The
+// arena hands out stable pointers — chunks are never reallocated,
+// only appended — so requests can be referenced across events while
+// the backing memory is recycled run over run.
+const reqChunkShift = 9
+
+type reqArena struct {
+	chunks [][]request
+	n      int
+}
+
+func (a *reqArena) get() *request {
+	ci, off := a.n>>reqChunkShift, a.n&(1<<reqChunkShift-1)
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]request, 1<<reqChunkShift))
+	}
+	idx := a.n
+	a.n++
+	r := &a.chunks[ci][off]
+	*r = request{idx: int32(idx)}
+	return r
+}
+
+func (a *reqArena) at(i int) *request {
+	return &a.chunks[i>>reqChunkShift][i&(1<<reqChunkShift-1)]
+}
+
+func (a *reqArena) reset() { a.n = 0 }
+
+// runState is a Cluster's pooled simulation machinery: the event
+// list, query records, request arena, servers, and the shared typed
+// event callbacks. One runState is built per Cluster and recycled by
+// every run.
+type runState struct {
+	cfg *Config
+	sim *des.Sim
+
+	queries []query
+	servers []*server
+	lengths []int
+	arena   reqArena
+	planBuf []float64
+
+	policy    core.Policy
+	policyRNG *stats.RNG
+	lbRNG     *stats.RNG
+
+	// Shared ArgEvent func values (one allocation each, at pool
+	// construction) — the typed replacements for the per-query,
+	// per-reissue, and per-toggle closures of the old controller.
+	arriveFn  des.ArgEvent
+	reissueFn des.ArgEvent
+	infDoneFn des.ArgEvent
+	slowFn    des.ArgEvent
+}
+
+// state returns the cluster's pooled runState, reset for a new run.
+func (c *Cluster) state() *runState {
+	rs := c.rs
+	if rs == nil {
+		rs = &runState{cfg: &c.cfg, sim: des.New()}
+		rs.arriveFn = rs.arrive
+		rs.reissueFn = rs.reissueAt
+		rs.infDoneFn = rs.infComplete
+		rs.slowFn = rs.setSlow
+		if n := c.cfg.Servers; n > 0 {
+			rs.servers = make([]*server, n)
+			rs.lengths = make([]int, n)
+			for i := range rs.servers {
+				rs.servers[i] = newServer(i, c.cfg.Discipline, rs.sim, rs.onComplete)
+			}
+		}
+		c.rs = rs
+	}
+	rs.sim.Reset()
+	rs.arena.reset()
+	total := c.cfg.Queries + c.cfg.Warmup
+	if cap(rs.queries) < total {
+		rs.queries = make([]query, total)
+	} else {
+		rs.queries = rs.queries[:total]
+	}
+	for i := range rs.servers {
+		s := rs.servers[i]
+		s.reset()
+		if c.cfg.SpeedFactors != nil {
+			s.baseSpeed = c.cfg.SpeedFactors[i]
+		}
+	}
+	return rs
+}
+
+func (rs *runState) queueLens() []int {
+	for i, s := range rs.servers {
+		rs.lengths[i] = s.Len()
+	}
+	return rs.lengths
+}
+
+// onComplete handles one finished request copy — it is the single
+// completion callback shared by every server and the infinite-server
+// path.
+func (rs *runState) onComplete(r *request, now float64) {
+	q := r.q
+	if r.cancelled {
+		// In-service when cancelled: finished anyway, but its
+		// measurement was already forfeited.
+		return
+	}
+	rt := now - r.dispatch
+	cfg := rs.cfg
+	if cfg.OnRequestComplete != nil {
+		cfg.OnRequestComplete(r.reissue, rt, now)
+	}
+	if r.reissue {
+		if !q.reissueDone {
+			q.reissueDone = true
+			q.reissueResp = rt
+		}
+	} else {
+		q.primaryDone = true
+		q.primaryResp = rt
+	}
+	if !q.done {
+		q.done = true
+		q.response = now - q.arrival
+		if cfg.CancelOnComplete {
+			for _, other := range q.outstanding {
+				if other != r && !other.inService {
+					other.cancelled = true
+				}
+			}
+		}
+	}
+}
+
+// dispatch sends one request copy to a server (or to the no-queueing
+// infinite-server pool), returning the chosen server index. Callers
+// populate the request, including r.dispatch, before handing it over.
+func (rs *runState) dispatch(r *request, now float64, exclude int) int {
+	r.q.outstanding = append(r.q.outstanding, r)
+	if rs.cfg.Servers == 0 {
+		// Infinite servers: no queueing, response = service; the
+		// copy starts immediately, so it is never cancellable.
+		r.inService = true
+		rs.sim.AfterArg(r.service, rs.infDoneFn, int(r.idx), 0)
+		return -1
+	}
+	idx := rs.cfg.LB.Pick(rs.lbRNG, rs.queueLens(), exclude)
+	rs.servers[idx].Enqueue(r, now)
+	return idx
+}
+
+// infComplete fires when an infinite-server copy finishes service.
+func (rs *runState) infComplete(now float64, reqIdx int, _ float64) {
+	rs.onComplete(rs.arena.at(reqIdx), now)
+}
+
+// arrive fires when query qi's primary is dispatched. The reissue
+// plan is sampled here (not at schedule time) so that policies whose
+// parameters evolve during the run — the online adapter — see their
+// current state; arrival events fire in query order, so the policy
+// RNG stream is unaffected for static policies.
+func (rs *runState) arrive(now float64, qi int, _ float64) {
+	q := &rs.queries[qi]
+	prim := rs.arena.get()
+	prim.q = q
+	prim.service = q.sPrim
+	prim.dispatch = now
+	prim.conn = q.conn
+	q.primaryServer = rs.dispatch(prim, now, -1)
+	for _, d := range rs.plan() {
+		rs.sim.AfterArg(d, rs.reissueFn, qi, d)
+	}
+}
+
+// plan samples the policy's reissue schedule, allocation-free when
+// the policy implements the PlanAppender fast path (all the
+// repository's families do); foreign policies fall back to Plan.
+func (rs *runState) plan() []float64 {
+	if pa, ok := rs.policy.(reissue.PlanAppender); ok {
+		rs.planBuf = pa.AppendPlan(rs.policyRNG, rs.planBuf[:0])
+		return rs.planBuf
+	}
+	return rs.policy.Plan(rs.policyRNG)
+}
+
+// reissueAt fires at one of query qi's planned reissue delays.
+func (rs *runState) reissueAt(now float64, qi int, delay float64) {
+	q := &rs.queries[qi]
+	// The paper's client checks a completion flag before sending the
+	// reissue.
+	if q.done {
+		return
+	}
+	q.reissues++
+	if q.reissues == 1 {
+		q.reissueDelay = delay
+	}
+	re := rs.arena.get()
+	re.q = q
+	re.service = q.sReis
+	re.dispatch = now
+	re.conn = q.conn
+	re.reissue = true
+	rs.dispatch(re, now, q.primaryServer)
+}
+
+// setSlow toggles a server's interference slowdown factor.
+func (rs *runState) setSlow(_ float64, si int, factor float64) {
+	rs.servers[si].slowFactor = factor
+}
+
+// scheduleInterference precomputes each server's slow-period toggle
+// chain up to a horizon past the last arrival so the event list
+// drains.
+func (rs *runState) scheduleInterference(horizon float64, root *stats.RNG) {
+	iv := rs.cfg.Interference
+	if iv == nil || rs.cfg.Servers == 0 {
+		return
+	}
+	ivRNG := root.Split(6)
+	for si := range rs.servers {
+		t := ivRNG.ExpFloat64() / iv.Rate
+		for t < horizon {
+			start, dur := t, ivRNG.ExpFloat64()*iv.MeanDuration
+			rs.sim.AtArg(start, rs.slowFn, si, iv.Factor)
+			rs.sim.AtArg(start+dur, rs.slowFn, si, 1)
+			t = start + dur + ivRNG.ExpFloat64()/iv.Rate
+		}
+	}
 }
 
 // RunDetailed simulates one run under policy p and returns the full
@@ -321,100 +578,16 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 	lbRNG := root.Split(4)
 	connRNG := root.Split(5)
 
-	sim := des.New()
+	rs := c.state()
+	rs.policy = p
+	rs.policyRNG = policyRNG
+	rs.lbRNG = lbRNG
 	total := cfg.Queries + cfg.Warmup
-	queries := make([]*query, total)
 
-	servers := make([]*server, cfg.Servers)
-	lengths := make([]int, cfg.Servers)
-	queueLens := func() []int {
-		for i, s := range servers {
-			lengths[i] = s.Len()
-		}
-		return lengths
-	}
-
-	onComplete := func(r *request, now float64) {
-		q := r.q
-		if r.cancelled {
-			// In-service when cancelled: finished anyway, but its
-			// measurement was already forfeited.
-			return
-		}
-		rt := now - r.dispatch
-		if cfg.OnRequestComplete != nil {
-			cfg.OnRequestComplete(r.reissue, rt, now)
-		}
-		if r.reissue {
-			if !q.reissueDone {
-				q.reissueDone = true
-				q.reissueResp = rt
-			}
-		} else {
-			q.primaryDone = true
-			q.primaryResp = rt
-		}
-		if !q.done {
-			q.done = true
-			q.response = now - q.arrival
-			if cfg.CancelOnComplete {
-				for _, other := range q.outstanding {
-					if other != r && !other.inService {
-						other.cancelled = true
-					}
-				}
-			}
-		}
-	}
-	for i := range servers {
-		servers[i] = newServer(i, cfg.Discipline, onComplete)
-		if cfg.SpeedFactors != nil {
-			servers[i].baseSpeed = cfg.SpeedFactors[i]
-		}
-	}
-
-	dispatch := func(r *request, now float64, exclude int) int {
-		r.q.outstanding = append(r.q.outstanding, r)
-		if cfg.Servers == 0 {
-			// Infinite servers: no queueing, response = service; the
-			// copy starts immediately, so it is never cancellable.
-			r.inService = true
-			sim.After(r.service, func(end float64) { onComplete(r, end) })
-			return -1
-		}
-		idx := cfg.LB.Pick(lbRNG, queueLens(), exclude)
-		r.dispatch = now
-		servers[idx].Enqueue(sim, r, now)
-		return idx
-	}
-
-	// Schedule server interference (transient slowdowns). Toggle
-	// chains are precomputed up to a horizon past the last arrival so
-	// the event list drains.
-	scheduleInterference := func(horizon float64) {
-		iv := cfg.Interference
-		if iv == nil || cfg.Servers == 0 {
-			return
-		}
-		ivRNG := root.Split(6)
-		for _, srv := range servers {
-			srv := srv
-			t := ivRNG.ExpFloat64() / iv.Rate
-			for t < horizon {
-				start, dur := t, ivRNG.ExpFloat64()*iv.MeanDuration
-				sim.At(start, func(float64) { srv.slowFactor = iv.Factor })
-				sim.At(start+dur, func(float64) { srv.slowFactor = 1 })
-				t = start + dur + ivRNG.ExpFloat64()/iv.Rate
-			}
-		}
-	}
-
-	// Schedule the open-loop arrival process. The reissue plan is
-	// sampled inside the arrival event (not at schedule time) so that
-	// policies whose parameters evolve during the run — the online
-	// adapter — see their current state; arrival events fire in query
-	// order, so the policy RNG stream is unaffected for static
-	// policies.
+	// Schedule the open-loop arrival process. All workload randomness
+	// (arrival gaps, service times, connections) is drawn here in
+	// query order — the same stream order as the closure-based
+	// controller — and parked in the pooled query records.
 	at := 0.0
 	fan := cfg.FanOut
 	if fan < 1 {
@@ -433,40 +606,38 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 			}
 			at += arrivalRNG.ExpFloat64() / rate * float64(fan)
 		}
-		q := &query{id: i, arrival: at, measured: i >= cfg.Warmup}
-		queries[i] = q
-		sPrim, sReis := cfg.Source.Sample(serviceRNG)
-		conn := connRNG.Intn(cfg.Connections)
-		sim.At(at, func(now float64) {
-			prim := &request{q: q, service: sPrim, dispatch: now, conn: conn}
-			q.primaryServer = dispatch(prim, now, -1)
-			for _, d := range p.Plan(policyRNG) {
-				delay := d
-				sim.After(delay, func(rnow float64) {
-					// The paper's client checks a completion flag
-					// before sending the reissue.
-					if q.done {
-						return
-					}
-					q.reissues++
-					if q.reissues == 1 {
-						q.reissueDelay = delay
-					}
-					re := &request{q: q, service: sReis, dispatch: rnow,
-						conn: conn, reissue: true}
-					dispatch(re, rnow, q.primaryServer)
-				})
-			}
-		})
+		q := &rs.queries[i]
+		out := q.outstanding[:0]
+		*q = query{id: i, arrival: at, measured: i >= cfg.Warmup, outstanding: out}
+		q.sPrim, q.sReis = cfg.Source.Sample(serviceRNG)
+		q.conn = connRNG.Intn(cfg.Connections)
+		// Arrival times are non-decreasing, so the whole arrival
+		// process rides the event list's O(1) monotone lane and stays
+		// out of the heap.
+		rs.sim.AtMonotone(at, rs.arriveFn, i, 0)
 	}
 
-	scheduleInterference(at * 1.25)
-	sim.Run()
+	rs.scheduleInterference(at*1.25, root)
+	rs.sim.Run()
 
-	// Collect measurements over post-warmup queries.
-	res := &Result{Log: &trace.Log{}}
+	// Collect measurements over post-warmup queries into freshly
+	// allocated, exactly-sized result slices (the pooled state stays
+	// private; results must survive later runs).
+	res := &Result{Log: &trace.Log{Records: make([]trace.Record, 0, cfg.Queries)}}
+	res.Outcomes = make([]metrics.QueryOutcome, 0, cfg.Queries)
+	npairs := 0
+	for i := cfg.Warmup; i < total; i++ {
+		q := &rs.queries[i]
+		if q.reissues > 0 && q.primaryDone && q.reissueDone {
+			npairs++
+		}
+	}
+	if npairs > 0 {
+		res.Pairs = make([]rangequery.Point, 0, npairs)
+	}
 	reissued := 0
-	for _, q := range queries {
+	for i := 0; i < total; i++ {
+		q := &rs.queries[i]
 		if !q.measured {
 			continue
 		}
@@ -497,20 +668,21 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 	}
 	res.ReissueRate = float64(reissued) / float64(cfg.Queries)
 	if fan > 1 {
+		res.FanOutResponses = make([]float64, 0, cfg.Queries/fan)
 		for i := cfg.Warmup; i < total; i += fan {
 			max := 0.0
 			for j := i; j < i+fan; j++ {
-				if queries[j].response > max {
-					max = queries[j].response
+				if rs.queries[j].response > max {
+					max = rs.queries[j].response
 				}
 			}
 			res.FanOutResponses = append(res.FanOutResponses, max)
 		}
 	}
-	res.Duration = sim.Now()
+	res.Duration = rs.sim.Now()
 	if cfg.Servers > 0 && res.Duration > 0 {
 		var busy float64
-		for _, s := range servers {
+		for _, s := range rs.servers {
 			busy += s.busyTime
 		}
 		res.Utilization = busy / (res.Duration * float64(cfg.Servers))

@@ -60,9 +60,13 @@ func DisciplineByName(name string) (Discipline, error) {
 	}
 }
 
-// request is one dispatched copy of a query: the primary or a reissue.
+// request is one dispatched copy of a query: the primary or a
+// reissue. Requests are arena-allocated (reqArena) and recycled
+// across runs; idx is the record's stable arena index, used as the
+// payload of infinite-server completion events.
 type request struct {
 	q        *query
+	idx      int32   // arena index
 	service  float64 // service time on the server
 	dispatch float64 // absolute dispatch time
 	conn     int     // client connection (round-robin discipline)
@@ -76,13 +80,18 @@ type request struct {
 }
 
 // server is a single-threaded simulated server: it serves exactly one
-// request at a time and queues the rest per its discipline.
+// request at a time and queues the rest per its discipline. Servers
+// are created once per Cluster and recycled run over run (reset); the
+// service-completion event is a single shared func value, so serving
+// a request schedules no closures.
 type server struct {
 	id         int
 	discipline Discipline
+	sim        *des.Sim
 
 	busy    bool
-	waiting int // total queued (excluding in-service)
+	cur     *request // request in service, valid while busy
+	waiting int      // total queued (excluding in-service)
 
 	// FIFO / prioritized queues. fifo doubles as the primary queue
 	// for the prioritized disciplines.
@@ -105,10 +114,12 @@ type server struct {
 	baseSpeed float64
 
 	onComplete func(r *request, now float64)
+	completeEv des.ArgEvent // bound method value, allocated once
 }
 
-func newServer(id int, d Discipline, onComplete func(*request, float64)) *server {
-	s := &server{id: id, discipline: d, onComplete: onComplete, slowFactor: 1, baseSpeed: 1}
+func newServer(id int, d Discipline, sim *des.Sim, onComplete func(*request, float64)) *server {
+	s := &server{id: id, discipline: d, sim: sim, onComplete: onComplete, slowFactor: 1, baseSpeed: 1}
+	s.completeEv = s.complete
 	if d == RoundRobin {
 		s.conns = make(map[int][]*request)
 		// Start before the first connection so the initial pop visits
@@ -116,6 +127,24 @@ func newServer(id int, d Discipline, onComplete func(*request, float64)) *server
 		s.cursor = -1
 	}
 	return s
+}
+
+// reset returns the server to its idle boot state for a fresh run,
+// keeping queue capacity.
+func (s *server) reset() {
+	s.busy = false
+	s.cur = nil
+	s.waiting = 0
+	s.fifo = s.fifo[:0]
+	s.reis = s.reis[:0]
+	if s.discipline == RoundRobin {
+		clear(s.conns)
+		s.order = s.order[:0]
+		s.cursor = -1
+	}
+	s.busyTime = 0
+	s.slowFactor = 1
+	s.baseSpeed = 1
 }
 
 // Len returns the instantaneous queue length: waiting requests plus
@@ -131,9 +160,9 @@ func (s *server) Len() int {
 
 // Enqueue accepts a request at time now, starting service immediately
 // if the server is idle.
-func (s *server) Enqueue(sim *des.Sim, r *request, now float64) {
+func (s *server) Enqueue(r *request, now float64) {
 	if !s.busy {
-		s.start(sim, r, now)
+		s.start(r, now)
 		return
 	}
 	s.waiting++
@@ -210,16 +239,23 @@ func (s *server) popAny() *request {
 	return nil
 }
 
-func (s *server) start(sim *des.Sim, r *request, now float64) {
+func (s *server) start(r *request, now float64) {
 	s.busy = true
+	s.cur = r
 	svc := r.service * s.baseSpeed * s.slowFactor
 	s.busyTime += svc
 	r.inService = true
-	sim.After(svc, func(end float64) {
-		s.onComplete(r, end)
-		s.busy = false
-		if next := s.pop(); next != nil {
-			s.start(sim, next, end)
-		}
-	})
+	s.sim.AfterArg(svc, s.completeEv, 0, 0)
+}
+
+// complete fires when the in-service request finishes: report it,
+// then start the next queued request, chaining service back to back.
+func (s *server) complete(now float64, _ int, _ float64) {
+	r := s.cur
+	s.cur = nil
+	s.onComplete(r, now)
+	s.busy = false
+	if next := s.pop(); next != nil {
+		s.start(next, now)
+	}
 }

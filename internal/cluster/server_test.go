@@ -12,12 +12,12 @@ func runServer(t *testing.T, d Discipline, reqs []*request, arrivals []float64) 
 	t.Helper()
 	var order []int
 	sim := des.New()
-	s := newServer(0, d, func(r *request, now float64) {
+	s := newServer(0, d, sim, func(r *request, now float64) {
 		order = append(order, r.q.id)
 	})
 	for i, r := range reqs {
 		r := r
-		sim.At(arrivals[i], func(now float64) { s.Enqueue(sim, r, now) })
+		sim.At(arrivals[i], func(now float64) { s.Enqueue(r, now) })
 	}
 	sim.Run()
 	return order
@@ -99,13 +99,13 @@ func TestServerRoundRobinHeadOfLineBlocking(t *testing.T) {
 	// connection — the Redis "query of death" effect.
 	var doneAt []float64
 	sim := des.New()
-	s := newServer(0, RoundRobin, func(r *request, now float64) {
+	s := newServer(0, RoundRobin, sim, func(r *request, now float64) {
 		doneAt = append(doneAt, now)
 	})
 	long := mkReq(0, 100, false, 0)
 	short := mkReq(1, 1, false, 1)
-	sim.At(0, func(now float64) { s.Enqueue(sim, long, now) })
-	sim.At(1, func(now float64) { s.Enqueue(sim, short, now) })
+	sim.At(0, func(now float64) { s.Enqueue(long, now) })
+	sim.At(1, func(now float64) { s.Enqueue(short, now) })
 	sim.Run()
 	if doneAt[1] != 101 {
 		t.Fatalf("short request completed at %v, want 101 (blocked)", doneAt[1])
@@ -114,13 +114,13 @@ func TestServerRoundRobinHeadOfLineBlocking(t *testing.T) {
 
 func TestServerLenCountsInService(t *testing.T) {
 	sim := des.New()
-	s := newServer(0, FIFO, func(*request, float64) {})
+	s := newServer(0, FIFO, sim, func(*request, float64) {})
 	if s.Len() != 0 {
 		t.Fatalf("idle Len = %d", s.Len())
 	}
 	sim.At(0, func(now float64) {
-		s.Enqueue(sim, mkReq(0, 5, false, 0), now)
-		s.Enqueue(sim, mkReq(1, 5, false, 0), now)
+		s.Enqueue(mkReq(0, 5, false, 0), now)
+		s.Enqueue(mkReq(1, 5, false, 0), now)
 	})
 	sim.RunUntil(1)
 	if s.Len() != 2 {
@@ -134,10 +134,10 @@ func TestServerLenCountsInService(t *testing.T) {
 
 func TestServerBusyTimeAccumulates(t *testing.T) {
 	sim := des.New()
-	s := newServer(0, FIFO, func(*request, float64) {})
+	s := newServer(0, FIFO, sim, func(*request, float64) {})
 	sim.At(0, func(now float64) {
-		s.Enqueue(sim, mkReq(0, 5, false, 0), now)
-		s.Enqueue(sim, mkReq(1, 7, false, 0), now)
+		s.Enqueue(mkReq(0, 5, false, 0), now)
+		s.Enqueue(mkReq(1, 7, false, 0), now)
 	})
 	sim.Run()
 	if s.busyTime != 12 {

@@ -5,11 +5,22 @@
 //
 // Determinism matters here: two events scheduled for the same instant
 // fire in scheduling order, so a simulation driven by a seeded RNG
-// replays identically on every run.
+// replays identically on every run. The engine totally orders events
+// by (time, seq) — seq is a per-Sim scheduling counter, so the order
+// is unique and independent of the event list's internal layout.
+//
+// The event list is built for throughput on the simulator's hot path:
+// a 4-ary heap of (time, seq, slot) keys over a pooled slab of typed
+// event records. Scheduling an event costs no allocation once the
+// slab and heap have grown to the simulation's peak pending count,
+// and a Sim can be Reset and reused across runs so repeated
+// simulations (the adaptive optimizer's trials, figure regeneration)
+// run allocation-free in steady state. Handles are generation-counted
+// slab references, so cancelling an already-fired event — whose slot
+// may since have been reused — is a safe no-op.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -17,68 +28,119 @@ import (
 // Event is a callback scheduled to run at a simulation time.
 type Event func(now float64)
 
-type scheduled struct {
-	time  float64
-	seq   uint64
-	fn    Event
-	index int // heap index, maintained by the heap interface
-	dead  bool
+// ArgEvent is a payload-carrying event callback: one shared func
+// value can serve many scheduled events, with the per-event payload
+// (arg, x) stored in the event record instead of a captured closure
+// environment. This is what keeps the cluster simulator's hot path
+// allocation-free: its arrival, reissue, and service-completion
+// events are three func values reused for every query.
+type ArgEvent func(now float64, arg int, x float64)
+
+// slot is one pooled event record. Exactly one of fn and afn is set
+// while the slot is live; gen counts reuses so stale Handles cannot
+// touch a recycled slot.
+type slot struct {
+	fn   Event
+	afn  ArgEvent
+	arg  int
+	x    float64
+	gen  uint32
+	dead bool
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ s *scheduled }
+// entry is one heap element. The ordering key (time, seq) is stored
+// inline so sift operations never chase the slab.
+type entry struct {
+	time float64
+	seq  uint64
+	slot int32
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The
+// zero Handle is valid and refers to no event.
+type Handle struct {
+	s    *Sim
+	slot int32
+	gen  uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired
-// or already-cancelled event is a no-op. Cancelled events are dropped
-// lazily when they surface at the top of the event list.
+// or already-cancelled event is a no-op (the handle's generation no
+// longer matches the slot once the event fires). Cancelled events are
+// dropped lazily when they surface at the top of the event list.
 func (h Handle) Cancel() {
-	if h.s != nil {
-		h.s.dead = true
+	if h.s == nil {
+		return
+	}
+	sl := &h.s.slab[h.slot]
+	if sl.gen == h.gen {
+		sl.dead = true
 	}
 }
 
 // Cancelled reports whether the event was cancelled before firing.
-func (h Handle) Cancelled() bool { return h.s != nil && h.s.dead }
-
-type eventHeap []*scheduled
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// Once the engine reclaims the cancelled record (lazily, when it
+// surfaces at the head of the event list) the handle goes stale and
+// Cancelled returns false again; use it for asserting on a
+// cancellation that just happened, not as long-term state.
+func (h Handle) Cancelled() bool {
+	if h.s == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*h)
-	*h = append(*h, s)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return s
+	sl := &h.s.slab[h.slot]
+	return sl.gen == h.gen && sl.dead
 }
 
 // Sim is a discrete-event simulation instance. The zero value is not
 // usable; call New.
 type Sim struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   float64
+	seq   uint64
+	fired uint64
+	heap  []entry // 4-ary min-heap ordered by (time, seq)
+	slab  []slot  // pooled event records
+	free  []int32 // free slab indices
+
+	// lane is the monotone fast path: a FIFO of events whose times
+	// were scheduled in non-decreasing order (an open-loop arrival
+	// process, a precomputed trace). Because both time and seq are
+	// non-decreasing along the lane, its head is always its minimum,
+	// so scheduling and popping cost O(1) instead of a heap
+	// operation — and keeping bulk-scheduled arrivals out of the
+	// heap keeps the heap shallow for everything else. Step/Run
+	// merge the lane head with the heap top under the same global
+	// (time, seq) order, so firing order is identical to scheduling
+	// everything on the heap.
+	lane     []entry
+	laneHead int
 }
 
 // New creates an empty simulation whose clock starts at 0.
 func New() *Sim { return &Sim{} }
+
+// Reset rewinds the clock to 0, drops all pending events, and
+// invalidates every outstanding Handle, keeping the slab and heap
+// capacity so the next run schedules without allocating. It is how
+// callers running many simulations back to back (the adaptive
+// optimizer, figure regeneration) amortize the event list to zero
+// steady-state allocations.
+func (s *Sim) Reset() {
+	s.now, s.seq, s.fired = 0, 0, 0
+	s.heap = s.heap[:0]
+	s.lane = s.lane[:0]
+	s.laneHead = 0
+	s.free = s.free[:0]
+	for i := range s.slab {
+		sl := &s.slab[i]
+		sl.gen++ // invalidate pre-Reset handles
+		sl.fn = nil
+		sl.afn = nil
+		sl.dead = false
+	}
+	for i := len(s.slab) - 1; i >= 0; i-- {
+		s.free = append(s.free, int32(i))
+	}
+}
 
 // Now returns the current simulation time.
 func (s *Sim) Now() float64 { return s.now }
@@ -88,21 +150,121 @@ func (s *Sim) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still scheduled (including
 // lazily-cancelled ones not yet dropped).
-func (s *Sim) Pending() int { return len(s.events) }
+func (s *Sim) Pending() int { return len(s.heap) + len(s.lane) - s.laneHead }
 
-// At schedules fn to run at absolute time t. Scheduling in the past
-// panics: it is always a logic error in the calling model.
-func (s *Sim) At(t float64, fn Event) Handle {
+func (s *Sim) checkTime(t float64) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) {
 		panic("des: scheduling at NaN")
 	}
-	ev := &scheduled{time: t, seq: s.seq, fn: fn}
+}
+
+// alloc grabs a free slab slot, growing the slab only when the free
+// list is empty.
+func (s *Sim) alloc() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.slab = append(s.slab, slot{})
+	return int32(len(s.slab) - 1)
+}
+
+// release recycles a fired or cancelled slot: bump the generation so
+// outstanding handles go stale, drop callback references so closures
+// become collectable, and return the slot to the free list.
+func (s *Sim) release(idx int32) {
+	sl := &s.slab[idx]
+	sl.gen++
+	sl.fn = nil
+	sl.afn = nil
+	sl.dead = false
+	s.free = append(s.free, idx)
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it is always a logic error in the calling model.
+func (s *Sim) At(t float64, fn Event) Handle {
+	s.checkTime(t)
+	idx := s.alloc()
+	sl := &s.slab[idx]
+	sl.fn = fn
+	h := Handle{s: s, slot: idx, gen: sl.gen}
+	s.push(entry{time: t, seq: s.seq, slot: idx})
 	s.seq++
-	heap.Push(&s.events, ev)
-	return Handle{s: ev}
+	return h
+}
+
+// AtArg schedules fn to run at absolute time t with the given
+// payload. The func value is typically shared across many events, so
+// — unlike a capturing closure passed to At — scheduling allocates
+// nothing beyond the pooled event record.
+func (s *Sim) AtArg(t float64, fn ArgEvent, arg int, x float64) Handle {
+	s.checkTime(t)
+	idx := s.alloc()
+	sl := &s.slab[idx]
+	sl.afn = fn
+	sl.arg = arg
+	sl.x = x
+	h := Handle{s: s, slot: idx, gen: sl.gen}
+	s.push(entry{time: t, seq: s.seq, slot: idx})
+	s.seq++
+	return h
+}
+
+// AtMonotone schedules a payload-carrying event on the monotone lane:
+// a FIFO reserved for event streams whose times arrive in
+// non-decreasing order, which schedule and fire in O(1) instead of
+// O(log pending). It panics if t is smaller than the previously
+// laned time — callers must only route genuinely sorted streams
+// (open-loop arrivals, trace replays) here. Relative firing order
+// against heap-scheduled events is exactly as if At had been used.
+func (s *Sim) AtMonotone(t float64, fn ArgEvent, arg int, x float64) Handle {
+	s.checkTime(t)
+	if n := len(s.lane); n > s.laneHead && t < s.lane[n-1].time {
+		panic(fmt.Sprintf("des: AtMonotone time %v before laned %v", t, s.lane[n-1].time))
+	}
+	idx := s.alloc()
+	sl := &s.slab[idx]
+	sl.afn = fn
+	sl.arg = arg
+	sl.x = x
+	h := Handle{s: s, slot: idx, gen: sl.gen}
+	s.lane = append(s.lane, entry{time: t, seq: s.seq, slot: idx})
+	s.seq++
+	return h
+}
+
+// peek returns the globally (time, seq)-minimal pending entry and
+// whether it came from the lane, without removing it. Pending must be
+// non-zero for at least one of the sources.
+func (s *Sim) peek() (e entry, fromLane, ok bool) {
+	hasHeap := len(s.heap) > 0
+	hasLane := s.laneHead < len(s.lane)
+	switch {
+	case !hasHeap && !hasLane:
+		return entry{}, false, false
+	case hasLane && (!hasHeap || entryLess(s.lane[s.laneHead], s.heap[0])):
+		return s.lane[s.laneHead], true, true
+	default:
+		return s.heap[0], false, true
+	}
+}
+
+// take removes the entry peek returned.
+func (s *Sim) take(fromLane bool) {
+	if fromLane {
+		s.laneHead++
+		if s.laneHead == len(s.lane) {
+			s.lane = s.lane[:0]
+			s.laneHead = 0
+		}
+		return
+	}
+	s.popMin()
 }
 
 // After schedules fn to run delay time units from now.
@@ -113,20 +275,112 @@ func (s *Sim) After(delay float64, fn Event) Handle {
 	return s.At(s.now+delay, fn)
 }
 
+// AfterArg schedules a payload-carrying event delay time units from
+// now.
+func (s *Sim) AfterArg(delay float64, fn ArgEvent, arg int, x float64) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.AtArg(s.now+delay, fn, arg, x)
+}
+
+// 4-ary heap over (time, seq). Flatter than a binary heap, it halves
+// the sift-down depth and keeps the four children of a node in one or
+// two cache lines — the classic d-ary trade of more comparisons per
+// level for fewer levels, which wins when pops dominate (every
+// scheduled event is popped exactly once).
+
+func entryLess(a, b entry) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Sim) push(e entry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(e, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		i = parent
+	}
+	s.heap[i] = e
+}
+
+// popMin removes and returns the (time, seq)-minimal entry. The heap
+// must be non-empty.
+func (s *Sim) popMin() entry {
+	h := s.heap
+	min := h[0]
+	n := len(h) - 1
+	e := h[n]
+	s.heap = h[:n]
+	if n == 0 {
+		return min
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		least := c
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[least]) {
+				least = j
+			}
+		}
+		if !entryLess(h[least], e) {
+			break
+		}
+		h[i] = h[least]
+		i = least
+	}
+	h[i] = e
+	return min
+}
+
+// fire executes the event in the given slot at time t, releasing the
+// slot before the callback runs so the callback can schedule new
+// events into it.
+func (s *Sim) fire(e entry) {
+	sl := &s.slab[e.slot]
+	fn, afn, arg, x := sl.fn, sl.afn, sl.arg, sl.x
+	s.release(e.slot)
+	s.now = e.time
+	s.fired++
+	if afn != nil {
+		afn(s.now, arg, x)
+	} else {
+		fn(s.now)
+	}
+}
+
 // Step fires the next pending event, advancing the clock. It returns
 // false when no events remain.
 func (s *Sim) Step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*scheduled)
-		if ev.dead {
+	for {
+		e, fromLane, ok := s.peek()
+		if !ok {
+			return false
+		}
+		s.take(fromLane)
+		if s.slab[e.slot].dead {
+			s.release(e.slot)
 			continue
 		}
-		s.now = ev.time
-		s.fired++
-		ev.fn(s.now)
+		s.fire(e)
 		return true
 	}
-	return false
 }
 
 // Run fires events until the event list drains.
@@ -138,19 +392,21 @@ func (s *Sim) Run() {
 // RunUntil fires events with time <= tEnd, then advances the clock to
 // tEnd. Events scheduled beyond tEnd remain pending.
 func (s *Sim) RunUntil(tEnd float64) {
-	for len(s.events) > 0 {
-		ev := s.events[0]
-		if ev.dead {
-			heap.Pop(&s.events)
-			continue
-		}
-		if ev.time > tEnd {
+	for {
+		e, fromLane, ok := s.peek()
+		if !ok {
 			break
 		}
-		heap.Pop(&s.events)
-		s.now = ev.time
-		s.fired++
-		ev.fn(s.now)
+		if s.slab[e.slot].dead {
+			s.take(fromLane)
+			s.release(e.slot)
+			continue
+		}
+		if e.time > tEnd {
+			break
+		}
+		s.take(fromLane)
+		s.fire(e)
 	}
 	if s.now < tEnd {
 		s.now = tEnd

@@ -1,0 +1,177 @@
+package experiments
+
+// Golden determinism test for the simulation engine. Every figure
+// harness is a deterministic function of its Scale (seeded RNG streams
+// all the way down), so the full-precision contents of the produced
+// tables must be byte-identical run over run — and, critically, across
+// engine rewrites. The goldens in testdata/figure_goldens.txt were
+// captured on the container/heap-based engine before the slab/d-ary
+// heap rewrite; the rewritten engine must reproduce them exactly.
+//
+// Regenerate with:
+//
+//	go test ./internal/experiments -run TestFigureGoldens -update-goldens
+//
+// Only do that for a change that intentionally alters simulation
+// results (new workload, recalibration) — never to paper over an
+// unintended ordering change in the engine.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/figure_goldens.txt from the current engine")
+
+// goldenScale matches the benchmark scale so the goldens exercise the
+// same configurations the tracked benchmarks time.
+func goldenScale() Scale { return Scale{Queries: 2000, AdaptiveTrials: 3, Seed: 0x0511} }
+
+// hashTable digests a table at full float64 precision (FormatFloat -1
+// round-trips every bit), so two engines agree only if every simulated
+// measurement is identical.
+func hashTable(t *Table) string {
+	h := sha256.New()
+	fmt.Fprintln(h, t.ID)
+	fmt.Fprintln(h, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				h.Write([]byte{','})
+			}
+			h.Write([]byte(strconv.FormatFloat(v, 'g', -1, 64)))
+		}
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// goldenTables regenerates every deterministic figure the goldens
+// cover. Figures 7 and 9 are excluded: their cost is dominated by
+// workload generation (kvstore/searchengine), and the engine features
+// they exercise (TraceSource, RoundRobin, interference) are covered by
+// 5c and the extensions.
+func goldenTables(t *testing.T) []*Table {
+	t.Helper()
+	sc := goldenScale()
+	var tables []*Table
+	add := func(tb *Table, err error) {
+		if err != nil {
+			t.Fatalf("regenerating figure: %v", err)
+		}
+		tables = append(tables, tb)
+	}
+
+	add(Figure2a(sc))
+	add(Figure2b(sc))
+	for _, kind := range []WorkloadKind{Independent, CorrelatedWL, Queueing} {
+		res, err := Figure3(kind, sc)
+		if err != nil {
+			t.Fatalf("figure 3 %v: %v", kind, err)
+		}
+		tables = append(tables, res.Reduction, res.Remediation, res.PolicyShape)
+	}
+	fa, fb, err := Figure4(sc)
+	if err != nil {
+		t.Fatalf("figure 4: %v", err)
+	}
+	tables = append(tables, fa, fb)
+	add(Figure5a(sc))
+	add(Figure5b(sc))
+	add(Figure5c(sc))
+	p95, p99, err := Figure6(stats.NewExponential(0.1), "Exp(0.1)", sc)
+	if err != nil {
+		t.Fatalf("figure 6: %v", err)
+	}
+	tables = append(tables, p95, p99)
+	add(Figure8(sc))
+	add(ExtensionOnlineTracking(sc))
+	add(ExtensionCancellation(sc))
+	add(ExtensionFanOut(sc))
+	add(ExtensionBurstiness(sc))
+	return tables
+}
+
+const goldenPath = "testdata/figure_goldens.txt"
+
+func TestFigureGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden regeneration is slow; skipped with -short")
+	}
+	tables := goldenTables(t)
+	got := make(map[string]string, len(tables))
+	for _, tb := range tables {
+		if _, dup := got[tb.ID]; dup {
+			t.Fatalf("duplicate table id %q", tb.ID)
+		}
+		got[tb.ID] = hashTable(tb)
+	}
+
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]string, 0, len(got))
+		for id := range got {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			fmt.Fprintf(&b, "%s %s\n", id, got[id])
+		}
+		if err := os.WriteFile(goldenPath, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d goldens to %s", len(ids), goldenPath)
+		return
+	}
+
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-goldens to capture): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		id, hash, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[id] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for id, wantHash := range want {
+		gotHash, ok := got[id]
+		if !ok {
+			t.Errorf("table %s: present in goldens but not regenerated", id)
+			continue
+		}
+		if gotHash != wantHash {
+			t.Errorf("table %s: output diverged from golden (engine is no longer replay-identical)", id)
+		}
+	}
+	for id := range got {
+		if _, ok := want[id]; !ok {
+			t.Errorf("table %s: generated but missing from goldens (regenerate with -update-goldens)", id)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !statsdebug
+
+package stats
+
+// debugChecks gates O(n) invariant verification (sortedness of inputs
+// handed to the zero-copy constructors). Off in release builds; build
+// with -tags statsdebug to turn the checks on. CI runs the stats
+// package once under the tag so the checks themselves stay tested.
+const debugChecks = false

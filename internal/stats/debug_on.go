@@ -1,0 +1,7 @@
+//go:build statsdebug
+
+package stats
+
+// debugChecks: see debug_off.go. This build has the O(n) invariant
+// checks enabled.
+const debugChecks = true

@@ -26,13 +26,25 @@ func NewECDF(samples []float64) *ECDF {
 }
 
 // FromSorted builds an ECDF that takes ownership of an already-sorted
-// slice without copying. It panics if the slice is not sorted, since a
-// silently unsorted ECDF produces wrong probabilities everywhere.
+// slice without copying. A silently unsorted ECDF produces wrong
+// probabilities everywhere, so debug builds (-tags statsdebug) verify
+// sortedness and panic; release builds skip the O(n) check, matching
+// the contract of the other zero-copy entry points below
+// (SortedQuantile, NewECDFInPlace) — a full scan per construction
+// defeats the point of a zero-copy constructor.
 func FromSorted(sorted []float64) *ECDF {
-	if !sort.Float64sAreSorted(sorted) {
+	if debugChecks && !sort.Float64sAreSorted(sorted) {
 		panic("stats: FromSorted called with unsorted samples")
 	}
 	return &ECDF{sorted: sorted}
+}
+
+// NewECDFInPlace builds an ECDF that takes ownership of samples,
+// sorting it in place — the zero-copy counterpart of NewECDF for
+// callers that do not need their slice back.
+func NewECDFInPlace(samples []float64) *ECDF {
+	sort.Float64s(samples)
+	return &ECDF{sorted: samples}
 }
 
 // Len returns the number of samples.
@@ -124,4 +136,36 @@ func Percentile(samples []float64, k float64) float64 {
 // samples without building an ECDF. It copies the input.
 func Quantile(samples []float64, p float64) float64 {
 	return NewECDF(samples).Quantile(p)
+}
+
+// PercentileInPlace computes the nearest-rank k-th percentile,
+// sorting samples in place instead of copying. The caller gives up
+// its ordering; nothing else is allocated.
+func PercentileInPlace(samples []float64, k float64) float64 {
+	sort.Float64s(samples)
+	return SortedPercentile(samples, k)
+}
+
+// QuantileInPlace computes the nearest-rank p-th quantile, sorting
+// samples in place instead of copying.
+func QuantileInPlace(samples []float64, p float64) float64 {
+	sort.Float64s(samples)
+	return SortedQuantile(samples, p)
+}
+
+// SortedQuantile computes the nearest-rank p-th quantile of samples
+// already sorted ascending, with ECDF.Quantile's exact semantics and
+// no allocation. Sortedness is the caller's contract (verified under
+// -tags statsdebug).
+func SortedQuantile(sorted []float64, p float64) float64 {
+	if debugChecks && !sort.Float64sAreSorted(sorted) {
+		panic("stats: SortedQuantile called with unsorted samples")
+	}
+	e := ECDF{sorted: sorted}
+	return e.Quantile(p)
+}
+
+// SortedPercentile is shorthand for SortedQuantile(sorted, k/100).
+func SortedPercentile(sorted []float64, k float64) float64 {
+	return SortedQuantile(sorted, k/100)
 }

@@ -43,12 +43,54 @@ func TestECDFInputNotMutated(t *testing.T) {
 }
 
 func TestFromSortedPanicsOnUnsorted(t *testing.T) {
+	if !debugChecks {
+		t.Skip("sortedness verification is compiled in only with -tags statsdebug")
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("FromSorted accepted unsorted input")
 		}
 	}()
 	FromSorted([]float64{2, 1})
+}
+
+func TestInPlaceAndSortedVariantsAgree(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2, 8, 3, 6, 5}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.95, 1} {
+		want := Quantile(xs, p) // copying reference implementation
+		inPlace := append([]float64(nil), xs...)
+		if got := QuantileInPlace(inPlace, p); got != want {
+			t.Errorf("QuantileInPlace(%v) = %v, want %v", p, got, want)
+		}
+		if !sort.Float64sAreSorted(inPlace) {
+			t.Fatal("QuantileInPlace left input unsorted")
+		}
+		if got := SortedQuantile(inPlace, p); got != want {
+			t.Errorf("SortedQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	if got, want := PercentileInPlace(append([]float64(nil), xs...), 90), Percentile(xs, 90); got != want {
+		t.Errorf("PercentileInPlace(90) = %v, want %v", got, want)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got, want := SortedPercentile(sorted, 90), Percentile(xs, 90); got != want {
+		t.Errorf("SortedPercentile(90) = %v, want %v", got, want)
+	}
+}
+
+func TestNewECDFInPlaceTakesOwnership(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	e := NewECDFInPlace(xs)
+	if !sort.Float64sAreSorted(xs) {
+		t.Fatal("NewECDFInPlace did not sort its input in place")
+	}
+	if e.Len() != 3 || e.Min() != 1 || e.Max() != 3 {
+		t.Fatalf("unexpected ECDF state: len=%d min=%v max=%v", e.Len(), e.Min(), e.Max())
+	}
+	if &xs[0] != &e.Sorted()[0] {
+		t.Fatal("NewECDFInPlace copied instead of taking ownership")
+	}
 }
 
 func TestEmptyECDF(t *testing.T) {

@@ -3,6 +3,7 @@ package reissue
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/rangequery"
 )
@@ -35,7 +36,13 @@ func (r RunResult) TailLatency(k float64) float64 {
 	if len(r.Query) == 0 {
 		return math.NaN()
 	}
-	s := sortedCopy(r.Query)
+	return sortedTail(sortedCopy(r.Query), k)
+}
+
+// sortedTail is TailLatency's nearest-rank lookup on an
+// already-sorted non-empty log, shared with the adaptive loop so the
+// scratch-buffer path measures with bit-identical semantics.
+func sortedTail(s []float64, k float64) float64 {
 	idx := int(math.Ceil(float64(len(s))*k)) - 1
 	if idx < 0 {
 		idx = 0
@@ -108,13 +115,33 @@ func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 
 	pol := SingleR{D: 0, Q: cfg.B}
 	res := AdaptiveResult{}
+	// Sorted-log scratch buffers, reused across trials: each trial's
+	// primary, reissue, and end-to-end logs are sorted exactly once
+	// into these, and every optimizer call, tail measurement, and
+	// budget re-binding below reads the sorted views — no per-
+	// evaluation sortedCopy.
+	var sx, sy, sq []float64
 	for trial := 0; trial < cfg.Trials; trial++ {
 		run := sys.Run(pol)
 		if len(run.Primary) == 0 || len(run.Query) == 0 {
 			return res, fmt.Errorf("reissue: system returned empty measurements on trial %d", trial)
 		}
+		sx = sortInto(sx, run.Primary)
+		sq = sortInto(sq, run.Query)
 
-		local, pred, err := solveLocal(run, cfg)
+		// Correlated solving needs paired samples; queries that were
+		// never reissued contribute no pair, so require a minimum.
+		// The correlated optimizer reads the pairs, not the reissue
+		// log, so sy is only sorted on the independent path.
+		var local SingleR
+		var pred Prediction
+		var err error
+		if cfg.Correlated && len(run.Pairs) >= 100 {
+			local, pred, err = ComputeOptimalSingleRCorrelated(run.Primary, run.Pairs, cfg.K, cfg.B)
+		} else {
+			sy = sortInto(sy, run.Reissue)
+			local, pred, err = ComputeOptimalSingleRSorted(sx, sy, cfg.K, cfg.B)
+		}
 		if err != nil {
 			return res, fmt.Errorf("reissue: trial %d: %w", trial, err)
 		}
@@ -123,7 +150,7 @@ func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 			Trial:       trial,
 			Policy:      pol,
 			Predicted:   pred.TailLatency,
-			Actual:      run.TailLatency(cfg.K),
+			Actual:      sortedTail(sq, cfg.K),
 			ReissueRate: run.ReissueRate,
 		})
 		res.Final = run
@@ -131,7 +158,6 @@ func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 		// d' = d + lambda * (d_local - d); q re-bound to the budget on
 		// the measured primary distribution at the new delay.
 		newD := pol.D + cfg.Lambda*(local.D-pol.D)
-		sx := sortedCopy(run.Primary)
 		pxGT := 1 - float64(countLE(sx, newD))/float64(len(sx))
 		newQ := 1.0
 		if pxGT > 0 {
@@ -143,15 +169,12 @@ func AdaptiveOptimize(sys System, cfg AdaptiveConfig) (AdaptiveResult, error) {
 	return res, nil
 }
 
-// solveLocal runs the appropriate offline optimizer on one trial's
-// measurements.
-func solveLocal(run RunResult, cfg AdaptiveConfig) (SingleR, Prediction, error) {
-	if cfg.Correlated && len(run.Pairs) >= 100 {
-		// Correlated solving needs paired samples; queries that were
-		// never reissued contribute no pair, so require a minimum.
-		return ComputeOptimalSingleRCorrelated(run.Primary, run.Pairs, cfg.K, cfg.B)
-	}
-	return ComputeOptimalSingleR(run.Primary, run.Reissue, cfg.K, cfg.B)
+// sortInto refills buf with xs sorted ascending, reusing buf's
+// capacity.
+func sortInto(buf, xs []float64) []float64 {
+	buf = append(buf[:0], xs...)
+	sort.Float64s(buf)
+	return buf
 }
 
 // Converged reports whether the last two trials' measured tail

@@ -1,0 +1,54 @@
+package hedge
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/reissue"
+)
+
+// BenchmarkHedgeDo measures the live hot path: one Do call under a
+// policy that always schedules reissue copies, against an instant
+// backend. It times the per-query fixed costs — planning, the reused
+// reissue timer, goroutine dispatch, and win/copy accounting — not
+// backend latency. Delays are zero so the benchmark does not park on
+// wall-clock timers (the 1-CPU CI box runs it between wall-clock
+// live tests; keep it deterministic and fast).
+func BenchmarkHedgeDo(b *testing.B) {
+	bench := func(b *testing.B, pol reissue.Policy) {
+		c, err := New(Config{
+			Policy: pol,
+			Unit:   time.Microsecond,
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn := func(ctx context.Context, attempt int) (any, error) { return attempt, nil }
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Do(ctx, fn); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		c.Wait()
+	}
+
+	b.Run("none", func(b *testing.B) {
+		bench(b, reissue.None{})
+	})
+	b.Run("singled", func(b *testing.B) {
+		bench(b, reissue.SingleD{D: 0})
+	})
+	b.Run("multipler3", func(b *testing.B) {
+		pol, err := reissue.NewMultipleR([]float64{0, 0, 0}, []float64{1, 1, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, pol)
+	})
+}

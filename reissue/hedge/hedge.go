@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -306,6 +307,20 @@ func (c *Client) noteDispatch(attempt int) {
 	(*c.attempts.Load())[attempt].dispatched.Add(1)
 }
 
+// planBySlotDelay sorts a sampled plan's delays ascending, carrying
+// each delay's slot along so attribution stays correct.
+type planBySlotDelay struct {
+	delays []float64
+	slots  []int
+}
+
+func (p *planBySlotDelay) Len() int           { return len(p.delays) }
+func (p *planBySlotDelay) Less(i, j int) bool { return p.delays[i] < p.delays[j] }
+func (p *planBySlotDelay) Swap(i, j int) {
+	p.delays[i], p.delays[j] = p.delays[j], p.delays[i]
+	p.slots[i], p.slots[j] = p.slots[j], p.slots[i]
+}
+
 // outcome is one copy's terminal report.
 type outcome struct {
 	attempt int
@@ -361,29 +376,82 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 		run(0)
 	}()
 
-	for i, d := range plan {
-		attempt := slots[i]
-		delay := time.Duration(d * float64(c.unit))
-		c.wg.Add(1)
-		timer := time.NewTimer(delay)
-		go func() {
+	// The plan's (ascending) delays share ONE timer, Reset between
+	// attempts, instead of a fresh time.Timer per planned copy; every
+	// exit path leaves it stopped and drained. A scheduler goroutine
+	// waits on the timer and — exactly like the old per-copy timer
+	// goroutines — runs a dispatched copy INLINE, so no runqueue hop
+	// is added on the latency-critical dispatch path (on a loaded
+	// single-core box that hop measurably delays reissues). When a
+	// mid-plan attempt dispatches, the remaining schedule (and the
+	// timer) is handed to a fresh goroutine first: the handoff cost
+	// lands on the timer-waiting path, where the next attempt is
+	// milliseconds away anyway.
+	if len(plan) > 0 {
+		// The Policy contract says plans are ascending, and every
+		// in-repo family complies; the shared-timer walk below depends
+		// on it, so restore order for a foreign policy that violates
+		// the contract rather than silently dispatching its earlier
+		// delays late.
+		if !sort.Float64sAreSorted(plan) {
+			sort.Sort(&planBySlotDelay{plan, slots})
+		}
+		delayFor := func(i int) time.Duration {
+			// Delays are relative to Do's start; re-anchor each Reset
+			// so waiting for earlier attempts is not added onto later
+			// ones.
+			d := time.Duration(plan[i]*float64(c.unit)) - time.Since(start)
+			if d < 0 {
+				d = 0
+			}
+			return d
+		}
+		timer := time.NewTimer(delayFor(0))
+		var schedule func(i int, needReset bool)
+		schedule = func(i int, needReset bool) {
 			defer c.wg.Done()
-			select {
-			case <-timerCtx.Done():
-				timer.Stop()
-				results <- outcome{attempt: attempt, err: timerCtx.Err(), skipped: true}
-			case <-timer.C:
+			for ; i < len(plan); i++ {
+				attempt := slots[i]
+				if needReset {
+					// The timer is expired and drained (previous wait
+					// ended via <-timer.C), so Reset is safe.
+					timer.Reset(delayFor(i))
+				}
+				needReset = true
+				select {
+				case <-timerCtx.Done():
+					if !timer.Stop() {
+						<-timer.C
+					}
+					// Release this and every later planned copy: the
+					// timer context only closes once the query is
+					// decided, so none of them will dispatch.
+					for j := i; j < len(plan); j++ {
+						results <- outcome{attempt: slots[j], err: timerCtx.Err(), skipped: true}
+					}
+					return
+				case <-timer.C:
+				}
 				// The paper's client checks a completion flag before
 				// actually sending the reissue.
 				if done.Load() {
 					results <- outcome{attempt: attempt, skipped: true}
-					return
+					continue
 				}
 				c.reissued.Add(1)
 				c.noteDispatch(attempt)
+				if i+1 < len(plan) {
+					// Hand the rest of the plan (and timer ownership)
+					// off before running this copy inline.
+					c.wg.Add(1)
+					go schedule(i+1, true)
+				}
 				run(attempt)
+				return
 			}
-		}()
+		}
+		c.wg.Add(1)
+		go schedule(0, false)
 	}
 
 	// Collect until a winner emerges; then hand the rest to a drain

@@ -49,6 +49,9 @@ type OnlineAdapter struct {
 
 	sincePrimary int // primary observations since the last epoch
 	epochs       int
+
+	sxBuf []float64 // sorted-window scratch, reused across epochs
+	syBuf []float64
 }
 
 // NewOnlineAdapter validates the configuration and returns an adapter
@@ -81,6 +84,13 @@ func (a *OnlineAdapter) Epochs() int { return a.epochs }
 // Plan implements Policy by delegating to the current parameters.
 func (a *OnlineAdapter) Plan(r *stats.RNG) []float64 {
 	return a.pol.Plan(r)
+}
+
+// AppendPlan implements PlanAppender by delegating to the current
+// parameters, keeping execution engines allocation-free when they
+// run a self-tuning policy.
+func (a *OnlineAdapter) AppendPlan(r *stats.RNG, buf []float64) []float64 {
+	return a.pol.AppendPlan(r, buf)
 }
 
 // String implements Policy.
@@ -120,14 +130,19 @@ func push(buf []float64, idx *int, full *bool, cap_ int, v float64) []float64 {
 }
 
 // retune re-solves the offline optimizer on the current window and
-// moves the policy toward the solution.
+// moves the policy toward the solution. The window rings are copied
+// into the adapter's sorted scratch buffers once per epoch; the
+// optimizer and the budget re-binding both read those sorted views,
+// so an epoch allocates nothing in steady state.
 func (a *OnlineAdapter) retune() {
-	local, _, err := ComputeOptimalSingleR(a.primary, a.reissue, a.cfg.K, a.cfg.B)
+	a.sxBuf = sortInto(a.sxBuf, a.primary)
+	a.syBuf = sortInto(a.syBuf, a.reissue)
+	local, _, err := ComputeOptimalSingleRSorted(a.sxBuf, a.syBuf, a.cfg.K, a.cfg.B)
 	if err != nil {
 		return // window unusable this epoch; keep the current policy
 	}
 	newD := a.pol.D + a.cfg.Lambda*(local.D-a.pol.D)
-	sx := sortedCopy(a.primary)
+	sx := a.sxBuf
 	pxGT := 1 - float64(countLE(sx, newD))/float64(len(sx))
 	newQ := 1.0
 	if pxGT > 0 {
@@ -143,7 +158,8 @@ func (a *OnlineAdapter) WindowQuantile(p float64) float64 {
 	if len(a.primary) == 0 {
 		return math.NaN()
 	}
-	sx := sortedCopy(a.primary)
+	a.sxBuf = sortInto(a.sxBuf, a.primary)
+	sx := a.sxBuf
 	idx := int(math.Ceil(p*float64(len(sx)))) - 1
 	if idx < 0 {
 		idx = 0

@@ -37,11 +37,28 @@ func ComputeOptimalSingleR(rx, ry []float64, k, B float64) (SingleR, Prediction,
 	if err := checkOptimizerArgs(len(rx), k, B); err != nil {
 		return SingleR{}, Prediction{}, err
 	}
-	if len(ry) == 0 {
-		ry = rx
-	}
 	sx := sortedCopy(rx)
-	sy := sortedCopy(ry)
+	sy := sx
+	if len(ry) > 0 {
+		sy = sortedCopy(ry)
+	}
+	return ComputeOptimalSingleRSorted(sx, sy, k, B)
+}
+
+// ComputeOptimalSingleRSorted is ComputeOptimalSingleR for callers
+// that already hold sorted response-time logs: sx and sy must be
+// sorted ascending and are read but never modified or retained, so a
+// caller can reuse its buffers across evaluations — the adaptive loop
+// sorts each trial's measurements once and runs every optimizer and
+// quantile query on the same sorted slices. Passing an empty sy uses
+// sx for the reissue distribution too.
+func ComputeOptimalSingleRSorted(sx, sy []float64, k, B float64) (SingleR, Prediction, error) {
+	if err := checkOptimizerArgs(len(sx), k, B); err != nil {
+		return SingleR{}, Prediction{}, err
+	}
+	if len(sy) == 0 {
+		sy = sx
+	}
 
 	// Monotone CDF cursors. Throughout the search t only decreases,
 	// d only increases, and hence t-d only decreases — so each cursor

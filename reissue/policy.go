@@ -44,11 +44,25 @@ type Policy interface {
 	String() string
 }
 
+// PlanAppender is an optional Policy fast path for execution engines
+// that plan millions of queries: AppendPlan samples the policy
+// exactly like Plan — consuming the identical RNG stream — but
+// appends the delays to buf instead of allocating a fresh slice, so a
+// caller reusing its buffer plans without allocation. Every policy
+// family in this package implements it; the cluster simulator uses it
+// when available.
+type PlanAppender interface {
+	AppendPlan(r *stats.RNG, buf []float64) []float64
+}
+
 // None is the no-reissue baseline policy.
 type None struct{}
 
 // Plan returns no reissue times.
 func (None) Plan(*stats.RNG) []float64 { return nil }
+
+// AppendPlan returns buf unchanged: no reissues.
+func (None) AppendPlan(_ *stats.RNG, buf []float64) []float64 { return buf }
 
 func (None) String() string { return "None" }
 
@@ -67,6 +81,14 @@ func (p SingleR) Plan(r *stats.RNG) []float64 {
 	return nil
 }
 
+// AppendPlan flips the same coin as Plan, appending into buf.
+func (p SingleR) AppendPlan(r *stats.RNG, buf []float64) []float64 {
+	if r.Bool(p.Q) {
+		return append(buf, p.D)
+	}
+	return buf
+}
+
 func (p SingleR) String() string {
 	return fmt.Sprintf("SingleR(d=%.4g, q=%.4g)", p.D, p.Q)
 }
@@ -80,6 +102,11 @@ type SingleD struct {
 
 // Plan always returns {D}.
 func (p SingleD) Plan(*stats.RNG) []float64 { return []float64{p.D} }
+
+// AppendPlan appends the deterministic delay into buf.
+func (p SingleD) AppendPlan(_ *stats.RNG, buf []float64) []float64 {
+	return append(buf, p.D)
+}
 
 func (p SingleD) String() string { return fmt.Sprintf("SingleD(d=%.4g)", p.D) }
 
@@ -95,6 +122,14 @@ func (p Immediate) Plan(*stats.RNG) []float64 {
 		return nil
 	}
 	return make([]float64, p.N)
+}
+
+// AppendPlan appends N zero delays into buf.
+func (p Immediate) AppendPlan(_ *stats.RNG, buf []float64) []float64 {
+	for i := 0; i < p.N; i++ {
+		buf = append(buf, 0)
+	}
+	return buf
 }
 
 func (p Immediate) String() string { return fmt.Sprintf("Immediate(n=%d)", p.N) }
@@ -133,6 +168,17 @@ func NewMultipleR(delays, probs []float64) (MultipleR, error) {
 func (p MultipleR) Plan(r *stats.RNG) []float64 {
 	delays, _ := p.PlanSlots(r)
 	return delays
+}
+
+// AppendPlan flips the same per-delay coins as Plan (and PlanSlots),
+// appending the sampled delays into buf.
+func (p MultipleR) AppendPlan(r *stats.RNG, buf []float64) []float64 {
+	for i, d := range p.Delays {
+		if r.Bool(p.Probs[i]) {
+			buf = append(buf, d)
+		}
+	}
+	return buf
 }
 
 // PlanSlots samples the policy exactly like Plan — one coin per
