@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run.
+func fast() options {
+	return options{
+		workload: "kv",
+		shards:   "1,2",
+		queries:  300,
+		warmup:   50,
+		replicas: 2,
+		slow:     2.0,
+		util:     0.20,
+		k:        0.95,
+		budget:   0.05,
+		unitMS:   0.2,
+		seed:     3,
+		sim:      true,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := run(fast(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"S=1", "S=2", "sweep summary", "mean per-shard reissue rate", "sim:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(pts) != 2 || pts[0].shards != 1 || pts[1].shards != 2 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+}
+
+func TestRunSearchWorkload(t *testing.T) {
+	o := fast()
+	o.workload = "search"
+	o.shards = "2"
+	o.queries = 200
+	o.warmup = 40
+	o.sim = false
+	o.unitMS = 0.05
+	var buf bytes.Buffer
+	if _, err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "sim:") {
+		t.Error("simulator pass printed with -sim=false")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	o := fast()
+	o.workload = "bogus"
+	if _, err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted an unknown workload")
+	}
+	o = fast()
+	o.shards = "2,zero"
+	if _, err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted a malformed shard sweep")
+	}
+	o = fast()
+	o.warmup = o.queries
+	if _, err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted warmup >= queries")
+	}
+	o = fast()
+	o.replicas = 0
+	if _, err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("run accepted zero replicas")
+	}
+}

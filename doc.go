@@ -8,10 +8,14 @@
 // public reissue package; internal/core remains as a thin alias shim
 // for older callers. The reissue/hedge subpackage executes policies
 // for real: a goroutine-based hedging client with context
-// cancellation, and live replicated backends over the in-repo
-// kvstore and searchengine workloads (reissue/hedge/backend),
-// cross-validated against the discrete-event cluster simulator. The
-// evaluation substrates (the simulator, a Redis-like set store, a
+// cancellation, live replicated backends over the in-repo kvstore
+// and searchengine workloads (reissue/hedge/backend), an HTTP
+// transport for out-of-process replicas (reissue/hedge/transport),
+// and a sharded fan-out layer that partitions the workload over S
+// shards and hedges each shard's sub-query independently
+// (reissue/hedge/shard) — all cross-validated against the
+// discrete-event cluster simulator. The evaluation substrates (the
+// simulator and its sharded composition, a Redis-like set store, a
 // Lucene-like search engine, statistics and range-query structures)
 // live in the other internal packages.
 //

@@ -126,6 +126,23 @@ type Config struct {
 	Connections int
 	// Seed drives all randomness.
 	Seed uint64
+	// PolicySeed, when non-zero, re-derives the policy-coin stream
+	// from Seed XOR PolicySeed instead of from Seed alone, leaving the
+	// arrival, service, placement, and connection streams untouched.
+	// The sharded composition (Sharded) uses it to give every shard
+	// the identical arrival instants (same Seed) with independent
+	// reissue coins per shard — the dependence structure of a live
+	// fan-out client running one hedger per shard. Zero preserves the
+	// historical stream derivation exactly.
+	PolicySeed uint64
+	// ServiceSeed is the same override for the service-time stream:
+	// non-zero re-derives it from Seed XOR ServiceSeed. The sharded
+	// composition sets it per shard so stochastic sources (DistSource)
+	// draw independent service times on every shard — a shard serves
+	// its own slice of the data — instead of replaying shard 0's
+	// draws; trace-backed sources ignore the stream entirely. Zero
+	// preserves the historical derivation exactly.
+	ServiceSeed uint64
 	// SpeedFactors optionally gives each server a static service-time
 	// multiplier (1 = nominal, 2 = half speed), modelling permanently
 	// heterogeneous replicas — older hardware, a degraded disk, an
@@ -476,7 +493,19 @@ func (rs *runState) dispatch(r *request, now float64, exclude int) int {
 		rs.sim.AfterArg(r.service, rs.infDoneFn, int(r.idx), 0)
 		return -1
 	}
-	idx := rs.cfg.LB.Pick(rs.lbRNG, rs.queueLens(), exclude)
+	var idx int
+	if qp, ok := rs.cfg.LB.(queryPlacer); ok {
+		// Query-aware deterministic placement (HashedLB): the
+		// capability interface is satisfied by value and pointer
+		// forms alike, so no concrete-type special case here.
+		reissues := 0
+		if r.reissue {
+			reissues = r.q.reissues
+		}
+		idx = qp.placeQuery(r.q.id, reissues, rs.cfg.Servers)
+	} else {
+		idx = rs.cfg.LB.Pick(rs.lbRNG, rs.queueLens(), exclude)
+	}
 	rs.servers[idx].Enqueue(r, now)
 	return idx
 }
@@ -574,7 +603,16 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 	root := stats.NewRNG(seed)
 	arrivalRNG := root.Split(1)
 	serviceRNG := root.Split(2)
+	if cfg.ServiceSeed != 0 {
+		serviceRNG = stats.NewRNG(seed ^ cfg.ServiceSeed).Split(2)
+	}
 	policyRNG := root.Split(3)
+	if cfg.PolicySeed != 0 {
+		// XOR keeps FreshPerRun's per-run seed evolution (and common
+		// random numbers without it) while decoupling the overridden
+		// stream from the shared arrival seed.
+		policyRNG = stats.NewRNG(seed ^ cfg.PolicySeed).Split(3)
+	}
 	lbRNG := root.Split(4)
 	connRNG := root.Split(5)
 

@@ -93,6 +93,58 @@ func (MinOfAllLB) Pick(r *stats.RNG, lengths []int, exclude int) int {
 
 func (MinOfAllLB) String() string { return "MinOfAll" }
 
+// HashedLB places copies exactly like the live hedging runtime
+// (reissue/hedge/backend): query i's primary goes to hashReplica(i, n)
+// — the same SplitMix64-style finalizer as backend.PrimaryReplica —
+// and the query's k-th dispatched copy to (primary+k) mod n. The
+// placement is fully deterministic in the query id, so a simulated
+// shard reproduces not just the live marginal placement distribution
+// but the exact per-query server choice; across shards of a sharded
+// run it therefore reproduces the live system's placement correlation
+// (query i hits the same replica index in every shard). Reissues are
+// numbered by dispatch order, which equals the policy's delay slot
+// for single-delay policies; multi-delay plans whose earlier coins
+// fail diverge from the live slot routing by the skipped slots.
+//
+// HashedLB needs the query identity, which the LoadBalancer interface
+// does not carry; it implements the optional queryPlacer capability,
+// which the dispatch path checks first, and Pick panics if called
+// directly.
+type HashedLB struct{}
+
+// queryPlacer is the optional query-aware placement capability: a
+// LoadBalancer implementing it places copies by query identity
+// (dispatch checks for it before falling back to Pick). reissues is
+// the number of reissue copies dispatched for the query so far,
+// counting this one — 0 for the primary.
+type queryPlacer interface {
+	placeQuery(queryID, reissues, servers int) int
+}
+
+// placeQuery implements the live runtime's routing rule: primary on
+// hashReplica(id, n), dispatched copy k on (primary+k) mod n.
+func (HashedLB) placeQuery(queryID, reissues, servers int) int {
+	return (hashReplica(queryID, servers) + reissues) % servers
+}
+
+// Pick is never used for HashedLB — placement happens through
+// queryPlacer, which knows the query id. It panics to fail loudly if
+// a foreign caller routes through the interface.
+func (HashedLB) Pick(r *stats.RNG, lengths []int, exclude int) int {
+	panic("cluster: HashedLB placement is query-aware; Pick must not be called")
+}
+
+func (HashedLB) String() string { return "Hashed" }
+
+// hashReplica mirrors backend.PrimaryReplica bit for bit: both are
+// stats.Mix64 mod replicas (the package cannot import
+// reissue/hedge/backend without inverting the dependency direction;
+// TestHashReplicaMatchesPrimaryReplica pins the two against each
+// other as well).
+func hashReplica(i, replicas int) int {
+	return int(stats.Mix64(uint64(i)) % uint64(replicas))
+}
+
 func candidates(n, exclude int) int {
 	if exclude >= 0 && exclude < n {
 		return n - 1
@@ -110,7 +162,9 @@ func LoadBalancerByName(name string) (LoadBalancer, error) {
 		return MinOfTwoLB{}, nil
 	case "minall", "min-of-all":
 		return MinOfAllLB{}, nil
+	case "hashed":
+		return HashedLB{}, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown load balancer %q (want random, min2, or minall)", name)
+		return nil, fmt.Errorf("cluster: unknown load balancer %q (want random, min2, minall, or hashed)", name)
 	}
 }

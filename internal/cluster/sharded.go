@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// ShardedConfig describes a partitioned fleet: S shards, each a
+// replicated cluster serving its own slice of the workload (its own
+// service-time trace), all fed by one open-loop arrival process. A
+// query fans out to every shard at its arrival instant, is hedged
+// per shard, and completes when the slowest shard answers — the
+// canonical production topology of "The Tail at Scale", and the live
+// topology reissue/hedge/shard executes on wall clock.
+type ShardedConfig struct {
+	// Base is the per-shard cluster template — Servers, ArrivalRate,
+	// Queries, Warmup, Seed, SpeedFactors, LB, Discipline — shared by
+	// every shard. Base.Source is ignored (Sources supplies it) and
+	// Base.FanOut must be unset: the sharded composition IS the
+	// fan-out.
+	Base Config
+	// Sources carries one service-time source per shard, typically a
+	// TraceSource over that shard's calibrated sub-query times.
+	// Stochastic sources (DistSource) also compose: each shard draws
+	// from an independent service stream (ServiceSeed is salted per
+	// shard), modelling S fleets serving disjoint data.
+	Sources []ServiceSource
+}
+
+// Sharded simulates a partitioned fleet as one per-shard Cluster per
+// shard. Because a sub-query never leaves its shard, the shards are
+// independent given the arrival process, so per-shard simulation
+// composes exactly: every shard replays the identical Poisson arrival
+// instants (same Seed — the live router fans each query out at one
+// instant), while the per-shard reissue coins come from independent
+// streams (PolicySeed), matching a live fleet running one hedging
+// client per shard. Like Cluster, a Sharded must not execute two
+// Runs concurrently.
+type Sharded struct {
+	shards []*Cluster
+}
+
+// shardMix derives shard s's stream-decorrelation constant —
+// non-zero so the Config seed overrides always take effect for
+// s > 0. The live router (reissue/hedge/shard) salts its per-shard
+// coin seeds through the same stats.Mix64NonZero; the correspondence
+// is structural (independent per-shard streams over a shared base),
+// not a bit-identical coin sequence.
+func shardMix(s int) uint64 {
+	return stats.Mix64NonZero(uint64(s) + 1)
+}
+
+// NewSharded validates the configuration and builds the per-shard
+// clusters. Shard 0 keeps the template's coin stream untouched, so a
+// one-shard Sharded is byte-identical to the plain Cluster it wraps.
+func NewSharded(cfg ShardedConfig) (*Sharded, error) {
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("cluster: NewSharded needs at least one shard source")
+	}
+	if cfg.Base.FanOut > 1 {
+		return nil, fmt.Errorf("cluster: ShardedConfig.Base.FanOut=%d must be unset — the sharded composition is the fan-out", cfg.Base.FanOut)
+	}
+	sh := &Sharded{shards: make([]*Cluster, len(cfg.Sources))}
+	for s, src := range cfg.Sources {
+		c := cfg.Base
+		c.Source = src
+		if s > 0 {
+			// Coins AND service draws are per shard: a shard serves
+			// its own data, so a stochastic source must not replay
+			// shard 0's service times (trace sources ignore the
+			// stream). Arrivals stay shared through the common Seed.
+			c.PolicySeed = cfg.Base.PolicySeed ^ shardMix(s)
+			c.ServiceSeed = cfg.Base.ServiceSeed ^ shardMix(s)
+		}
+		cl, err := New(c)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		sh.shards[s] = cl
+	}
+	return sh, nil
+}
+
+// NumShards returns the number of shards.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Shard returns shard s's underlying cluster.
+func (sh *Sharded) Shard(s int) *Cluster { return sh.shards[s] }
+
+// ShardedResult is the outcome of one sharded run.
+type ShardedResult struct {
+	// PerShard holds each shard's full single-shard measurement set.
+	PerShard []*Result
+	// Query holds, per measured query, the end-to-end response time:
+	// the maximum over the shards' sub-query responses — the query
+	// completes when its slowest shard answers.
+	Query []float64
+	// ShardRates[s] is shard s's reissue rate (reissued sub-queries
+	// over measured queries); MeanRate is their mean, the per-shard
+	// budget-comparable statistic.
+	ShardRates []float64
+	MeanRate   float64
+}
+
+// TailLatency returns the k-th quantile of the end-to-end
+// (max-over-shards) response times, k in (0, 1), using the same
+// nearest-rank formula as the single-shard RunResult.
+func (r *ShardedResult) TailLatency(k float64) float64 {
+	return core.RunResult{Query: r.Query}.TailLatency(k)
+}
+
+// Run simulates one sharded run under policy p: every shard replays
+// the same arrivals with its own trace and coin stream, and the
+// merged result carries the max-over-shards response per query.
+func (sh *Sharded) Run(p core.Policy) *ShardedResult {
+	out := &ShardedResult{
+		PerShard:   make([]*Result, len(sh.shards)),
+		ShardRates: make([]float64, len(sh.shards)),
+	}
+	for s, cl := range sh.shards {
+		res := cl.RunDetailed(p)
+		out.PerShard[s] = res
+		out.ShardRates[s] = res.ReissueRate
+		out.MeanRate += res.ReissueRate / float64(len(sh.shards))
+		rts := res.Log.ResponseTimes()
+		if s == 0 {
+			out.Query = append([]float64(nil), rts...)
+			continue
+		}
+		if len(rts) != len(out.Query) {
+			panic(fmt.Sprintf("cluster: shard %d measured %d queries, shard 0 measured %d", s, len(rts), len(out.Query)))
+		}
+		for i, rt := range rts {
+			if rt > out.Query[i] {
+				out.Query[i] = rt
+			}
+		}
+	}
+	return out
+}

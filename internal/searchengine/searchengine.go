@@ -131,15 +131,14 @@ func BuildIndex(cfg CorpusConfig) *Index {
 	return ix
 }
 
-// buildCorpusWithDocs synthesizes the corpus through a Builder,
-// optionally keeping positions, and returns the raw documents so
-// callers can sample real term windows (phrase workloads, tests).
-func buildCorpusWithDocs(cfg CorpusConfig, withPositions bool) (*Index, [][]int) {
+// synthDocs synthesizes the corpus documents alone — the token
+// draws, in one fixed RNG order — so the sharded workload generator
+// can partition them over per-shard builders without paying for a
+// full-corpus index it would throw away.
+func synthDocs(cfg CorpusConfig) [][]int {
 	r := stats.NewRNG(cfg.Seed)
 	termZipf := newZipf(cfg.VocabSize, cfg.ZipfS)
 	lenDist := stats.NewLogNormal(math.Log(float64(cfg.MeanDocLen))-0.125, 0.5)
-
-	b := NewBuilder(cfg.VocabSize, withPositions)
 	docs := make([][]int, cfg.NumDocs)
 	for doc := 0; doc < cfg.NumDocs; doc++ {
 		length := int(lenDist.Sample(r))
@@ -151,6 +150,17 @@ func buildCorpusWithDocs(cfg CorpusConfig, withPositions bool) (*Index, [][]int)
 			tokens[i] = termZipf.Sample(r)
 		}
 		docs[doc] = tokens
+	}
+	return docs
+}
+
+// buildCorpusWithDocs synthesizes the corpus through a Builder,
+// optionally keeping positions, and returns the raw documents so
+// callers can sample real term windows (phrase workloads, tests).
+func buildCorpusWithDocs(cfg CorpusConfig, withPositions bool) (*Index, [][]int) {
+	docs := synthDocs(cfg)
+	b := NewBuilder(cfg.VocabSize, withPositions)
+	for _, tokens := range docs {
 		b.AddDocument(tokens)
 	}
 	return b.Build(), docs
@@ -413,24 +423,51 @@ type Workload struct {
 // mimicking real query logs: mostly mid-frequency terms, occasionally
 // a very common one that makes the query slow.
 func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
-	cfg = cfg.withDefaults()
-	if cfg.MinTerms < 1 || cfg.MaxTerms < cfg.MinTerms {
-		return nil, fmt.Errorf("searchengine: bad term count range [%d, %d]", cfg.MinTerms, cfg.MaxTerms)
-	}
-	if cfg.MinRank < 0 || cfg.MinRank >= cfg.Corpus.VocabSize {
-		return nil, fmt.Errorf("searchengine: MinRank=%d outside vocabulary", cfg.MinRank)
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
 	}
 	ix := BuildIndex(cfg.Corpus)
-	r := stats.NewRNG(cfg.Seed)
 	w := &Workload{
 		Index:   ix,
-		Queries: make([]Query, cfg.NumQueries),
+		Queries: sampleQueries(cfg),
 		Times:   make([]float64, cfg.NumQueries),
 		Cost:    cfg.Cost,
 	}
+	for i, q := range w.Queries {
+		res := ix.Search(q, 10)
+		w.Times[i] = cfg.Cost.ServiceTime(res.Work)
+	}
+	return w, nil
+}
+
+// normalized applies defaults and validates the query-trace
+// parameters — the one defaulting/validation path shared by
+// GenerateWorkload and GenerateShardedWorkload, so a new constraint
+// cannot be enforced on one generator and skipped by the other.
+func (c WorkloadConfig) normalized() (WorkloadConfig, error) {
+	c = c.withDefaults()
+	if c.MinTerms < 1 || c.MaxTerms < c.MinTerms {
+		return c, fmt.Errorf("searchengine: bad term count range [%d, %d]", c.MinTerms, c.MaxTerms)
+	}
+	if c.MinRank < 0 || c.MinRank >= c.Corpus.VocabSize {
+		return c, fmt.Errorf("searchengine: MinRank=%d outside vocabulary", c.MinRank)
+	}
+	return c, nil
+}
+
+// sampleQueries draws the query trace for a (defaulted, validated)
+// configuration. The draw order is the workload's compatibility
+// contract: per query, the term count, then each term's rank, then
+// the conjunctive coin — GenerateWorkload and the sharded generator
+// both consume cfg.Seed through this one stream, so they produce
+// identical traces for identical configurations.
+func sampleQueries(cfg WorkloadConfig) []Query {
+	r := stats.NewRNG(cfg.Seed)
+	queries := make([]Query, cfg.NumQueries)
 	lnLo := math.Log(float64(cfg.MinRank + 1))
 	lnHi := math.Log(float64(cfg.Corpus.VocabSize))
-	for i := 0; i < cfg.NumQueries; i++ {
+	for i := range queries {
 		nTerms := cfg.MinTerms + r.Intn(cfg.MaxTerms-cfg.MinTerms+1)
 		terms := make([]int, nTerms)
 		for j := range terms {
@@ -440,12 +477,9 @@ func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
 			}
 			terms[j] = rank
 		}
-		q := Query{Terms: terms, Conjunctive: r.Bool(cfg.ConjFrac)}
-		w.Queries[i] = q
-		res := ix.Search(q, 10)
-		w.Times[i] = cfg.Cost.ServiceTime(res.Work)
+		queries[i] = Query{Terms: terms, Conjunctive: r.Bool(cfg.ConjFrac)}
 	}
-	return w, nil
+	return queries
 }
 
 // ServiceStats summarizes the workload's service-time distribution.

@@ -149,3 +149,27 @@ func (r *RNG) Perm(n int) []int {
 	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
 	return p
 }
+
+// Mix64 is the repository's shared SplitMix64-style finalizer for
+// derandomized placement and per-shard stream salting: a fixed
+// four-operation avalanche of x. The live runtime's replica
+// placement (backend.PrimaryReplica), the simulator's HashedLB, and
+// the per-shard coin salts of the sharded router and simulator all
+// route through this one definition, so the live and simulated
+// halves cannot silently drift apart.
+func Mix64(x uint64) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// Mix64NonZero is Mix64 with a non-zero guarantee, for derived seeds
+// and salts whose consumers treat zero as an "unset" sentinel.
+func Mix64NonZero(x uint64) uint64 {
+	if h := Mix64(x); h != 0 {
+		return h
+	}
+	return 0x9e3779b97f4a7c15
+}

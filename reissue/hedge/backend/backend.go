@@ -23,11 +23,13 @@ package backend
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/kvstore"
 	"repro/internal/searchengine"
+	"repro/internal/stats"
 	"repro/reissue"
 	"repro/reissue/hedge"
 )
@@ -143,22 +145,33 @@ var (
 )
 
 // MeasureSleepResponse measures the machine's sleep response once per
-// process (a few tens of milliseconds of one-time calibration).
+// process (a few tens of milliseconds of one-time calibration). Each
+// statistic is a median over repeated sleeps, not a mean: the
+// calibration races whatever else the process is doing, and a single
+// GC pause or scheduler stall inside one sample would otherwise
+// inflate the measured floor severalfold — poisoning every effective
+// trace derived from it for the rest of the process.
 func MeasureSleepResponse() SleepResponse {
 	sleepOnce.Do(func() {
 		measure := func(d time.Duration, n int) time.Duration {
-			var tot time.Duration
-			for i := 0; i < n; i++ {
+			samples := make([]time.Duration, n)
+			for i := range samples {
 				t0 := time.Now()
 				time.Sleep(d)
-				tot += time.Since(t0)
+				samples[i] = time.Since(t0)
 			}
-			return tot / time.Duration(n)
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			return samples[n/2]
 		}
+		// ~130 ms of one-time calibration: enough samples that the
+		// median is stable process to process — every effective trace
+		// (and through it every sim-side agreement statistic) inherits
+		// this measurement, so its run-to-run jitter is worth buying
+		// down.
 		const long = 3 * time.Millisecond
 		sleepResp = SleepResponse{
-			Floor:     measure(50*time.Microsecond, 12),
-			Overshoot: measure(long, 12) - long,
+			Floor:     measure(50*time.Microsecond, 31),
+			Overshoot: measure(long, 31) - long,
 		}
 		if sleepResp.Overshoot < 0 {
 			sleepResp.Overshoot = 0
@@ -323,19 +336,27 @@ type Source interface {
 	Unit() time.Duration
 }
 
-// RunOpenLoop replays the first n trace queries from src through
-// client at open-loop Poisson arrival rate lambda (queries per model
-// millisecond) — the same arrival process the cluster simulator
-// generates — and returns each query's end-to-end latency in model
-// milliseconds, in query order. Queries the client fails to answer
-// (all copies failed, context cancelled) are returned as NaN-free
+// OpenLoop replays n open-loop Poisson arrivals at rate lambda
+// (queries per model millisecond) — the same arrival process the
+// cluster simulator generates — against an arbitrary per-query
+// executor, and returns each query's end-to-end latency in model
+// milliseconds, in query order. It is the one open-loop driver
+// behind RunOpenLoop and the sharded router's fan-out loop, so the
+// subtle parts (absolute-deadline scheduling, cancellation, waiting
+// out in-flight copies) live in exactly one place.
+//
+// do executes query i under ctx; waitInFlight blocks until every
+// copy goroutine the executor started has finished, and is called
+// before OpenLoop returns on every path — cancellation included —
+// so no copies leak past the run. Queries do fails are returned as
 // zero entries along with the first error; callers comparing against
 // the simulator should treat any error as fatal.
-func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
+func OpenLoop(ctx context.Context, unit time.Duration, n int, lambda float64, seed uint64,
+	do func(ctx context.Context, i int) error, waitInFlight func()) ([]float64, error) {
+
 	if n <= 0 || lambda <= 0 {
 		return nil, fmt.Errorf("backend: n=%d and lambda=%v must be positive", n, lambda)
 	}
-	unit := src.Unit()
 	rng := reissue.NewRNG(seed)
 	latencies := make([]float64, n)
 	errs := make(chan error, n)
@@ -353,7 +374,12 @@ func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, l
 				select {
 				case <-time.After(wait):
 				case <-ctx.Done():
+					// Issued queries unwind through their ctx error;
+					// wait for the do calls AND their copy
+					// goroutines, or in-flight copies leak past the
+					// run.
 					wg.Wait()
+					waitInFlight()
 					return latencies, ctx.Err()
 				}
 			}
@@ -363,7 +389,7 @@ func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, l
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			if _, err := client.Do(ctx, src.Request(i)); err != nil {
+			if err := do(ctx, i); err != nil {
 				errs <- err
 				return
 			}
@@ -371,13 +397,23 @@ func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, l
 		}()
 	}
 	wg.Wait()
-	client.Wait()
+	waitInFlight()
 	select {
 	case err := <-errs:
 		return latencies, err
 	default:
 		return latencies, nil
 	}
+}
+
+// RunOpenLoop replays the first n trace queries from src through
+// client at open-loop Poisson arrival rate lambda; see OpenLoop for
+// the driver's semantics.
+func RunOpenLoop(ctx context.Context, src Source, client *hedge.Client, n int, lambda float64, seed uint64) ([]float64, error) {
+	return OpenLoop(ctx, src.Unit(), n, lambda, seed, func(ctx context.Context, i int) error {
+		_, err := client.Do(ctx, src.Request(i))
+		return err
+	}, client.Wait)
 }
 
 // RunOpenLoop replays the trace through client against this cluster;
@@ -388,15 +424,12 @@ func (c *Cluster) RunOpenLoop(ctx context.Context, client *hedge.Client, n int, 
 
 // PrimaryReplica returns the replica the primary copy of query i is
 // routed to: a pseudo-random placement (the simulator's RandomLB),
-// derandomized per query id with a SplitMix64-style finalizer so
+// derandomized per query id with the shared stats.Mix64 finalizer so
 // concurrent requests need no shared RNG — and so an HTTP transport
-// client places primaries exactly like the in-process cluster does.
+// client and the simulator's HashedLB place primaries exactly like
+// the in-process cluster does.
 func PrimaryReplica(i, replicas int) int {
-	h := uint64(i) * 0x9e3779b97f4a7c15
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	return int(h % uint64(replicas))
+	return int(stats.Mix64(uint64(i)) % uint64(replicas))
 }
 
 // Request returns the hedge.Fn for query i (mod the trace length).

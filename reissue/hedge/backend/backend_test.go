@@ -3,6 +3,7 @@ package backend
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -173,4 +174,41 @@ func TestHedgedOpenLoopRun(t *testing.T) {
 	if s.Completed != n || s.Failures != 0 {
 		t.Fatalf("snapshot = %+v", s)
 	}
+}
+
+// TestRunOpenLoopCancelWaitsForCopies is the regression test for the
+// ctx-cancellation early return: RunOpenLoop must not return until
+// every in-flight copy goroutine has finished (it used to skip
+// client.Wait() on that path, leaking copies past the run).
+func TestRunOpenLoopCancelWaitsForCopies(t *testing.T) {
+	w := kvWorkload(t, 200)
+	back, err := NewKV(w, Config{Replicas: 2, Unit: time.Millisecond, MinServiceMS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	client, err := hedge.New(hedge.Config{
+		Policy: reissue.SingleR{D: 1, Q: 1}, Unit: time.Millisecond, LetLoserRun: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond) // a handful of queries in flight
+		cancel()
+	}()
+	if _, err := RunOpenLoop(ctx, back, client, 200, 0.5, 11); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// RunOpenLoop already waited for the client, so no copy goroutines
+	// may outlive the call; allow only the runtime's own wiggle room.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d — copies leaked past RunOpenLoop", before, runtime.NumGoroutine())
 }

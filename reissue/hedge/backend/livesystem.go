@@ -53,20 +53,33 @@ type LiveSystem struct {
 	runs uint64
 }
 
-// measuredSource wraps a Source to collect the simulator's
+// MeasuredSource wraps a Source to collect the simulator's
 // measurement semantics on the live path: per-copy response times
-// and the dispatched-reissue count, restricted to post-warmup
-// queries. Copies of warmup queries pass through unrecorded.
-type measuredSource struct {
+// (successful copies only, from each copy's own dispatch) and the
+// dispatched-reissue count, restricted to post-warmup queries.
+// Copies of warmup queries pass through unrecorded. It is the one
+// implementation of the live measurement contract, shared by
+// LiveSystem and the sharded fan-out's per-shard measurement
+// (reissue/hedge/shard) — the single-shard and sharded statistics
+// must stay the same statistic. Safe for concurrent use; one
+// MeasuredSource accumulates across one trial.
+type MeasuredSource struct {
 	Source
 	warmup   int
 	unit     time.Duration
-	reissues *atomic.Int64
-	mu       *sync.Mutex
-	rx, ry   *[]float64
+	reissues atomic.Int64
+	mu       sync.Mutex
+	rx, ry   []float64
 }
 
-func (m measuredSource) Request(i int) hedge.Fn {
+// NewMeasuredSource wraps src, recording copies of queries with
+// index >= warmup.
+func NewMeasuredSource(src Source, warmup int) *MeasuredSource {
+	return &MeasuredSource{Source: src, warmup: warmup, unit: src.Unit()}
+}
+
+// Request implements Source, instrumenting post-warmup queries.
+func (m *MeasuredSource) Request(i int) hedge.Fn {
 	fn := m.Source.Request(i)
 	if i < m.warmup {
 		return fn
@@ -81,14 +94,28 @@ func (m measuredSource) Request(i int) hedge.Fn {
 			rt := float64(time.Since(t0)) / float64(m.unit)
 			m.mu.Lock()
 			if attempt > 0 {
-				*m.ry = append(*m.ry, rt)
+				m.ry = append(m.ry, rt)
 			} else {
-				*m.rx = append(*m.rx, rt)
+				m.rx = append(m.rx, rt)
 			}
 			m.mu.Unlock()
 		}
 		return v, err
 	}
+}
+
+// Reissues returns the number of post-warmup reissue copies
+// dispatched so far.
+func (m *MeasuredSource) Reissues() int64 { return m.reissues.Load() }
+
+// Logs returns the accumulated per-copy response-time logs (primary
+// and reissue copies, in model milliseconds). The returned slices
+// are the accumulators themselves: call only after the trial's
+// copies have drained.
+func (m *MeasuredSource) Logs() (primary, reissue []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rx, m.ry
 }
 
 // Run implements reissue.System: one live trial under policy p.
@@ -104,18 +131,7 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 		s.runs++
 		seed += s.runs * 0x9e3779b9
 	}
-	var mu sync.Mutex
-	var rx, ry []float64
-	var reissues atomic.Int64
-	src := measuredSource{
-		Source:   s.Back,
-		warmup:   s.Warmup,
-		unit:     s.Back.Unit(),
-		reissues: &reissues,
-		mu:       &mu,
-		rx:       &rx,
-		ry:       &ry,
-	}
+	src := NewMeasuredSource(s.Back, s.Warmup)
 	client, err := hedge.New(hedge.Config{
 		Policy:      p,
 		Unit:        s.Back.Unit(),
@@ -136,11 +152,12 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 	if err != nil {
 		panic(err)
 	}
+	rx, ry := src.Logs()
 	return reissue.RunResult{
 		Primary:     rx,
 		Reissue:     ry,
 		Query:       lats[s.Warmup:],
-		ReissueRate: float64(reissues.Load()) / float64(s.N-s.Warmup),
+		ReissueRate: float64(src.Reissues()) / float64(s.N-s.Warmup),
 	}
 }
 

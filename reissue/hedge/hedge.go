@@ -46,6 +46,15 @@ import (
 // fate.
 type Fn func(ctx context.Context, attempt int) (any, error)
 
+// Default quantile-tracker parameters, shared by the hedging client
+// and the sharded router's end-to-end tracker so fan-out and
+// per-shard quantiles are always computed with the same window and
+// accuracy.
+const (
+	DefaultQuantileWindow = 4096
+	DefaultQuantileEps    = 0.005
+)
+
 // Config parametrizes a hedging client.
 type Config struct {
 	// Policy is the static reissue policy to execute. Exactly one of
@@ -92,9 +101,13 @@ type Snapshot struct {
 	// copies whose query completed before their delay elapsed are not
 	// dispatched and not counted — the paper's completion check.
 	Reissued int64
-	// PrimaryWins and ReissueWins count which copy answered first;
-	// Failures counts queries where every copy failed.
-	PrimaryWins, ReissueWins, Failures int64
+	// PrimaryWins and ReissueWins count which copy answered first.
+	// Failures counts queries where every dispatched copy failed while
+	// the caller still wanted the answer; Cancelled counts queries
+	// abandoned because the caller's context was cancelled (or its
+	// deadline expired) before any copy succeeded. The two are
+	// disjoint: a caller walking away is not a backend failure.
+	PrimaryWins, ReissueWins, Failures, Cancelled int64
 	// ReissueRate is Reissued / Completed — directly comparable to
 	// the simulator's Result.ReissueRate and the policy's configured
 	// budget q·Pr(X > d).
@@ -156,6 +169,7 @@ type Client struct {
 	primaryWins atomic.Int64
 	reissueWins atomic.Int64
 	failures    atomic.Int64
+	cancelled   atomic.Int64
 
 	wg sync.WaitGroup // all copy and drain goroutines
 }
@@ -172,10 +186,10 @@ func New(cfg Config) (*Client, error) {
 		cfg.Unit = time.Millisecond
 	}
 	if cfg.QuantileWindow <= 0 {
-		cfg.QuantileWindow = 4096
+		cfg.QuantileWindow = DefaultQuantileWindow
 	}
 	if cfg.QuantileEps <= 0 {
-		cfg.QuantileEps = 0.005
+		cfg.QuantileEps = DefaultQuantileEps
 	}
 	c := &Client{
 		cfg:     cfg,
@@ -500,14 +514,17 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 		return winner.val, nil
 	}
 
-	// No copy succeeded.
+	// No copy succeeded. A cancelled or expired caller context is the
+	// caller walking away, not an all-copies-failed backend outcome —
+	// count the two separately so Failures keeps meaning what it says.
 	timerCancel()
 	cancel()
-	c.failures.Add(1)
 	c.completed.Add(1)
 	if err := ctx.Err(); err != nil {
+		c.cancelled.Add(1)
 		return nil, err
 	}
+	c.failures.Add(1)
 	return nil, fmt.Errorf("%w: %w", ErrAllCopiesFailed, primaryErr)
 }
 
@@ -564,6 +581,7 @@ func (c *Client) Snapshot() Snapshot {
 		PrimaryWins: c.primaryWins.Load(),
 		ReissueWins: c.reissueWins.Load(),
 		Failures:    c.failures.Load(),
+		Cancelled:   c.cancelled.Load(),
 		P50:         p50,
 		P95:         p95,
 		P99:         p99,

@@ -199,6 +199,11 @@ func TestParentContextCancellation(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	c.Wait()
+	// A caller walking away is not a backend failure: the query must
+	// land in Cancelled, leaving Failures meaning what it says.
+	if s := c.Snapshot(); s.Cancelled != 1 || s.Failures != 0 || s.Completed != 1 {
+		t.Fatalf("snapshot after parent cancellation: %+v", s)
+	}
 }
 
 func TestConcurrentDoCountersConsistent(t *testing.T) {

@@ -1,0 +1,130 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+// LiveSystem replays a sharded workload open-loop through a fresh
+// Router per trial and reports the measured sharded statistics — the
+// fan-out counterpart of backend.LiveSystem, with the same
+// measurement semantics: the Warmup lead-in queries are excluded from
+// the per-copy logs, the per-shard reissue rates, and the end-to-end
+// latency log, so a live result and a sharded-simulator result are
+// the same statistic. Losing copies run to completion
+// (hedge.Config.LetLoserRun), matching the simulator's default and
+// the paper's execution model.
+type LiveSystem struct {
+	// Shards is the partitioned fleet to drive, one Source per shard.
+	Shards []backend.Source
+	// N is the number of fan-out queries per trial, Warmup of them
+	// excluded from every reported statistic.
+	N, Warmup int
+	// Lambda is the open-loop Poisson arrival rate in queries per
+	// model millisecond (each arrival fans out to every shard).
+	Lambda float64
+	// Seed drives arrivals and, salted per shard, the policy coins.
+	Seed uint64
+	// FreshPerRun gives every successive Run its own random streams;
+	// the default applies common random numbers across runs, like the
+	// simulator and backend.LiveSystem.
+	FreshPerRun bool
+
+	runs uint64
+}
+
+// RunResult is the measured outcome of one sharded trial.
+type RunResult struct {
+	// Query holds the end-to-end (max-over-shards) latency of every
+	// post-warmup query, in model milliseconds, in query order.
+	Query []float64
+	// PerShard holds each shard's optimizer-ready measurement set:
+	// Primary and Reissue carry the shard's post-warmup per-copy
+	// response times (from each copy's own dispatch), and ReissueRate
+	// the shard's dispatched-reissue rate over measured queries. The
+	// per-shard Query log is not populated — the end-to-end statistic
+	// of a sharded system is the max-over-shards log above.
+	PerShard []reissue.RunResult
+	// ShardRates[s] is PerShard[s].ReissueRate; MeanRate is their
+	// mean, the statistic a per-shard reissue budget bounds.
+	ShardRates []float64
+	MeanRate   float64
+}
+
+// TailLatency returns the k-th quantile (k in (0,1)) of the
+// end-to-end max-over-shards log, with the same nearest-rank formula
+// as reissue.RunResult.
+func (r RunResult) TailLatency(k float64) float64 {
+	return reissue.RunResult{Query: r.Query}.TailLatency(k)
+}
+
+// Run executes one live sharded trial under policy p (applied to
+// every shard's client; reissue decisions remain per shard through
+// the salted coin streams). Configuration errors panic, as in
+// backend.LiveSystem — the System-style interface has no error path
+// and a half-configured trial would corrupt every derived
+// measurement.
+func (s *LiveSystem) Run(p reissue.Policy) RunResult {
+	if len(s.Shards) == 0 {
+		panic("shard: LiveSystem has no shards")
+	}
+	if s.Warmup < 0 || s.Warmup >= s.N {
+		panic(fmt.Sprintf("shard: LiveSystem Warmup=%d outside [0, N=%d)", s.Warmup, s.N))
+	}
+	seed := s.Seed
+	if s.FreshPerRun {
+		s.runs++
+		seed += s.runs * 0x9e3779b9
+	}
+	nShards := len(s.Shards)
+	// One backend.MeasuredSource per shard: the single-shard and
+	// sharded live measurements share one implementation of the
+	// simulator-matching measurement contract.
+	wrapped := make([]backend.Source, nShards)
+	measured := make([]*backend.MeasuredSource, nShards)
+	for i, src := range s.Shards {
+		measured[i] = backend.NewMeasuredSource(src, s.Warmup)
+		wrapped[i] = measured[i]
+	}
+	router, err := New(Config{
+		Shards: wrapped,
+		Hedge: hedge.Config{
+			Policy:      p,
+			LetLoserRun: true,
+			// Arrivals consume the raw seed below; the coin streams
+			// must be distinct or reissue coins correlate with
+			// inter-arrival gaps — the same decorrelation
+			// backend.LiveSystem applies, salted per shard by New.
+			Seed: seed ^ 0x94d049bb133111eb,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	lats, err := RunOpenLoop(context.Background(), router, s.N, s.Lambda, seed)
+	if err != nil {
+		panic(err)
+	}
+	res := RunResult{
+		Query:      lats[s.Warmup:],
+		PerShard:   make([]reissue.RunResult, nShards),
+		ShardRates: make([]float64, nShards),
+	}
+	queries := float64(s.N - s.Warmup)
+	for i := 0; i < nShards; i++ {
+		rate := float64(measured[i].Reissues()) / queries
+		rx, ry := measured[i].Logs()
+		res.PerShard[i] = reissue.RunResult{
+			Primary:     rx,
+			Reissue:     ry,
+			ReissueRate: rate,
+		}
+		res.ShardRates[i] = rate
+		res.MeanRate += rate / float64(nShards)
+	}
+	return res
+}

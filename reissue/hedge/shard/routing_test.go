@@ -1,0 +1,185 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+	"repro/reissue/hedge/transport"
+)
+
+// slotPolicy returns a MultipleR whose first configured delay never
+// fires (probability 0) and whose second always does: every query
+// dispatches exactly attempt slot 2 — never slot 1 — so the tests
+// below observe slot-preserving routing under slot skipping.
+func slotPolicy(t *testing.T, d1, d2 float64) reissue.MultipleR {
+	t.Helper()
+	pol, err := reissue.NewMultipleR([]float64{d1, d2}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// TestMultipleRSlotRoutingAcrossShardsHTTP pins the satellite
+// contract over the wire: with S shards each fronted by R
+// single-replica HTTP servers, attempt slot n of query i on shard s
+// must land on replica (PrimaryReplica(i,R)+n) mod R of shard s's
+// own fleet — slot 1 skipped by its coin must leave its replica
+// untouched, and no sub-query may cross into another shard's fleet.
+func TestMultipleRSlotRoutingAcrossShardsHTTP(t *testing.T) {
+	const (
+		S    = 2
+		R    = 3
+		unit = time.Millisecond
+	)
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 200, NumQueries: 40, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := w.Partition(S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := make([][]*transport.ReplicaServer, S)
+	srcs := make([]backend.Source, S)
+	for s := 0; s < S; s++ {
+		clusters := make([]*backend.Cluster, R)
+		for r := 0; r < R; r++ {
+			// Hold every request ~20 model-ms so the slot-2 reissue at
+			// 2 model-ms dispatches before its primary completes.
+			back, err := backend.NewKV(parts[s], backend.Config{
+				Replicas: 1, Unit: unit, MinServiceMS: 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			clusters[r] = back
+		}
+		servers, urls, err := transport.ServeAll(clusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			for _, srv := range servers {
+				srv.Close()
+			}
+		})
+		fleet[s] = servers
+		client, err := transport.NewClient(transport.ClientConfig{Replicas: urls, Unit: unit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[s] = client
+	}
+	router, err := New(Config{
+		Shards: srcs,
+		Hedge:  hedge.Config{Policy: slotPolicy(t, 1, 2), Unit: unit, LetLoserRun: true, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := func() [][]int64 {
+		out := make([][]int64, S)
+		for s := range fleet {
+			out[s] = make([]int64, R)
+			for r, srv := range fleet[s] {
+				out[s][r] = srv.Handler.Served()
+			}
+		}
+		return out
+	}
+	for _, i := range []int{0, 5, 11} {
+		before := served()
+		if _, err := router.Do(context.Background(), i); err != nil {
+			t.Fatal(err)
+		}
+		router.Wait() // let the losing copies finish and be counted
+		after := served()
+		base := backend.PrimaryReplica(i, R)
+		for s := 0; s < S; s++ {
+			for r := 0; r < R; r++ {
+				want := int64(0)
+				switch r {
+				case base, (base + 2) % R: // primary, slot-2 reissue
+					want = 1
+				}
+				if got := after[s][r] - before[s][r]; got != want {
+					t.Errorf("query %d shard %d replica %d served %d sub-queries, want %d (base %d)",
+						i, s, r, got, want, base)
+				}
+			}
+		}
+	}
+	// Slot attribution in the merged snapshot: slot 2 dispatched on
+	// every shard, slot 1 never.
+	snap := router.Snapshot()
+	for s, cs := range snap.Shards {
+		if len(cs.Attempts) < 3 || cs.Attempts[2].Dispatched == 0 {
+			t.Errorf("shard %d: slot 2 not attributed: %+v", s, cs.Attempts)
+		}
+		if len(cs.Attempts) >= 2 && cs.Attempts[1].Dispatched != 0 {
+			t.Errorf("shard %d: skipped slot 1 recorded dispatches: %+v", s, cs.Attempts)
+		}
+	}
+}
+
+// TestMultipleRSlotRoutingInProcess pins the in-process half of the
+// contract on backend.Cluster.Request. Replica identity is not
+// directly observable in process, so the test uses the replicas'
+// single-threadedness: two concurrent copies of query i with slots
+// mapping to DIFFERENT replicas run in parallel (elapsed ≈ one
+// hold), while slots mapping to the SAME replica serialize (elapsed
+// ≈ two holds) — placing slot n on (primary+n) mod R, wraparound
+// included.
+func TestMultipleRSlotRoutingInProcess(t *testing.T) {
+	const (
+		R      = 2
+		unit   = time.Millisecond
+		holdMS = 30.0
+	)
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 200, NumQueries: 20, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := backend.NewKV(w, backend.Config{
+		Replicas: R, Unit: unit, MinServiceMS: holdMS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := func(i, slotA, slotB int) float64 {
+		fn := back.Request(i)
+		t0 := time.Now()
+		done := make(chan error, 2)
+		for _, slot := range []int{slotA, slotB} {
+			go func(slot int) {
+				_, err := fn(context.Background(), slot)
+				done <- err
+			}(slot)
+		}
+		for j := 0; j < 2; j++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(t0)) / float64(unit)
+	}
+	const i = 7
+	// Slots 0 and 1 → replicas base and base+1: parallel.
+	if e := elapsed(i, 0, 1); e > 1.7*holdMS {
+		t.Errorf("slots 0 and 1 serialized (%.1f model-ms) — not routed to distinct replicas", e)
+	}
+	// Slots 0 and 2 → both on base (wraparound (base+2) mod 2): serial.
+	if e := elapsed(i, 0, 2); e < 1.7*holdMS {
+		t.Errorf("slots 0 and 2 ran in parallel (%.1f model-ms) — slot 2 did not wrap to the primary's replica", e)
+	}
+}

@@ -1,0 +1,263 @@
+// Package shard executes reissue policies on the canonical
+// production topology of "The Tail at Scale" (Dean & Barroso): a
+// partitioned fleet. Where reissue/hedge serves a query from one
+// replicated service, a sharded deployment splits the data over S
+// shards — each shard its own replicated fleet — fans every query
+// out to all S shards in parallel, and completes when the slowest
+// shard answers. Reissue happens per shard: each shard runs its own
+// hedge.Client over its own replicas, so a straggling sub-query is
+// rescued inside its shard without touching the others.
+//
+// The topology changes the economics of hedging. A single-service
+// P99 is one draw from the response-time distribution; a fan-out
+// query's response is the MAX over S draws, so the probability that
+// at least one shard straggles grows like S times the per-shard tail
+// probability — Dean and Barroso's "at scale, the slower servers
+// dominate" observation. Trimming each shard's tail with a small
+// per-shard reissue budget therefore pays super-linearly on the
+// end-to-end latency, which is precisely what the agreement tests
+// and cmd/reissue-shard measure.
+//
+// The package composes the existing layers rather than re-building
+// them: each shard is any backend.Source (an in-process
+// backend.Cluster slice-of-the-data, or a transport.Client fronting
+// per-shard HTTP replica fleets), each sub-query is hedged by an
+// ordinary hedge.Client, and the sharded cluster simulator
+// (internal/cluster.Sharded) replays the same topology on virtual
+// time for cross-validation.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+// Config parametrizes a sharded fan-out router.
+type Config struct {
+	// Shards is the partitioned fleet: one execution substrate per
+	// shard, each serving that shard's slice of the data. All shards
+	// must share one Unit.
+	Shards []backend.Source
+	// Hedge is the per-shard hedging client template: Policy (or
+	// Online), LetLoserRun, quantile-tracker parameters, and the base
+	// Seed. Shard 0 runs the template's seed untouched; every other
+	// shard's coin stream is salted per shard, so the S clients flip
+	// independent coins — reissue decisions are per shard, as in a
+	// real fan-out deployment. If Hedge.Unit is zero it is taken from
+	// the shards; otherwise it must match them.
+	Hedge hedge.Config
+}
+
+// shardSalt decorrelates shard s's policy coins from the template
+// seed, non-zero so shard s > 0 never collapses onto shard 0's
+// stream. The sharded simulator salts its per-shard streams through
+// the same stats.Mix64NonZero; the correspondence is structural
+// (independent per-shard streams over a shared base), not a
+// bit-identical sequence — the live client and the simulator consume
+// their seeds through different generators anyway.
+func shardSalt(s int) uint64 {
+	return stats.Mix64NonZero(uint64(s) + 1)
+}
+
+// Router fans queries out over a partitioned fleet, hedging each
+// shard's sub-query independently. All methods are safe for
+// concurrent use; a single Router is meant to be shared by every
+// goroutine issuing queries.
+type Router struct {
+	shards  []backend.Source
+	clients []*hedge.Client
+	unit    time.Duration
+
+	issued    atomic.Int64
+	completed atomic.Int64
+	failures  atomic.Int64
+	cancelled atomic.Int64
+
+	mu      sync.Mutex
+	tracker *reissue.WindowedQuantile
+}
+
+// New validates the configuration and builds the router with one
+// hedging client per shard.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: no shards configured")
+	}
+	unit := cfg.Hedge.Unit
+	for s, src := range cfg.Shards {
+		if src == nil {
+			return nil, fmt.Errorf("shard: shard %d is nil", s)
+		}
+		if unit == 0 {
+			unit = src.Unit()
+		}
+		if su := src.Unit(); su != unit {
+			return nil, fmt.Errorf("shard: shard %d Unit %v differs from %v — one wall-clock scale per fleet", s, su, unit)
+		}
+	}
+	r := &Router{
+		shards:  cfg.Shards,
+		clients: make([]*hedge.Client, len(cfg.Shards)),
+		unit:    unit,
+	}
+	qw, qe := cfg.Hedge.QuantileWindow, cfg.Hedge.QuantileEps
+	if qw <= 0 {
+		qw = hedge.DefaultQuantileWindow
+	}
+	if qe <= 0 {
+		qe = hedge.DefaultQuantileEps
+	}
+	r.tracker = reissue.NewWindowedQuantile(qe, qw)
+	for s := range cfg.Shards {
+		hcfg := cfg.Hedge
+		hcfg.Unit = unit
+		if s > 0 {
+			hcfg.Seed ^= shardSalt(s)
+		}
+		client, err := hedge.New(hcfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		r.clients[s] = client
+	}
+	return r, nil
+}
+
+// NumShards returns the number of shards.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Client returns shard s's hedging client — per-shard counters,
+// attempt histograms, and quantiles live there.
+func (r *Router) Client(s int) *hedge.Client { return r.clients[s] }
+
+// Unit returns the wall-clock duration of one model millisecond.
+func (r *Router) Unit() time.Duration { return r.unit }
+
+// Do executes one fan-out query: sub-query i is dispatched to every
+// shard in parallel, each hedged by that shard's client, and Do
+// returns when all shards have answered — the query's latency is the
+// max over its sub-queries by construction. The returned slice holds
+// each shard's response in shard order (the per-shard slice of the
+// full answer; merging is workload-specific and left to the caller).
+//
+// One sub-query runs inline in the calling goroutine rather than
+// being spawned, so a fan-out adds S-1 goroutine hops, not S — on a
+// loaded box the inline path measurably tightens dispatch.
+//
+// If any shard fails, the query fails with the first error in shard
+// order after every shard has settled; a cancelled or expired parent
+// context reports ctx.Err() and counts as Cancelled, not a Failure.
+func (r *Router) Do(ctx context.Context, i int) ([]any, error) {
+	r.issued.Add(1)
+	start := time.Now()
+	n := len(r.clients)
+	vals := make([]any, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	sub := func(s int) {
+		vals[s], errs[s] = r.clients[s].Do(ctx, r.shards[s].Request(i))
+	}
+	wg.Add(n - 1)
+	for s := 0; s < n-1; s++ {
+		go func(s int) {
+			defer wg.Done()
+			sub(s)
+		}(s)
+	}
+	sub(n - 1)
+	wg.Wait()
+
+	r.completed.Add(1)
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			r.cancelled.Add(1)
+			return vals, ctx.Err()
+		}
+		r.failures.Add(1)
+		return vals, fmt.Errorf("shard: %w", err)
+	}
+	rt := float64(time.Since(start)) / float64(r.unit)
+	r.mu.Lock()
+	r.tracker.Add(rt)
+	r.mu.Unlock()
+	return vals, nil
+}
+
+// Wait blocks until every in-flight copy on every shard has finished.
+// Call it before shutdown or before asserting on final counters; new
+// Do calls must not race with Wait.
+func (r *Router) Wait() {
+	for _, c := range r.clients {
+		c.Wait()
+	}
+}
+
+// Snapshot is a point-in-time view of the router and its per-shard
+// clients.
+type Snapshot struct {
+	// Shards holds each shard's hedging-client snapshot, in shard
+	// order: per-shard reissue rates, win counters, attempt
+	// histograms, and sub-query latency quantiles.
+	Shards []hedge.Snapshot
+	// Issued and Completed count fan-out queries through Do; Failures
+	// counts queries where some shard's sub-query failed outright, and
+	// Cancelled queries abandoned by the caller's context — the same
+	// taxonomy as hedge.Snapshot, lifted to the fan-out level.
+	Issued, Completed, Failures, Cancelled int64
+	// MeanReissueRate is the mean of the per-shard reissue rates —
+	// the statistic a per-shard reissue budget bounds.
+	MeanReissueRate float64
+	// P50, P95, P99 are end-to-end (max-over-shards) query latencies
+	// in policy time units over the sliding window, successful
+	// queries only (NaN until data arrives).
+	P50, P95, P99 float64
+}
+
+// Snapshot merges the per-shard client snapshots with the router's
+// fan-out counters and end-to-end quantiles.
+func (r *Router) Snapshot() Snapshot {
+	s := Snapshot{
+		Shards:    make([]hedge.Snapshot, len(r.clients)),
+		Issued:    r.issued.Load(),
+		Completed: r.completed.Load(),
+		Failures:  r.failures.Load(),
+		Cancelled: r.cancelled.Load(),
+	}
+	for i, c := range r.clients {
+		s.Shards[i] = c.Snapshot()
+		s.MeanReissueRate += s.Shards[i].ReissueRate / float64(len(r.clients))
+	}
+	r.mu.Lock()
+	s.P50 = r.tracker.Quantile(0.50)
+	s.P95 = r.tracker.Quantile(0.95)
+	s.P99 = r.tracker.Quantile(0.99)
+	r.mu.Unlock()
+	return s
+}
+
+// RunOpenLoop replays the first n trace queries through the router at
+// open-loop Poisson arrival rate lambda (queries per model
+// millisecond) — every arrival fans out to all shards at one instant,
+// exactly as the sharded simulator schedules it — and returns each
+// query's end-to-end (max-over-shards) latency in model milliseconds,
+// in query order. The driver (absolute-deadline arrivals,
+// cancellation, waiting out in-flight copies) is backend.OpenLoop;
+// the first sub-query error aborts nothing — all issued queries run
+// to completion and the error is returned after the trace drains.
+func RunOpenLoop(ctx context.Context, r *Router, n int, lambda float64, seed uint64) ([]float64, error) {
+	return backend.OpenLoop(ctx, r.unit, n, lambda, seed, func(ctx context.Context, i int) error {
+		_, err := r.Do(ctx, i)
+		return err
+	}, r.Wait)
+}

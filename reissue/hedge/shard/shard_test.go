@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+const unit = 500 * time.Microsecond
+
+// kvShards partitions one kvstore workload over S shards and stands
+// each shard up as an in-process replicated backend.
+func kvShards(t *testing.T, queries, shards, replicas int, cfg backend.Config) []backend.Source {
+	t.Helper()
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 300, NumQueries: queries, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := w.Partition(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]backend.Source, shards)
+	for s := range parts {
+		cfg := cfg
+		cfg.Replicas = replicas
+		back, err := backend.NewKV(parts[s], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[s] = back
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted an empty fleet")
+	}
+	srcs := kvShards(t, 50, 2, 2, backend.Config{Unit: unit})
+	if _, err := New(Config{Shards: srcs}); err == nil {
+		t.Error("New accepted a config with neither Policy nor Online")
+	}
+	if _, err := New(Config{Shards: []backend.Source{srcs[0], nil}, Hedge: hedge.Config{Policy: reissue.None{}}}); err == nil {
+		t.Error("New accepted a nil shard")
+	}
+	mixed := kvShards(t, 50, 1, 2, backend.Config{Unit: 2 * unit})
+	if _, err := New(Config{
+		Shards: []backend.Source{srcs[0], mixed[0]},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	}); err == nil {
+		t.Error("New accepted shards with mismatched units")
+	}
+}
+
+// TestFanOutWaitsForSlowestShard pins the max-over-shards semantic:
+// Do returns only when every shard has answered, so its latency is
+// at least the slowest shard's sub-query time.
+func TestFanOutWaitsForSlowestShard(t *testing.T) {
+	var slowHit atomic.Int64
+	slow := sourceFunc{
+		unit: unit,
+		fn: func(ctx context.Context, attempt int) (any, error) {
+			defer slowHit.Add(1)
+			if err := sleepFor(ctx, 8); err != nil {
+				return nil, err
+			}
+			return "slow", nil
+		},
+	}
+	fast := sourceFunc{
+		unit: unit,
+		fn: func(ctx context.Context, attempt int) (any, error) {
+			if err := sleepFor(ctx, 1); err != nil {
+				return nil, err
+			}
+			return "fast", nil
+		},
+	}
+	r, err := New(Config{
+		Shards: []backend.Source{fast, slow, fast},
+		Hedge:  hedge.Config{Policy: reissue.None{}, Unit: unit, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	vals, err := r.Do(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(time.Since(t0)) / float64(unit); got < 8 {
+		t.Errorf("Do returned after %.1f model-ms, before the slowest shard's 8", got)
+	}
+	if vals[0] != "fast" || vals[1] != "slow" || vals[2] != "fast" {
+		t.Errorf("per-shard values out of shard order: %v", vals)
+	}
+	if slowHit.Load() != 1 {
+		t.Errorf("slow shard served %d sub-queries, want 1", slowHit.Load())
+	}
+	r.Wait()
+	s := r.Snapshot()
+	if s.Completed != 1 || s.Failures != 0 || s.Cancelled != 0 {
+		t.Errorf("router snapshot: %+v", s)
+	}
+	if len(s.Shards) != 3 || s.Shards[1].Completed != 1 {
+		t.Errorf("per-shard snapshots not merged: %+v", s.Shards)
+	}
+	if math.IsNaN(s.P50) || s.P50 < 8 {
+		t.Errorf("end-to-end P50 = %v, want >= slowest shard's 8", s.P50)
+	}
+}
+
+// TestShardFailureIsFailureCancellationIsNot pins the fan-out error
+// taxonomy, mirroring the hedging client's: a shard failing outright
+// is a Failure; the caller walking away is Cancelled.
+func TestShardFailureIsFailureCancellationIsNot(t *testing.T) {
+	boom := errors.New("boom")
+	bad := sourceFunc{unit: unit, fn: func(ctx context.Context, attempt int) (any, error) {
+		return nil, boom
+	}}
+	ok := sourceFunc{unit: unit, fn: func(ctx context.Context, attempt int) (any, error) {
+		return 1, nil
+	}}
+	r, err := New(Config{
+		Shards: []backend.Source{ok, bad},
+		Hedge:  hedge.Config{Policy: reissue.None{}, Unit: unit, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Do(context.Background(), 0); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	r.Wait()
+	if s := r.Snapshot(); s.Failures != 1 || s.Cancelled != 0 {
+		t.Fatalf("snapshot after shard failure: %+v", s)
+	}
+
+	hang := sourceFunc{unit: unit, fn: func(ctx context.Context, attempt int) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	r2, err := New(Config{
+		Shards: []backend.Source{ok, hang},
+		Hedge:  hedge.Config{Policy: reissue.None{}, Unit: unit, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(2 * float64(unit)))
+		cancel()
+	}()
+	if _, err := r2.Do(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	r2.Wait()
+	if s := r2.Snapshot(); s.Cancelled != 1 || s.Failures != 0 {
+		t.Fatalf("snapshot after caller cancellation: %+v", s)
+	}
+}
+
+// TestOpenLoopAndLiveSystem drives the live sharded fleet at light
+// load and checks the measurement plumbing: every post-warmup query
+// contributes an end-to-end latency at least as large as each
+// shard's primary response, warmup is excluded everywhere, and the
+// per-shard reissue rates match their copy logs.
+func TestOpenLoopAndLiveSystem(t *testing.T) {
+	const n, warmup, shards = 300, 50, 2
+	srcs := kvShards(t, n, shards, 2, backend.Config{Unit: unit})
+	sys := &LiveSystem{
+		Shards: srcs, N: n, Warmup: warmup,
+		Lambda: 0.25, Seed: 7,
+	}
+	run := sys.Run(reissue.SingleR{D: 0, Q: 0.5})
+	if len(run.Query) != n-warmup {
+		t.Fatalf("got %d query samples, want %d", len(run.Query), n-warmup)
+	}
+	for s := 0; s < shards; s++ {
+		ps := run.PerShard[s]
+		if len(ps.Primary) != n-warmup {
+			t.Fatalf("shard %d: %d primary samples, want %d", s, len(ps.Primary), n-warmup)
+		}
+		if len(ps.Reissue) == 0 {
+			t.Fatalf("shard %d: no reissue response times collected", s)
+		}
+		if math.Abs(ps.ReissueRate-0.5) > 0.09 {
+			t.Fatalf("shard %d reissue rate %.3f far from Q=0.5", s, ps.ReissueRate)
+		}
+		if run.ShardRates[s] != ps.ReissueRate {
+			t.Fatalf("shard %d rate mismatch: %v vs %v", s, run.ShardRates[s], ps.ReissueRate)
+		}
+	}
+	wantMean := (run.ShardRates[0] + run.ShardRates[1]) / 2
+	if math.Abs(run.MeanRate-wantMean) > 1e-12 {
+		t.Fatalf("MeanRate %v != mean of shard rates %v", run.MeanRate, wantMean)
+	}
+	if tl := run.TailLatency(0.5); math.IsNaN(tl) || tl <= 0 {
+		t.Fatalf("end-to-end median %v", tl)
+	}
+}
+
+// TestRouterNoGoroutineLeak runs a hedged fan-out burst and checks
+// every copy and fan-out goroutine is reaped by Wait.
+func TestRouterNoGoroutineLeak(t *testing.T) {
+	srcs := kvShards(t, 100, 3, 2, backend.Config{Unit: unit})
+	before := runtime.NumGoroutine()
+	r, err := New(Config{
+		Shards: srcs,
+		Hedge:  hedge.Config{Policy: reissue.SingleR{D: 1, Q: 1}, Unit: unit, LetLoserRun: true, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 60; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := r.Do(context.Background(), i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	r.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// sourceFunc adapts a bare hedge.Fn to backend.Source for tests.
+type sourceFunc struct {
+	unit time.Duration
+	fn   hedge.Fn
+}
+
+func (s sourceFunc) Request(i int) hedge.Fn { return s.fn }
+func (s sourceFunc) Unit() time.Duration    { return s.unit }
+
+// sleepFor sleeps the given model time, honoring cancellation.
+func sleepFor(ctx context.Context, ms float64) error {
+	select {
+	case <-time.After(time.Duration(ms * float64(unit))):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -108,7 +108,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// a copy still queued on the replica is reclaimed right here.
 	v, err := s.back.Request(i)(r.Context(), attempt)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		// Both context errors mean the peer abandoned the copy — an
+		// aborted connection surfaces as Canceled, a deadline-carrying
+		// hedger context as DeadlineExceeded. Neither is a server
+		// failure, so both report 499, not 500.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.cancelled.Add(1)
 			http.Error(w, err.Error(), statusClientClosedRequest)
 			return
@@ -259,6 +263,11 @@ func (c *Client) Request(i int) hedge.Fn {
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			// Drain the rest to EOF: a body with unread bytes keeps the
+			// connection out of the idle pool, so every 499 from a
+			// cancelled loser would otherwise burn its TCP connection
+			// and inflate the wire overhead on the hottest path.
+			io.Copy(io.Discard, resp.Body)
 			return nil, fmt.Errorf("transport: replica %d: %s: %s",
 				(base+attempt)%len(c.urls), resp.Status, strings.TrimSpace(string(msg)))
 		}

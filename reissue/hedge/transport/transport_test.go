@@ -3,6 +3,11 @@ package transport
 import (
 	"context"
 	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -238,5 +243,86 @@ func TestLiveSystemOverTransport(t *testing.T) {
 	}
 	if run.ReissueRate < 0.25 || run.ReissueRate > 0.55 {
 		t.Fatalf("reissue rate %.3f far from Q=0.4", run.ReissueRate)
+	}
+}
+
+// TestNon200BodyDrainedForReuse pins the connection-reuse fix: an
+// error response longer than the 512-byte message excerpt must still
+// be drained to EOF, or net/http abandons the connection instead of
+// returning it to the idle pool — and every cancelled loser's 499
+// would burn a TCP connection on the hottest path.
+func TestNon200BodyDrainedForReuse(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := strings.Repeat("e", 4096) // far beyond the 512-byte excerpt
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, big, statusClientClosedRequest)
+	})}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+
+	var dials atomic.Int64
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	base := tr.DialContext
+	tr.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return base(ctx, network, addr)
+	}
+	client, err := NewClient(ClientConfig{
+		Replicas:   []string{"http://" + lis.Addr().String()},
+		Unit:       unit,
+		HTTPClient: &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := client.Request(i)(context.Background(), 0); err == nil {
+			t.Fatal("expected an error from the 499 replica")
+		}
+	}
+	if n := dials.Load(); n != 1 {
+		t.Fatalf("%d dials for 4 sequential error responses, want 1 (connection not reused)", n)
+	}
+}
+
+// TestDeadlineExceededReports499 pins the cancellation taxonomy on
+// the server: a hedger context whose deadline expires while the copy
+// is still queued is the peer abandoning the request, exactly like an
+// aborted connection — 499 and the Cancelled counter, not a 500
+// server error.
+func TestDeadlineExceededReports499(t *testing.T) {
+	w := kvWorkload(t, 20)
+	// One replica, every hold clamped to 40 model-ms, so a second
+	// request is stuck in the queue for tens of wall-clock ms.
+	back, err := backend.NewKV(w, backend.Config{
+		Replicas: 1, Unit: time.Millisecond, MinServiceMS: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(back)
+	release := make(chan error, 1)
+	go func() {
+		_, err := back.Request(0)(context.Background(), 0)
+		release <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the occupant reach the replica
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	req := httptest.NewRequest(http.MethodGet, "/query?i=1&attempt=0", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("deadline-expired copy reported %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if got := srv.Cancelled(); got != 1 {
+		t.Fatalf("Cancelled = %d, want 1", got)
+	}
+	if err := <-release; err != nil {
+		t.Fatalf("occupant failed: %v", err)
 	}
 }
