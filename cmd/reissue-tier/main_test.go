@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run.
+func fast() options {
+	return options{
+		hitRates: "0.6",
+		delays:   "inf,3",
+		queries:  300,
+		warmup:   50,
+		cacheR:   2,
+		storeR:   2,
+		slow:     2.0,
+		util:     0.20,
+		k:        0.95,
+		budget:   0.05,
+		unitMS:   0.2,
+		seed:     3,
+		sim:      true,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := run(fast(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hit 0.60", "tier delay inf", "tier delay 3", "sweep summary", "tier rate", "sim:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(pts) != 2 || !math.IsInf(pts[0].tierDelay, 1) || pts[1].tierDelay != 3 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+	// With an infinite tier delay the tier rate is the measured miss
+	// rate, and the miss bits are shared with the simulator bit for
+	// bit — the demo's cross-validation must agree exactly.
+	if pts[0].tierRate != pts[0].simTierRate {
+		t.Errorf("shared miss stream diverged in the demo: live %.6f, sim %.6f",
+			pts[0].tierRate, pts[0].simTierRate)
+	}
+	// The proactive point consults the store at least as often.
+	if pts[1].tierRate < pts[0].tierRate {
+		t.Errorf("proactive tier rate %.4f below fall-through %.4f", pts[1].tierRate, pts[0].tierRate)
+	}
+}
+
+func TestRunNoSim(t *testing.T) {
+	o := fast()
+	o.delays = "2"
+	o.sim = false
+	var buf bytes.Buffer
+	pts, err := run(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "sim:") {
+		t.Error("simulator pass printed with -sim=false")
+	}
+	if len(pts) != 1 || !math.IsNaN(pts[0].simRate) {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*options){
+		"warmup >= queries": func(o *options) { o.warmup = o.queries },
+		"zero replicas":     func(o *options) { o.cacheR = 0 },
+		"bad hit rate":      func(o *options) { o.hitRates = "1.5" },
+		"malformed rates":   func(o *options) { o.hitRates = "0.5,x" },
+		"negative delay":    func(o *options) { o.delays = "-2" },
+		"inf hit rate":      func(o *options) { o.hitRates = "inf" },
+	} {
+		o := fast()
+		mutate(&o)
+		if _, err := run(o, &bytes.Buffer{}); err == nil {
+			t.Errorf("run accepted %s", name)
+		}
+	}
+}

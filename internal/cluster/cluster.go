@@ -690,6 +690,7 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 		if q.reissues > 0 {
 			reissued += q.reissues
 			rec.Reissued = true
+			rec.Reissues = q.reissues
 			rec.ReissueDelay = q.reissueDelay
 			rec.Reissue = q.reissueResp
 			rec.ReissueDone = q.reissueDone

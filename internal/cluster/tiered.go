@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TierConfig describes one tier of a two-tier (cache -> store)
+// deployment: that tier's replica fleet and its own service-time
+// source (typically a TraceSource over the tier's calibrated
+// effective times).
+type TierConfig struct {
+	// Servers is the tier's replica count.
+	Servers int
+	// SpeedFactors optionally gives each replica a static service-
+	// time multiplier; length must equal Servers when set.
+	SpeedFactors []float64
+	// Source generates the tier's per-query service times.
+	Source ServiceSource
+}
+
+// TieredConfig describes a two-tier deployment: a fast-but-fallible
+// cache tier backed by a slow-but-authoritative store tier. Every
+// query goes to the cache tier at its arrival instant; queries the
+// cache cannot answer (the shared Bernoulli miss stream) — and, with
+// a finite TierDelay, queries the cache has not answered by that
+// delay — dispatch a store sub-query. The query completes when the
+// first tier produces a valid answer.
+type TieredConfig struct {
+	// Base is the shared template: ArrivalRate, Queries, Warmup,
+	// Seed, LB, Discipline, PolicySeed, FreshPerRun. Base.Source,
+	// Base.Servers, and Base.SpeedFactors are ignored (the per-tier
+	// configs supply them) and Base.FanOut must be unset.
+	Base Config
+	// Cache and Store describe the two tiers' fleets and traces.
+	Cache, Store TierConfig
+	// Hits[i] reports whether query i hits the cache — the Bernoulli
+	// stream that must be shared bit-for-bit with the live path
+	// (kvstore.CacheWorkload.Hits) so both worlds miss on the same
+	// queries. Length must cover Queries + Warmup.
+	Hits []bool
+	// TierDelay is the proactive tier-reissue delay in model
+	// milliseconds: a store sub-query dispatches at the query's
+	// arrival + TierDelay unless the cache already answered (the
+	// completion check), or earlier, the moment the cache reports a
+	// miss. math.Inf(1) disables the proactive hedge — the store is
+	// consulted only on an observed miss (pure fall-through); 0 fans
+	// every query out to both tiers at once.
+	TierDelay float64
+}
+
+// tierSalt decorrelates the store tier's policy-coin stream from the
+// cache tier's: the two tiers run independent hedging clients live,
+// so their reissue coins must be independent streams over the shared
+// base seed. The live runtime (reissue/hedge/tier) salts its store
+// client's seed with the same stats.Mix64NonZero(1); as with the
+// sharded composition, the correspondence is structural — independent
+// streams, not bit-identical coins.
+func tierSalt() uint64 { return stats.Mix64NonZero(1) }
+
+// Tiered simulates the two-tier deployment as two per-tier Clusters
+// sharing one arrival process (same Seed — a store sub-query's
+// dispatch is the query's arrival shifted by the tier-delay rule,
+// and shifting arrivals leaves queueing untouched) with
+// PolicySeed-decorrelated reissue coins. The store tier replays every
+// arrival instant, but queries the cache shields (hits answered
+// within TierDelay) are masked to zero service, so they occupy no
+// store capacity — the store fleet serves exactly the fall-through
+// and proactive-hedge load, as the live tier client sends it. Like
+// Cluster, a Tiered must not execute two Runs concurrently.
+type Tiered struct {
+	cache, store *Cluster
+	masked       *maskedSource
+	hits         []bool
+	delay        float64
+	total        int
+	warmup       int
+}
+
+// maskedSource wraps a tier's service source, zeroing the service
+// times of shielded queries while still consuming the inner source's
+// stream in query order — so the non-shielded queries' draws are
+// independent of which queries the cache happened to shield.
+type maskedSource struct {
+	inner    ServiceSource
+	shielded []bool
+	next     int
+}
+
+func (m *maskedSource) Sample(r *stats.RNG) (float64, float64) {
+	p, re := m.inner.Sample(r)
+	if m.next < len(m.shielded) && m.shielded[m.next] {
+		p, re = 0, 0
+	}
+	m.next++
+	return p, re
+}
+
+func (m *maskedSource) Reset() {
+	m.inner.Reset()
+	m.next = 0
+}
+
+// NewTiered validates the configuration and builds the per-tier
+// clusters. The cache tier keeps the template's coin stream
+// untouched; the store tier's is salted with tierSalt.
+func NewTiered(cfg TieredConfig) (*Tiered, error) {
+	if cfg.Base.FanOut > 1 {
+		return nil, fmt.Errorf("cluster: TieredConfig.Base.FanOut=%d must be unset — tiers are not a fan-out", cfg.Base.FanOut)
+	}
+	total := cfg.Base.Queries + cfg.Base.Warmup
+	if len(cfg.Hits) < total {
+		return nil, fmt.Errorf("cluster: %d cache-hit bits for %d queries — the live and simulated runs must share one stream", len(cfg.Hits), total)
+	}
+	if math.IsNaN(cfg.TierDelay) || cfg.TierDelay < 0 {
+		return nil, fmt.Errorf("cluster: TierDelay=%v must be non-negative (math.Inf(1) disables the proactive hedge)", cfg.TierDelay)
+	}
+	for name, tc := range map[string]TierConfig{"cache": cfg.Cache, "store": cfg.Store} {
+		if tc.Source == nil {
+			return nil, fmt.Errorf("cluster: %s tier needs a service source", name)
+		}
+		if tc.Servers <= 0 {
+			return nil, fmt.Errorf("cluster: %s tier Servers=%d must be positive", name, tc.Servers)
+		}
+	}
+	// Both tier clusters measure every query (Warmup=0 internally):
+	// the store tier's per-query mask and the end-to-end merge need
+	// the warmup queries' cache responses too. Tiered trims warmup
+	// itself when it collects statistics.
+	tierCluster := func(tc TierConfig, policySalt uint64, src ServiceSource) (*Cluster, error) {
+		c := cfg.Base
+		c.Servers = tc.Servers
+		c.SpeedFactors = tc.SpeedFactors
+		c.Source = src
+		c.Queries = total
+		c.Warmup = 0
+		c.FanOut = 0
+		if policySalt != 0 {
+			c.PolicySeed = cfg.Base.PolicySeed ^ policySalt
+		}
+		return New(c)
+	}
+	masked := &maskedSource{inner: cfg.Store.Source, shielded: make([]bool, total)}
+	if ts, ok := cfg.Store.Source.(*TraceSource); ok && len(ts.Times) == 0 {
+		return nil, fmt.Errorf("cluster: store tier TraceSource has no service times")
+	}
+	cache, err := tierCluster(cfg.Cache, 0, cfg.Cache.Source)
+	if err != nil {
+		return nil, fmt.Errorf("cache tier: %w", err)
+	}
+	store, err := tierCluster(cfg.Store, tierSalt(), masked)
+	if err != nil {
+		return nil, fmt.Errorf("store tier: %w", err)
+	}
+	return &Tiered{
+		cache: cache, store: store, masked: masked,
+		hits: cfg.Hits, delay: cfg.TierDelay,
+		total: total, warmup: cfg.Base.Warmup,
+	}, nil
+}
+
+// CacheCluster and StoreCluster expose the per-tier clusters
+// (configuration inspection; their Run methods measure a tier in
+// isolation, which is not the tiered statistic).
+func (tv *Tiered) CacheCluster() *Cluster { return tv.cache }
+func (tv *Tiered) StoreCluster() *Cluster { return tv.store }
+
+// TieredResult is the outcome of one tiered run.
+type TieredResult struct {
+	// Query holds, per measured query in query order, the end-to-end
+	// response time: the first valid answer from either tier.
+	Query []float64
+	// CacheResp holds every measured query's cache sub-query response
+	// time (hits and misses both occupy the cache tier).
+	CacheResp []float64
+	// StoreResp holds the store sub-query response times of the
+	// measured queries that dispatched one (misses, plus hits slower
+	// than the tier delay), in query order.
+	StoreResp []float64
+	// CacheRate and StoreRate are the tiers' within-tier reissue
+	// rates: reissue copies over that tier's dispatched sub-queries
+	// (every measured query for the cache; only fall-through and
+	// proactive sub-queries for the store).
+	CacheRate, StoreRate float64
+	// TierRate is the fraction of measured queries that dispatched a
+	// store sub-query — the tier-level reissue statistic the
+	// TierDelay knob controls.
+	TierRate float64
+	// HitRate is the realized cache-hit fraction over measured
+	// queries.
+	HitRate float64
+}
+
+// TailLatency returns the k-th quantile (k in (0,1)) of the
+// end-to-end response times, with the same nearest-rank formula as
+// the single-tier RunResult.
+func (r *TieredResult) TailLatency(k float64) float64 {
+	return core.RunResult{Query: r.Query}.TailLatency(k)
+}
+
+// Run simulates one tiered run: the cache tier replays every arrival
+// under cachePol; its per-query responses and the shared hit stream
+// decide which queries reach the store tier (and shield the rest to
+// zero store service); the store tier then replays the same arrival
+// instants under storePol; and the merge composes each query's
+// end-to-end response exactly as the live tier client resolves it —
+// a shielded hit completes at its cache response, a slow hit at the
+// earlier of its cache response and TierDelay + its store response,
+// and a miss at min(TierDelay, cache response) + its store response
+// (the store dispatches at the tier delay or the moment the miss is
+// known, whichever comes first).
+func (tv *Tiered) Run(cachePol, storePol core.Policy) *TieredResult {
+	cacheRes := tv.cache.RunDetailed(cachePol)
+	crt := cacheRes.Log.ResponseTimes()
+	if len(crt) != tv.total {
+		panic(fmt.Sprintf("cluster: cache tier measured %d queries, want %d", len(crt), tv.total))
+	}
+	for i := 0; i < tv.total; i++ {
+		tv.masked.shielded[i] = tv.hits[i] && crt[i] <= tv.delay
+	}
+	storeRes := tv.store.RunDetailed(storePol)
+	srt := storeRes.Log.ResponseTimes()
+
+	measured := tv.total - tv.warmup
+	out := &TieredResult{
+		Query:     make([]float64, 0, measured),
+		CacheResp: make([]float64, 0, measured),
+	}
+	hits, dispatched := 0, 0
+	cacheCopies, storeCopies := 0, 0
+	for i := tv.warmup; i < tv.total; i++ {
+		cresp := crt[i]
+		out.CacheResp = append(out.CacheResp, cresp)
+		cacheCopies += cacheRes.Log.Records[i].Reissues
+		if tv.hits[i] {
+			hits++
+		}
+		var resp float64
+		switch {
+		case tv.masked.shielded[i]:
+			// Hit answered within the tier delay: the store sub-query
+			// was never sent (the completion check).
+			resp = cresp
+		case tv.hits[i]:
+			// Slow hit: the proactive store copy dispatched at
+			// TierDelay races the cache answer; first valid wins.
+			resp = math.Min(cresp, tv.delay+srt[i])
+		default:
+			// Miss: the store dispatches at the tier delay or when
+			// the miss is known, whichever is earlier, and only the
+			// store can answer.
+			resp = math.Min(tv.delay, cresp) + srt[i]
+		}
+		if !tv.masked.shielded[i] {
+			dispatched++
+			out.StoreResp = append(out.StoreResp, srt[i])
+			storeCopies += storeRes.Log.Records[i].Reissues
+		}
+		out.Query = append(out.Query, resp)
+	}
+	out.HitRate = float64(hits) / float64(measured)
+	out.TierRate = float64(dispatched) / float64(measured)
+	out.CacheRate = float64(cacheCopies) / float64(measured)
+	if dispatched > 0 {
+		out.StoreRate = float64(storeCopies) / float64(dispatched)
+	}
+	return out
+}

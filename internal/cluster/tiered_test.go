@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/reissue"
+)
+
+// tieredFixture builds a two-tier config over synthetic traces: a
+// uniform fast cache trace and a slower store trace, with a Bernoulli
+// hit stream at the given rate.
+func tieredFixture(t *testing.T, n, warmup int, hitRate, tierDelay float64) TieredConfig {
+	t.Helper()
+	total := n + warmup
+	cacheTimes := make([]float64, total)
+	storeTimes := make([]float64, total)
+	rng := stats.NewRNG(42)
+	for i := range cacheTimes {
+		cacheTimes[i] = 1.0
+		storeTimes[i] = 2.0 + 4.0*rng.Float64()
+	}
+	hits := make([]bool, total)
+	hitRNG := stats.NewRNG(9)
+	for i := range hits {
+		hits[i] = hitRNG.Bool(hitRate)
+	}
+	return TieredConfig{
+		Base: Config{
+			ArrivalRate: 0.8,
+			Queries:     n,
+			Warmup:      warmup,
+			LB:          HashedLB{},
+			Seed:        5,
+		},
+		Cache:     TierConfig{Servers: 3, Source: &TraceSource{Times: cacheTimes}},
+		Store:     TierConfig{Servers: 3, Source: &TraceSource{Times: storeTimes}},
+		Hits:      hits,
+		TierDelay: tierDelay,
+	}
+}
+
+func TestNewTieredValidation(t *testing.T) {
+	base := tieredFixture(t, 200, 50, 0.5, 2)
+	for name, mutate := range map[string]func(*TieredConfig){
+		"fanout":        func(c *TieredConfig) { c.Base.FanOut = 2 },
+		"short hits":    func(c *TieredConfig) { c.Hits = c.Hits[:10] },
+		"neg delay":     func(c *TieredConfig) { c.TierDelay = -1 },
+		"nan delay":     func(c *TieredConfig) { c.TierDelay = math.NaN() },
+		"nil cache src": func(c *TieredConfig) { c.Cache.Source = nil },
+		"nil store src": func(c *TieredConfig) { c.Store.Source = nil },
+		"zero servers":  func(c *TieredConfig) { c.Store.Servers = 0 },
+		"empty store":   func(c *TieredConfig) { c.Store.Source = &TraceSource{} },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewTiered(cfg); err == nil {
+			t.Errorf("NewTiered accepted %s", name)
+		}
+	}
+}
+
+// TestTieredFallThroughOnly checks the pure fall-through regime
+// (TierDelay = Inf): every hit is shielded (completes at its cache
+// response, occupies no store capacity), every miss falls through,
+// and the tier rate is exactly the measured miss rate.
+func TestTieredFallThroughOnly(t *testing.T) {
+	cfg := tieredFixture(t, 400, 100, 0.6, math.Inf(1))
+	tv, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tv.Run(reissue.None{}, reissue.None{})
+	if math.Abs(res.TierRate-(1-res.HitRate)) > 1e-12 {
+		t.Errorf("TierRate %.4f != miss rate %.4f with an infinite tier delay", res.TierRate, 1-res.HitRate)
+	}
+	if len(res.StoreResp) != int(res.TierRate*float64(len(res.Query))+0.5) {
+		t.Errorf("%d store responses for tier rate %.4f over %d queries", len(res.StoreResp), res.TierRate, len(res.Query))
+	}
+	si := 0
+	for i, resp := range res.Query {
+		qi := cfg.Base.Warmup + i
+		if cfg.Hits[qi] {
+			if resp != res.CacheResp[i] {
+				t.Fatalf("hit %d: end-to-end %.3f != cache response %.3f", qi, resp, res.CacheResp[i])
+			}
+			continue
+		}
+		want := res.CacheResp[i] + res.StoreResp[si]
+		si++
+		if math.Abs(resp-want) > 1e-9 {
+			t.Fatalf("miss %d: end-to-end %.3f != cache %.3f + store", qi, resp, want)
+		}
+	}
+}
+
+// TestTieredFullFanOut checks TierDelay = 0: no query is shielded,
+// every query dispatches a store sub-query at its arrival, and a
+// hit's response is the faster of its two tiers.
+func TestTieredFullFanOut(t *testing.T) {
+	cfg := tieredFixture(t, 400, 100, 0.6, 0)
+	tv, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tv.Run(reissue.None{}, reissue.None{})
+	if res.TierRate != 1 {
+		t.Errorf("TierRate %.4f, want 1 with a zero tier delay", res.TierRate)
+	}
+	for i, resp := range res.Query {
+		qi := cfg.Base.Warmup + i
+		want := res.StoreResp[i]
+		if cfg.Hits[qi] {
+			want = math.Min(res.CacheResp[i], res.StoreResp[i])
+		}
+		if math.Abs(resp-want) > 1e-9 {
+			t.Fatalf("query %d: end-to-end %.3f, want %.3f", qi, resp, want)
+		}
+	}
+}
+
+// TestTieredShieldingMasksStoreLoad checks that shielded queries
+// occupy no store capacity: with every query a fast hit and an
+// infinite tier delay, the store tier must be completely idle.
+func TestTieredShieldingMasksStoreLoad(t *testing.T) {
+	cfg := tieredFixture(t, 300, 50, 1.0, math.Inf(1))
+	tv, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tv.Run(reissue.None{}, reissue.None{})
+	if res.TierRate != 0 || len(res.StoreResp) != 0 {
+		t.Fatalf("all-hit workload dispatched store sub-queries: rate %.4f, %d responses", res.TierRate, len(res.StoreResp))
+	}
+	if res.HitRate != 1 {
+		t.Fatalf("HitRate %.4f, want 1", res.HitRate)
+	}
+}
+
+// TestTieredReissueRates checks the per-tier rate denominators with
+// immediate coin-flip policies: a D=0 SingleR is never suppressed by
+// the completion check, so each tier's measured rate must sit near
+// its coin probability — the store's over only its dispatched
+// sub-queries.
+func TestTieredReissueRates(t *testing.T) {
+	cfg := tieredFixture(t, 1200, 200, 0.5, math.Inf(1))
+	tv, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tv.Run(reissue.SingleR{D: 0, Q: 0.4}, reissue.SingleR{D: 0, Q: 0.3})
+	if math.Abs(res.CacheRate-0.4) > 0.05 {
+		t.Errorf("cache reissue rate %.4f far from Q=0.4", res.CacheRate)
+	}
+	if math.Abs(res.StoreRate-0.3) > 0.06 {
+		t.Errorf("store reissue rate %.4f far from Q=0.3", res.StoreRate)
+	}
+}
+
+// TestTieredProactiveHedgeTrimsMissTail checks the tier-delay payoff
+// on the all-miss workload, where it is deterministic: every query
+// reaches the store in both regimes (identical store load), but the
+// proactive hedge dispatches at the small tier delay instead of
+// waiting for the cache to resolve the miss — so every query's
+// end-to-end response improves by the miss-resolution time it no
+// longer serializes behind.
+func TestTieredProactiveHedgeTrimsMissTail(t *testing.T) {
+	run := func(delay float64) *TieredResult {
+		cfg := tieredFixture(t, 1000, 200, 0.0, delay)
+		tv, err := NewTiered(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tv.Run(reissue.None{}, reissue.None{})
+	}
+	fallthru := run(math.Inf(1))
+	proactive := run(0.25)
+	if proactive.TierRate != 1 || fallthru.TierRate != 1 {
+		t.Fatalf("all-miss workload did not dispatch every store sub-query: %.4f / %.4f",
+			proactive.TierRate, fallthru.TierRate)
+	}
+	pf, pp := fallthru.TailLatency(0.99), proactive.TailLatency(0.99)
+	if pp >= pf {
+		t.Errorf("proactive P99 %.3f not below fall-through %.3f on the all-miss workload", pp, pf)
+	}
+}
+
+// TestTieredDeterministic pins the replay contract: two runs of the
+// same Tiered under the same policies are byte-identical.
+func TestTieredDeterministic(t *testing.T) {
+	cfg := tieredFixture(t, 400, 100, 0.5, 2)
+	tv, err := NewTiered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := reissue.SingleR{D: 2, Q: 0.3}
+	a := tv.Run(pol, pol)
+	b := tv.Run(pol, pol)
+	if len(a.Query) != len(b.Query) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range a.Query {
+		if a.Query[i] != b.Query[i] {
+			t.Fatalf("query %d differs across identical runs: %v vs %v", i, a.Query[i], b.Query[i])
+		}
+	}
+	if a.TierRate != b.TierRate || a.CacheRate != b.CacheRate || a.StoreRate != b.StoreRate {
+		t.Fatalf("rates differ across identical runs: %+v vs %+v", a, b)
+	}
+}

@@ -34,6 +34,13 @@ type Record struct {
 	PrimaryDone bool
 	// Reissued reports whether a reissue request was actually sent.
 	Reissued bool
+	// Reissues is the number of reissue copies actually sent —
+	// 0 or 1 for single-delay policies, possibly more for multi-delay
+	// families (DoubleR, MultipleR). Reissued == (Reissues > 0).
+	// Compositions that recompute reissue rates over a subset of
+	// records (the tiered simulator's warmup trim) need the count,
+	// not just the flag.
+	Reissues int
 	// ReissueDelay is the delay after Arrival at which the reissue
 	// was dispatched (valid when Reissued).
 	ReissueDelay float64
@@ -119,6 +126,14 @@ func (l *Log) Filter(keep func(Record) bool) *Log {
 
 var csvHeader = []string{
 	"id", "arrival", "primary", "primary_done", "reissued",
+	"reissues", "reissue_delay", "reissue", "reissue_done", "response",
+}
+
+// legacyCSVHeader is the schema before the reissue-copy count was
+// recorded; ReadCSV still accepts it (deriving Reissues 0/1 from the
+// flag) so previously recorded measurement logs stay readable.
+var legacyCSVHeader = []string{
+	"id", "arrival", "primary", "primary_done", "reissued",
 	"reissue_delay", "reissue", "reissue_done", "response",
 }
 
@@ -135,10 +150,11 @@ func (l *Log) WriteCSV(w io.Writer) error {
 		row[2] = formatF(r.Primary)
 		row[3] = strconv.FormatBool(r.PrimaryDone)
 		row[4] = strconv.FormatBool(r.Reissued)
-		row[5] = formatF(r.ReissueDelay)
-		row[6] = formatF(r.Reissue)
-		row[7] = strconv.FormatBool(r.ReissueDone)
-		row[8] = formatF(r.Response)
+		row[5] = strconv.Itoa(r.Reissues)
+		row[6] = formatF(r.ReissueDelay)
+		row[7] = formatF(r.Reissue)
+		row[8] = strconv.FormatBool(r.ReissueDone)
+		row[9] = formatF(r.Response)
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: writing record %d: %w", r.ID, err)
 		}
@@ -149,17 +165,23 @@ func (l *Log) WriteCSV(w io.Writer) error {
 
 func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// ReadCSV parses a log written by WriteCSV.
+// ReadCSV parses a log written by WriteCSV. Logs recorded before the
+// reissue-copy count was added (the 9-column legacy schema) are
+// still accepted, with Reissues derived from the Reissued flag.
 func ReadCSV(r io.Reader) (*Log, error) {
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if len(header) != len(csvHeader) {
+	want := csvHeader
+	legacy := false
+	if len(header) == len(legacyCSVHeader) {
+		want, legacy = legacyCSVHeader, true
+	} else if len(header) != len(csvHeader) {
 		return nil, fmt.Errorf("trace: header has %d fields, want %d", len(header), len(csvHeader))
 	}
-	for i, h := range csvHeader {
+	for i, h := range want {
 		if header[i] != h {
 			return nil, fmt.Errorf("trace: header field %d is %q, want %q", i, header[i], h)
 		}
@@ -173,7 +195,7 @@ func ReadCSV(r io.Reader) (*Log, error) {
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
-		rec, err := parseRow(row)
+		rec, err := parseRow(row, legacy)
 		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
@@ -181,11 +203,17 @@ func ReadCSV(r io.Reader) (*Log, error) {
 	}
 }
 
-func parseRow(row []string) (Record, error) {
+func parseRow(row []string, legacy bool) (Record, error) {
 	var rec Record
 	var err error
 	if rec.ID, err = strconv.ParseInt(row[0], 10, 64); err != nil {
 		return rec, fmt.Errorf("bad id %q: %w", row[0], err)
+	}
+	// The legacy schema has no "reissues" column at index 5; every
+	// later column shifts down one.
+	off := 1
+	if legacy {
+		off = 0
 	}
 	floats := []struct {
 		dst  *float64
@@ -194,9 +222,9 @@ func parseRow(row []string) (Record, error) {
 	}{
 		{&rec.Arrival, "arrival", row[1]},
 		{&rec.Primary, "primary", row[2]},
-		{&rec.ReissueDelay, "reissue_delay", row[5]},
-		{&rec.Reissue, "reissue", row[6]},
-		{&rec.Response, "response", row[8]},
+		{&rec.ReissueDelay, "reissue_delay", row[5+off]},
+		{&rec.Reissue, "reissue", row[6+off]},
+		{&rec.Response, "response", row[8+off]},
 	}
 	for _, f := range floats {
 		v, err := strconv.ParseFloat(f.s, 64)
@@ -212,7 +240,7 @@ func parseRow(row []string) (Record, error) {
 	}{
 		{&rec.PrimaryDone, "primary_done", row[3]},
 		{&rec.Reissued, "reissued", row[4]},
-		{&rec.ReissueDone, "reissue_done", row[7]},
+		{&rec.ReissueDone, "reissue_done", row[7+off]},
 	}
 	for _, f := range bools {
 		v, err := strconv.ParseBool(f.s)
@@ -220,6 +248,15 @@ func parseRow(row []string) (Record, error) {
 			return rec, fmt.Errorf("bad %s %q: %w", f.name, f.s, err)
 		}
 		*f.dst = v
+	}
+	if legacy {
+		if rec.Reissued {
+			rec.Reissues = 1
+		}
+		return rec, nil
+	}
+	if rec.Reissues, err = strconv.Atoi(row[5]); err != nil || rec.Reissues < 0 {
+		return rec, fmt.Errorf("bad reissues %q", row[5])
 	}
 	return rec, nil
 }

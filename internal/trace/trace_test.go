@@ -148,3 +148,30 @@ func TestCSVRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReadCSVLegacySchema checks that logs written before the
+// reissue-copy count column existed still parse, with Reissues
+// derived from the Reissued flag.
+func TestReadCSVLegacySchema(t *testing.T) {
+	legacy := "id,arrival,primary,primary_done,reissued,reissue_delay,reissue,reissue_done,response\n" +
+		"0,0.5,2,true,false,0,0,false,2\n" +
+		"1,1.5,3,true,true,1.25,2.5,true,3.75\n"
+	log, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() != 2 {
+		t.Fatalf("parsed %d records, want 2", log.Len())
+	}
+	if r := log.Records[0]; r.Reissued || r.Reissues != 0 {
+		t.Errorf("record 0 = %+v, want no reissues", r)
+	}
+	r := log.Records[1]
+	if !r.Reissued || r.Reissues != 1 || r.ReissueDelay != 1.25 || r.Reissue != 2.5 || !r.ReissueDone || r.Response != 3.75 {
+		t.Errorf("record 1 = %+v, want the shifted legacy columns mapped through", r)
+	}
+	bad := "id,arrival,primary,primary_done,reissued,reissue_delay,reissue,reissue_done,WRONG\n"
+	if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Error("ReadCSV accepted a mangled legacy header")
+	}
+}

@@ -221,6 +221,21 @@ func newCluster(cfg Config, times []float64, exec func(i int) (any, error)) (*Cl
 	return c, nil
 }
 
+// NewCustom builds a live replicated backend over an arbitrary
+// workload: times[i] is query i's model service time in milliseconds
+// and exec runs query i's real computation inside the hold. It is the
+// seam the named constructors (NewKV, NewSearch) are built on,
+// exported so new tiers and workloads — a cache tier answering from
+// precomputed results, a mock fleet in a test — get replicas with
+// exactly the same queueing, speed-factor, and non-preemption
+// semantics without this package having to know the workload type.
+func NewCustom(times []float64, exec func(i int) (any, error), cfg Config) (*Cluster, error) {
+	if exec == nil {
+		return nil, fmt.Errorf("backend: NewCustom needs an executor")
+	}
+	return newCluster(cfg, times, exec)
+}
+
 // NewKV builds a live replicated kvstore backend: every replica
 // serves the same generated store, and requests execute real
 // set intersections.

@@ -212,3 +212,61 @@ func TestRunOpenLoopCancelWaitsForCopies(t *testing.T) {
 	}
 	t.Fatalf("goroutines: before=%d after=%d — copies leaked past RunOpenLoop", before, runtime.NumGoroutine())
 }
+
+// TestNewCustomBackend checks the generic constructor: an arbitrary
+// (times, exec) pair gets the same replica semantics as the named
+// workloads — real execution inside the hold and per-attempt routing.
+func TestNewCustomBackend(t *testing.T) {
+	times := []float64{1, 2, 3}
+	back, err := NewCustom(times, func(i int) (any, error) { return i * 10, nil }, Config{
+		Replicas: 2, Unit: unit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v, err := back.Request(i)(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != (i%len(times))*10 {
+			t.Fatalf("query %d executed wrong work: %v", i, v)
+		}
+	}
+	if _, err := NewCustom(times, nil, Config{Replicas: 1}); err == nil {
+		t.Error("NewCustom accepted a nil executor")
+	}
+	if _, err := NewCustom(nil, func(int) (any, error) { return nil, nil }, Config{Replicas: 1}); err == nil {
+		t.Error("NewCustom accepted an empty trace")
+	}
+}
+
+// TestMeasuredSourcePrimaries checks the per-source dispatch
+// counters: warmup copies pass through unrecorded, and the primary
+// count is the denominator a composition routing a subset of queries
+// through this source divides its reissue count by.
+func TestMeasuredSourcePrimaries(t *testing.T) {
+	w := kvWorkload(t, 50)
+	back, err := NewKV(w, Config{Replicas: 2, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMeasuredSource(back, 10)
+	ctx := context.Background()
+	for _, q := range []struct{ i, attempt int }{
+		{5, 0},  // warmup: unrecorded
+		{12, 0}, // measured primary
+		{12, 1}, // measured reissue
+		{30, 0}, // measured primary
+	} {
+		if _, err := m.Request(q.i)(ctx, q.attempt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Primaries(); got != 2 {
+		t.Errorf("Primaries() = %d, want 2", got)
+	}
+	if got := m.Reissues(); got != 1 {
+		t.Errorf("Reissues() = %d, want 1", got)
+	}
+}

@@ -65,11 +65,12 @@ type LiveSystem struct {
 // MeasuredSource accumulates across one trial.
 type MeasuredSource struct {
 	Source
-	warmup   int
-	unit     time.Duration
-	reissues atomic.Int64
-	mu       sync.Mutex
-	rx, ry   []float64
+	warmup    int
+	unit      time.Duration
+	primaries atomic.Int64
+	reissues  atomic.Int64
+	mu        sync.Mutex
+	rx, ry    []float64
 }
 
 // NewMeasuredSource wraps src, recording copies of queries with
@@ -87,6 +88,8 @@ func (m *MeasuredSource) Request(i int) hedge.Fn {
 	return func(ctx context.Context, attempt int) (any, error) {
 		if attempt > 0 {
 			m.reissues.Add(1)
+		} else {
+			m.primaries.Add(1)
 		}
 		t0 := time.Now()
 		v, err := fn(ctx, attempt)
@@ -107,6 +110,14 @@ func (m *MeasuredSource) Request(i int) hedge.Fn {
 // Reissues returns the number of post-warmup reissue copies
 // dispatched so far.
 func (m *MeasuredSource) Reissues() int64 { return m.reissues.Load() }
+
+// Primaries returns the number of post-warmup primary copies
+// dispatched so far. A single-tier open loop dispatches one primary
+// per measured query, but a composition that routes only some
+// queries through this source — the multi-tier client's store tier —
+// needs the observed count as the denominator of this source's
+// reissue rate.
+func (m *MeasuredSource) Primaries() int64 { return m.primaries.Load() }
 
 // Logs returns the accumulated per-copy response-time logs (primary
 // and reissue copies, in model milliseconds). The returned slices

@@ -362,6 +362,17 @@ var ErrAllCopiesFailed = errors.New("hedge: all copies failed")
 // before any copy succeeds, Do returns ctx.Err().
 func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 	c.issued.Add(1)
+	// A caller whose context is already done at entry has walked away
+	// before the primary could be dispatched: short-circuit under
+	// Cancelled without sampling a plan, dispatching a copy, or
+	// bumping Attempts[0].Dispatched — sending a doomed wire request
+	// for an abandoned query would burn backend capacity and skew the
+	// dispatch accounting.
+	if err := ctx.Err(); err != nil {
+		c.completed.Add(1)
+		c.cancelled.Add(1)
+		return nil, err
+	}
 	start := time.Now()
 	plan, slots := c.plan()
 
@@ -523,6 +534,15 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 	if err := ctx.Err(); err != nil {
 		c.cancelled.Add(1)
 		return nil, err
+	}
+	if errors.Is(primaryErr, context.Canceled) || errors.Is(primaryErr, context.DeadlineExceeded) {
+		// The backend reported the copy cancelled-while-queued — a
+		// replica observing the peer's abort (the transport's 499)
+		// can race ahead of the caller's own ctx error surfacing
+		// here. That is still the caller walking away, not a backend
+		// failure.
+		c.cancelled.Add(1)
+		return nil, primaryErr
 	}
 	c.failures.Add(1)
 	return nil, fmt.Errorf("%w: %w", ErrAllCopiesFailed, primaryErr)

@@ -365,3 +365,154 @@ func TestOnlineRetuning(t *testing.T) {
 		t.Errorf("reissues never rescued a slow primary: %+v", s)
 	}
 }
+
+// TestDoneContextShortCircuits is the regression test for the
+// dispatch-on-dead-context bug: a Do call whose caller context is
+// already cancelled at entry must not run the primary (pre-fix it
+// dispatched the copy — and burned a wire request — before noticing),
+// must not bump Attempts[0].Dispatched, and counts under Cancelled.
+func TestDoneContextShortCircuits(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.SingleR{D: 2, Q: 1}, Seed: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := c.Do(ctx, func(ctx context.Context, attempt int) (any, error) {
+		calls.Add(1)
+		return attempt, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("fn dispatched %d times for a dead context, want 0", calls.Load())
+	}
+	c.Wait()
+	s := c.Snapshot()
+	if s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("snapshot counts the walked-away caller wrong: %+v", s)
+	}
+	if s.Issued != 1 || s.Completed != 1 || s.Reissued != 0 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Attempts[0].Dispatched != 0 {
+		t.Errorf("Attempts[0].Dispatched = %d for an undispatched primary, want 0", s.Attempts[0].Dispatched)
+	}
+}
+
+// TestBackendCancellationCountsCancelled is the regression test for
+// the 499-classification bug: when every copy fails with an error
+// wrapping context.Canceled — a replica reporting cancelled-while-
+// queued before the caller's own ctx error surfaces, the transport's
+// 499 path — the query is the caller walking away, not a backend
+// failure. Pre-fix it landed in Failures.
+func TestBackendCancellationCountsCancelled(t *testing.T) {
+	c := mustClient(t, Config{Policy: reissue.None{}, Seed: 1})
+	wireErr := fmt.Errorf("replica 2 reported the copy cancelled while queued: %w", context.Canceled)
+	_, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		return nil, wireErr
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want an error wrapping context.Canceled", err)
+	}
+	if errors.Is(err, ErrAllCopiesFailed) {
+		t.Fatalf("Do dressed a cancellation up as %v", err)
+	}
+	c.Wait()
+	s := c.Snapshot()
+	if s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("backend-reported cancellation misclassified: %+v", s)
+	}
+
+	// A genuine backend failure still lands in Failures.
+	_, err = c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		return nil, errors.New("disk on fire")
+	})
+	if !errors.Is(err, ErrAllCopiesFailed) {
+		t.Fatalf("Do returned %v, want ErrAllCopiesFailed", err)
+	}
+	c.Wait()
+	if s := c.Snapshot(); s.Cancelled != 1 || s.Failures != 1 {
+		t.Errorf("snapshot after a real failure: %+v", s)
+	}
+}
+
+// descendingPolicy is a foreign policy that violates the Policy
+// contract's ascending-plan requirement — the case the
+// sort.Float64sAreSorted / planBySlotDelay fallback in Do exists for.
+type descendingPolicy struct{ delays []float64 }
+
+func (p descendingPolicy) Plan(*reissue.RNG) []float64 {
+	return append([]float64(nil), p.delays...)
+}
+func (p descendingPolicy) String() string { return "descending(contract-violating)" }
+
+// TestUnsortedPlanDispatchedInTimeOrder covers the unsorted-plan
+// fallback: a plan emitted as {40, 10} must still dispatch its copies
+// in time order (the 10-unit copy first) with each copy keeping the
+// slot of its configured delay — slot 1 is the 40-unit delay (plan
+// position 0), slot 2 the 10-unit delay — so the attempt histogram
+// attributes wins to the right delay.
+func TestUnsortedPlanDispatchedInTimeOrder(t *testing.T) {
+	c := mustClient(t, Config{Policy: descendingPolicy{delays: []float64{40, 10}}, Seed: 1})
+	start := time.Now()
+	type dispatch struct {
+		attempt int
+		at      time.Duration
+	}
+	var mu sync.Mutex
+	var dispatches []dispatch
+	v, err := c.Do(context.Background(), func(ctx context.Context, attempt int) (any, error) {
+		mu.Lock()
+		dispatches = append(dispatches, dispatch{attempt, time.Since(start)})
+		mu.Unlock()
+		if attempt == 0 {
+			// Slow primary: blocks until the query is decided, so both
+			// planned copies dispatch.
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		if err := sleepFor(ctx, 60); err != nil {
+			return nil, err
+		}
+		return attempt, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dispatches) != 3 {
+		t.Fatalf("dispatched %d copies, want 3: %+v", len(dispatches), dispatches)
+	}
+	// Dispatch order: primary, then slot 2 (delay 10), then slot 1
+	// (delay 40) — time order despite the descending plan.
+	wantOrder := []int{0, 2, 1}
+	for i, d := range dispatches {
+		if d.attempt != wantOrder[i] {
+			t.Fatalf("dispatch %d was attempt %d, want %d (order %+v)", i, d.attempt, wantOrder[i], dispatches)
+		}
+	}
+	// Each copy must wait out at least its own delay. Only lower
+	// bounds and the relative order are asserted — an upper bound in
+	// wall-clock terms races scheduler/GC stalls on the 1-CPU CI box.
+	if at := dispatches[1].at; at < 10*unit {
+		t.Errorf("slot-2 copy (delay 10) dispatched at %v, before its delay (unit %v)", at, unit)
+	}
+	if at := dispatches[2].at; at < 40*unit {
+		t.Errorf("slot-1 copy (delay 40) dispatched at %v, before its delay (unit %v)", at, unit)
+	}
+	// Slot attribution: the 10-unit copy dispatched first and, with a
+	// 60-unit hold, answers at ~70 — before the 40-unit copy's ~100 —
+	// so slot 2 wins and each slot records exactly one dispatch.
+	if v.(int) != 2 {
+		t.Fatalf("winner = %v, want slot 2", v)
+	}
+	s := c.Snapshot()
+	if len(s.Attempts) != 3 ||
+		s.Attempts[1].Dispatched != 1 || s.Attempts[2].Dispatched != 1 ||
+		s.Attempts[1].Wins != 0 || s.Attempts[2].Wins != 1 {
+		t.Errorf("attempt histogram misattributed slots: %+v", s.Attempts)
+	}
+}

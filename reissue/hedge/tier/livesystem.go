@@ -1,0 +1,132 @@
+package tier
+
+import (
+	"context"
+	"fmt"
+
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+// LiveSystem replays a two-tier workload open-loop through a fresh
+// Client per trial and reports the measured tiered statistics — the
+// multi-tier counterpart of backend.LiveSystem, with the same
+// measurement semantics: the Warmup lead-in queries are excluded from
+// the per-tier copy logs, the per-tier reissue rates, the tier rate,
+// and the end-to-end latency log, so a live result and a tiered-
+// simulator result are the same statistic. Per-tier measurement is
+// one backend.MeasuredSource per tier: each tier's rates are
+// attributed over that tier's own dispatched sub-queries, with warmup
+// excluded per tier. Losing copies and losing tiers run to completion
+// (hedge.Config.LetLoserRun), matching the simulator and the paper's
+// execution model.
+type LiveSystem struct {
+	// Cache and Store are the tiers to drive, any backend.Source
+	// each.
+	Cache, Store backend.Source
+	// TierDelay is the tier-reissue delay in model milliseconds
+	// (math.Inf(1) = pure fall-through), as in Config.
+	TierDelay float64
+	// N is the number of queries per trial, Warmup of them excluded
+	// from every reported statistic.
+	N, Warmup int
+	// Lambda is the open-loop Poisson arrival rate in queries per
+	// model millisecond.
+	Lambda float64
+	// Seed drives arrivals and, tier-salted, the policy coins.
+	Seed uint64
+	// FreshPerRun gives every successive Run its own random streams;
+	// the default applies common random numbers across runs, like the
+	// simulator and backend.LiveSystem.
+	FreshPerRun bool
+
+	runs uint64
+}
+
+// RunResult is the measured outcome of one tiered trial.
+type RunResult struct {
+	// Query holds the end-to-end latency of every post-warmup query,
+	// in model milliseconds, in query order — first valid answer from
+	// either tier.
+	Query []float64
+	// Cache and Store carry each tier's optimizer-ready measurement
+	// set: Primary and Reissue are the tier's post-warmup per-copy
+	// response times (from each copy's own dispatch), and ReissueRate
+	// the tier's within-tier reissue rate over that tier's dispatched
+	// sub-queries — every measured query for the cache, only the
+	// fall-through and proactive sub-queries for the store. The
+	// per-tier Query log is not populated; the end-to-end statistic
+	// of a tiered system is the merged log above.
+	Cache, Store reissue.RunResult
+	// TierRate is the fraction of measured queries that dispatched a
+	// store sub-query — the tier-level reissue statistic TierDelay
+	// controls, directly comparable to the tiered simulator's.
+	TierRate float64
+}
+
+// TailLatency returns the k-th quantile (k in (0,1)) of the
+// end-to-end log, with the same nearest-rank formula as
+// reissue.RunResult.
+func (r RunResult) TailLatency(k float64) float64 {
+	return reissue.RunResult{Query: r.Query}.TailLatency(k)
+}
+
+// Run executes one live tiered trial under the given per-tier
+// policies. Configuration errors panic, as in backend.LiveSystem —
+// the System-style interface has no error path and a half-configured
+// trial would corrupt every derived measurement.
+func (s *LiveSystem) Run(cachePol, storePol reissue.Policy) RunResult {
+	if s.Cache == nil || s.Store == nil {
+		panic("tier: LiveSystem needs both tiers")
+	}
+	if s.Warmup < 0 || s.Warmup >= s.N {
+		panic(fmt.Sprintf("tier: LiveSystem Warmup=%d outside [0, N=%d)", s.Warmup, s.N))
+	}
+	seed := s.Seed
+	if s.FreshPerRun {
+		s.runs++
+		seed += s.runs * 0x9e3779b9
+	}
+	cacheM := backend.NewMeasuredSource(s.Cache, s.Warmup)
+	storeM := backend.NewMeasuredSource(s.Store, s.Warmup)
+	// Arrivals consume the raw seed below; the coin streams must be
+	// distinct or reissue coins correlate with inter-arrival gaps —
+	// the same decorrelation backend.LiveSystem applies, salted per
+	// tier by New.
+	coinSeed := seed ^ 0x94d049bb133111eb
+	client, err := New(Config{
+		Cache:      cacheM,
+		Store:      storeM,
+		CacheHedge: hedge.Config{Policy: cachePol, LetLoserRun: true, Seed: coinSeed},
+		StoreHedge: hedge.Config{Policy: storePol, LetLoserRun: true, Seed: coinSeed},
+		TierDelay:  s.TierDelay,
+	})
+	if err != nil {
+		panic(err)
+	}
+	lats, err := RunOpenLoop(context.Background(), client, s.N, s.Lambda, seed)
+	if err != nil {
+		panic(err)
+	}
+	measured := float64(s.N - s.Warmup)
+	cacheRx, cacheRy := cacheM.Logs()
+	storeRx, storeRy := storeM.Logs()
+	res := RunResult{
+		Query: lats[s.Warmup:],
+		Cache: reissue.RunResult{
+			Primary:     cacheRx,
+			Reissue:     cacheRy,
+			ReissueRate: float64(cacheM.Reissues()) / measured,
+		},
+		Store: reissue.RunResult{
+			Primary: storeRx,
+			Reissue: storeRy,
+		},
+		TierRate: float64(storeM.Primaries()) / measured,
+	}
+	if p := storeM.Primaries(); p > 0 {
+		res.Store.ReissueRate = float64(storeM.Reissues()) / float64(p)
+	}
+	return res
+}

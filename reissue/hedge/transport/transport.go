@@ -132,7 +132,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 type ReplicaServer struct {
 	Handler *Server
 	srv     *http.Server
+	lis     net.Listener
 	url     string
+	fatal   chan error
 }
 
 // Serve starts an HTTP replica server for back on an ephemeral
@@ -146,14 +148,32 @@ func Serve(back *backend.Cluster) (*ReplicaServer, error) {
 	rs := &ReplicaServer{
 		Handler: h,
 		srv:     &http.Server{Handler: h},
+		lis:     lis,
 		url:     "http://" + lis.Addr().String(),
+		fatal:   make(chan error, 1),
 	}
-	go rs.srv.Serve(lis)
+	go func() {
+		// The serve loop's error used to be discarded: a replica whose
+		// accept loop died looked exactly like an infinitely slow one
+		// — every demo query just queued forever. Surface anything
+		// other than the ordinary Close shutdown.
+		if err := rs.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			rs.fatal <- fmt.Errorf("transport: replica serve loop died: %w", err)
+		}
+		close(rs.fatal)
+	}()
 	return rs, nil
 }
 
 // URL returns the server's base URL.
 func (rs *ReplicaServer) URL() string { return rs.url }
+
+// Fatal returns a channel that delivers the serve loop's error if the
+// replica dies for any reason other than Close (a listener torn down
+// underneath it, an accept loop failure) and is then closed. Demos
+// and fleet supervisors select on it so a dead replica is reported
+// instead of masquerading as an infinitely slow one.
+func (rs *ReplicaServer) Fatal() <-chan error { return rs.fatal }
 
 // Close stops the server abruptly: the listener and all active
 // connections are closed without waiting for in-flight requests.
@@ -268,6 +288,19 @@ func (c *Client) Request(i int) hedge.Fn {
 			// cancelled loser would otherwise burn its TCP connection
 			// and inflate the wire overhead on the hottest path.
 			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode == statusClientClosedRequest {
+				// The replica reports the copy cancelled-while-queued.
+				// Usually our own context is already done and the
+				// local ctx error wins the race to this return — but
+				// when the server notices first (its write beats the
+				// local cancellation propagating), the error must
+				// still read as a cancellation, not a replica failure:
+				// hedge.Client classifies by errors.Is(context.
+				// Canceled), and a bare fmt.Errorf here made it count
+				// the query as a backend Failure.
+				return nil, fmt.Errorf("transport: replica %d reported the copy cancelled while queued (%s): %w",
+					(base+attempt)%len(c.urls), strings.TrimSpace(string(msg)), context.Canceled)
+			}
 			return nil, fmt.Errorf("transport: replica %d: %s: %s",
 				(base+attempt)%len(c.urls), resp.Status, strings.TrimSpace(string(msg)))
 		}

@@ -326,3 +326,97 @@ func TestDeadlineExceededReports499(t *testing.T) {
 		t.Fatalf("occupant failed: %v", err)
 	}
 }
+
+// Test499WrapsContextCanceled is the regression test for the 499
+// translation: a replica reporting cancelled-while-queued before the
+// client's own context error surfaces must yield an error wrapping
+// context.Canceled — the hedger classifies by errors.Is, and the old
+// plain fmt.Errorf made it count the query as a backend Failure. The
+// client context stays live for the whole request, as in the race the
+// bug needs.
+func Test499WrapsContextCanceled(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "context canceled while queued", statusClientClosedRequest)
+	})}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close() })
+
+	client, err := NewClient(ClientConfig{
+		Replicas: []string{"http://" + lis.Addr().String()},
+		Unit:     unit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Request(0)(context.Background(), 0)
+	if err == nil {
+		t.Fatal("499 response returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("499 surfaced as %v, want an error wrapping context.Canceled", err)
+	}
+
+	// Other error statuses must NOT read as cancellations.
+	srv500 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv500.Close)
+	c500, err := NewClient(ClientConfig{Replicas: []string{srv500.URL}, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c500.Request(0)(context.Background(), 0); err == nil || errors.Is(err, context.Canceled) {
+		t.Fatalf("500 surfaced as %v, want a non-cancellation error", err)
+	}
+}
+
+// TestFatalSurfacesServeError is the regression test for the
+// swallowed serve-loop error: a replica whose listener dies out from
+// under it must report the failure on Fatal() instead of silently
+// looking like an infinitely slow server, while an ordinary Close
+// closes the channel without an error.
+func TestFatalSurfacesServeError(t *testing.T) {
+	w := kvWorkload(t, 10)
+	back, err := backend.NewKV(w, backend.Config{Replicas: 1, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead, err := Serve(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.lis.Close() // the accept loop dies underneath the server
+	select {
+	case serveErr, ok := <-dead.Fatal():
+		if !ok || serveErr == nil {
+			t.Fatal("serve loop died without surfacing an error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fatal serve error never surfaced")
+	}
+	if _, ok := <-dead.Fatal(); ok {
+		t.Fatal("Fatal channel not closed after the error was delivered")
+	}
+	dead.Close()
+
+	healthy, err := Serve(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := healthy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case serveErr, ok := <-healthy.Fatal():
+		if ok {
+			t.Fatalf("ordinary Close surfaced %v on Fatal", serveErr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Fatal channel never closed after Close")
+	}
+}
