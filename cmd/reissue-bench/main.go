@@ -45,14 +45,18 @@ type benchResult struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
-// benchFile is the BENCH_sim.json schema. Config fields identify the
-// workload scale; comparisons across different scales are refused.
+// benchFile is the BENCH_sim.json schema (v2 adds the parallel-sweep
+// entries and SweepWorkers). Config fields identify the workload
+// scale; comparisons across different scales — including different
+// sweep worker-pool sizes — are refused.
 type benchFile struct {
 	Schema         int           `json:"schema"`
 	GoVersion      string        `json:"go_version"`
 	Short          bool          `json:"short"`
 	Queries        int           `json:"queries"`
 	AdaptiveTrials int           `json:"adaptive_trials"`
+	SweepWorkers   int           `json:"sweep_workers"`
+	SweepSpeedup   float64       `json:"sweep_speedup,omitempty"`
 	Notes          []string      `json:"notes,omitempty"`
 	Benchmarks     []benchResult `json:"benchmarks"`
 }
@@ -64,6 +68,7 @@ func main() {
 		maxRegress = flag.Float64("max-regress", 0.20, "fail when a gated metric regresses more than this fraction over baseline")
 		timeGate   = flag.Bool("time-gate", false, "also gate ns/op (only meaningful vs a baseline from the same machine)")
 		short      = flag.Bool("short", false, "reduced workload scale and a single timed iteration (the CI configuration)")
+		workers    = flag.Int("workers", 4, "worker-pool size for the parallel-sweep benchmark (fixed, not NumCPU, so baselines are comparable across machines)")
 		notes      = flag.String("notes", "", "free-form note recorded in the output")
 	)
 	flag.Parse()
@@ -76,17 +81,18 @@ func main() {
 	}
 
 	file := benchFile{
-		Schema:         1,
+		Schema:         2,
 		GoVersion:      runtime.Version(),
 		Short:          *short,
 		Queries:        sc.Queries,
 		AdaptiveTrials: sc.AdaptiveTrials,
+		SweepWorkers:   *workers,
 	}
 	if *notes != "" {
 		file.Notes = append(file.Notes, *notes)
 	}
 
-	for _, b := range benchmarks(sc) {
+	for _, b := range benchmarks(sc, *workers) {
 		res, err := measure(b.name, iters, b.fn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reissue-bench: %s: %v\n", b.name, err)
@@ -95,6 +101,26 @@ func main() {
 		fmt.Printf("%-32s %12.0f ns/op %10.0f allocs/op %12.0f B/op\n",
 			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 		file.Benchmarks = append(file.Benchmarks, res)
+	}
+
+	// The sweep harness guarantees byte-identical output at any
+	// worker count, so seq vs par differ only in wall clock: their
+	// ratio is the parallel-sweep speedup. On a single-core machine
+	// it hovers near 1.0; the recorded SweepWorkers keeps baselines
+	// from other machines out of the comparison.
+	var seqNs, parNs float64
+	for _, b := range file.Benchmarks {
+		switch b.Name {
+		case "Sweep/Figures/seq":
+			seqNs = b.NsPerOp
+		case "Sweep/Figures/par":
+			parNs = b.NsPerOp
+		}
+	}
+	if seqNs > 0 && parNs > 0 {
+		file.SweepSpeedup = seqNs / parNs
+		fmt.Printf("parallel sweep: %.2fx speedup at %d workers (%d CPUs)\n",
+			file.SweepSpeedup, *workers, runtime.NumCPU())
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")
@@ -139,7 +165,7 @@ type bench struct {
 // drowns the engine signal the trajectory is meant to track; the
 // engine features they exercise (TraceSource, RoundRobin,
 // interference) are covered by Figure 5c and the extensions.
-func benchmarks(sc experiments.Scale) []bench {
+func benchmarks(sc experiments.Scale, sweepWorkers int) []bench {
 	errOnly := func(f func() error) func() error { return f }
 	bs := []bench{
 		{"Figure2a", errOnly(func() error { _, err := experiments.Figure2a(sc); return err })},
@@ -160,8 +186,22 @@ func benchmarks(sc experiments.Scale) []bench {
 		{"DES/ScheduleFireFresh", desFresh},
 		{"DES/ScheduleFireReused", desReusedBench()},
 		{"Optimizer/ComputeOptimalSingleR", optimizerBench()},
+		{"Sweep/Figures/seq", sweepBench(sc, 1)},
+		{"Sweep/Figures/par", sweepBench(sc, sweepWorkers)},
 	}
 	return bs
+}
+
+// sweepBench runs the full deterministic figure grid (the golden
+// suite) through the sweep harness at the given worker-pool size —
+// the end-to-end wall clock the parallel harness exists to shrink.
+func sweepBench(sc experiments.Scale, workers int) func() error {
+	return func() error {
+		scW := sc
+		scW.Workers = workers
+		_, err := experiments.RunJobs(scW, experiments.SweepJobs(scW)...)
+		return err
+	}
 }
 
 // desFresh schedules and drains 10k randomly-timed events on a brand
@@ -273,11 +313,12 @@ func readBenchFile(path string) (benchFile, error) {
 func compare(base, current benchFile, maxRegress float64, timeGate bool) []string {
 	var failures []string
 	if base.Short != current.Short || base.Queries != current.Queries ||
-		base.AdaptiveTrials != current.AdaptiveTrials {
+		base.AdaptiveTrials != current.AdaptiveTrials ||
+		base.SweepWorkers != current.SweepWorkers {
 		return []string{fmt.Sprintf(
-			"workload mismatch: baseline (short=%v queries=%d trials=%d) vs current (short=%v queries=%d trials=%d); re-record the baseline",
-			base.Short, base.Queries, base.AdaptiveTrials,
-			current.Short, current.Queries, current.AdaptiveTrials)}
+			"workload mismatch: baseline (short=%v queries=%d trials=%d sweep-workers=%d) vs current (short=%v queries=%d trials=%d sweep-workers=%d); re-record the baseline",
+			base.Short, base.Queries, base.AdaptiveTrials, base.SweepWorkers,
+			current.Short, current.Queries, current.AdaptiveTrials, current.SweepWorkers)}
 	}
 	// Allocation counts shift across Go runtime releases, so a
 	// cross-version comparison would fire (or mask) the allocs gate

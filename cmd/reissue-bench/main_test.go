@@ -12,7 +12,7 @@ func TestBenchmarksRun(t *testing.T) {
 	// 800 queries is the smallest scale every harness accepts (the
 	// online-tracking extension needs a quantile window ≥ 100).
 	sc := experiments.Scale{Queries: 800, AdaptiveTrials: 2, Seed: 0x0511}
-	for _, b := range benchmarks(sc) {
+	for _, b := range benchmarks(sc, 2) {
 		b := b
 		t.Run(strings.ReplaceAll(b.name, "/", "_"), func(t *testing.T) {
 			if err := b.fn(); err != nil {
@@ -41,7 +41,7 @@ func TestMeasureReportsWork(t *testing.T) {
 }
 
 func benchFileWith(results ...benchResult) benchFile {
-	return benchFile{Schema: 1, Queries: 1000, AdaptiveTrials: 2, Short: true, Benchmarks: results}
+	return benchFile{Schema: 2, Queries: 1000, AdaptiveTrials: 2, Short: true, Benchmarks: results}
 }
 
 func TestCompareFlagsAllocRegression(t *testing.T) {
@@ -94,5 +94,10 @@ func TestCompareCoverageDropAndScaleMismatch(t *testing.T) {
 	other.Queries = 2000
 	if fails := compare(base, other, 0.20, false); len(fails) != 1 || !strings.Contains(fails[0], "mismatch") {
 		t.Fatalf("scale mismatch not flagged: %v", fails)
+	}
+	pool := cur
+	pool.SweepWorkers = 8
+	if fails := compare(base, pool, 0.20, false); len(fails) != 1 || !strings.Contains(fails[0], "mismatch") {
+		t.Fatalf("sweep-workers mismatch not flagged: %v", fails)
 	}
 }

@@ -2,11 +2,18 @@
 // the paper's evaluation (Figures 2-9). Each figure's data series is
 // printed as an aligned table (or CSV with -csv).
 //
+// The selected figures are decomposed into independent sweep points
+// and evaluated through one shared worker pool (internal/sweep), so
+// regeneration scales with cores; -workers sizes the pool and
+// -progress reports grid progress. Output is byte-identical at every
+// worker count.
+//
 // Examples:
 //
 //	reissue-figures -fig 3a            # one figure
 //	reissue-figures -fig all           # everything (takes minutes)
 //	reissue-figures -fig 7a -scale test  # reduced size for a quick look
+//	reissue-figures -fig all -workers 8 -progress
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -22,9 +30,11 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure id: 2a 2b 3a 3b 3c 4 5a 5b 5c 6 7a 7b 7c 8 9, extensions x1 x2 x3 x4, or all")
-		scale = flag.String("scale", "paper", "experiment scale: paper or test")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig      = flag.String("fig", "all", "figure id: 2a 2b 3a 3b 3c 4 5a 5b 5c 6 7a 7b 7c 8 9, extensions x1 x2 x3 x4, or all")
+		scale    = flag.String("scale", "paper", "experiment scale: paper or test")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers  = flag.Int("workers", runtime.NumCPU(), "sweep worker-pool size (results are identical at any value)")
+		progress = flag.Bool("progress", false, "report sweep progress/ETA on stderr")
 	)
 	flag.Parse()
 
@@ -37,6 +47,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "reissue-figures: unknown scale %q\n", *scale)
 		os.Exit(1)
+	}
+	sc.Workers = *workers
+	if *progress {
+		sc.Progress = os.Stderr
 	}
 
 	if err := run(os.Stdout, *fig, sc, *csv); err != nil {
@@ -65,94 +79,59 @@ func run(w io.Writer, fig string, sc experiments.Scale, csv bool) error {
 	}
 
 	want := func(id string) bool { return fig == "all" || strings.EqualFold(fig, id) }
-	matched := false
+
+	// Collect every selected figure as a sweep job, run all of their
+	// points through one shared pool, then render each job's tables
+	// in selection order. The filter picks which of a job's tables
+	// to print (figure 3's panel selection).
+	type selection struct {
+		job    *experiments.Job
+		filter func([]*experiments.Table) []*experiments.Table
+	}
+	var sels []selection
+	all := func(ts []*experiments.Table) []*experiments.Table { return ts }
+	add := func(j *experiments.Job, filter func([]*experiments.Table) []*experiments.Table) {
+		sels = append(sels, selection{j, filter})
+	}
 
 	if want("2a") {
-		matched = true
-		t, err := experiments.Figure2a(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure2aJob(sc), all)
 	}
 	if want("2b") {
-		matched = true
-		t, err := experiments.Figure2b(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure2bJob(sc), all)
 	}
 	if want("3a") || want("3b") || want("3c") || want("3") {
-		matched = true
 		for _, kind := range []experiments.WorkloadKind{
 			experiments.Independent, experiments.CorrelatedWL, experiments.Queueing,
 		} {
-			res, err := experiments.Figure3(kind, sc)
-			if err != nil {
-				return err
-			}
-			var tabs []*experiments.Table
-			if want("3a") || want("3") {
-				tabs = append(tabs, res.Reduction)
-			}
-			if want("3b") || want("3") {
-				tabs = append(tabs, res.Remediation)
-			}
-			if want("3c") || want("3") {
-				tabs = append(tabs, res.PolicyShape)
-			}
-			if err := emit(tabs...); err != nil {
-				return err
-			}
+			add(experiments.Figure3Job(kind, sc), func(ts []*experiments.Table) []*experiments.Table {
+				var tabs []*experiments.Table
+				if want("3a") || want("3") {
+					tabs = append(tabs, ts[0])
+				}
+				if want("3b") || want("3") {
+					tabs = append(tabs, ts[1])
+				}
+				if want("3c") || want("3") {
+					tabs = append(tabs, ts[2])
+				}
+				return tabs
+			})
 		}
 	}
 	if want("4") || want("4a") || want("4b") {
-		matched = true
-		a, b, err := experiments.Figure4(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(a, b); err != nil {
-			return err
-		}
+		add(experiments.Figure4Job(sc), all)
 	}
 	if want("5a") {
-		matched = true
-		t, err := experiments.Figure5a(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure5aJob(sc), all)
 	}
 	if want("5b") {
-		matched = true
-		t, err := experiments.Figure5b(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure5bJob(sc), all)
 	}
 	if want("5c") {
-		matched = true
-		t, err := experiments.Figure5c(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure5cJob(sc), all)
 	}
 	if want("6") {
-		matched = true
 		for _, c := range []struct {
 			dist  stats.Dist
 			label string
@@ -160,84 +139,61 @@ func run(w io.Writer, fig string, sc experiments.Scale, csv bool) error {
 			{stats.NewLogNormal(1, 1), "LogNormal(1,1)"},
 			{stats.NewExponential(0.1), "Exp(0.1)"},
 		} {
-			p95, p99, err := experiments.Figure6(c.dist, c.label, sc)
-			if err != nil {
-				return err
-			}
-			if err := emit(p95, p99); err != nil {
-				return err
-			}
+			add(experiments.Figure6Job(c.dist, c.label, sc), all)
 		}
 	}
 	for _, id := range []string{"7a", "7b", "7c"} {
 		if !want(id) {
 			continue
 		}
-		matched = true
 		for _, kind := range []experiments.SystemKind{experiments.Redis, experiments.Lucene} {
-			var t *experiments.Table
-			var err error
 			switch id {
 			case "7a":
-				t, err = experiments.Figure7a(kind, sc)
+				add(experiments.Figure7aJob(kind, sc), all)
 			case "7b":
-				t, err = experiments.Figure7b(kind, sc)
+				add(experiments.Figure7bJob(kind, sc), all)
 			case "7c":
-				t, err = experiments.Figure7c(kind, sc)
-			}
-			if err != nil {
-				return err
-			}
-			if err := emit(t); err != nil {
-				return err
+				add(experiments.Figure7cJob(kind, sc), all)
 			}
 		}
 	}
 	if want("8") {
-		matched = true
-		t, err := experiments.Figure8(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure8Job(sc), all)
 	}
 	if want("9") {
-		matched = true
-		t, err := experiments.Figure9()
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(experiments.Figure9Job(), all)
 	}
 	type extension struct {
 		id string
-		fn func(experiments.Scale) (*experiments.Table, error)
+		fn func(experiments.Scale) *experiments.Job
 	}
 	for _, ext := range []extension{
-		{"x1", experiments.ExtensionOnlineTracking},
-		{"x2", experiments.ExtensionCancellation},
-		{"x3", experiments.ExtensionBurstiness},
-		{"x4", experiments.ExtensionFanOut},
+		{"x1", experiments.ExtensionOnlineTrackingJob},
+		{"x2", experiments.ExtensionCancellationJob},
+		{"x3", experiments.ExtensionBurstinessJob},
+		{"x4", experiments.ExtensionFanOutJob},
 	} {
 		if !want(ext.id) {
 			continue
 		}
-		matched = true
-		t, err := ext.fn(sc)
-		if err != nil {
-			return err
-		}
-		if err := emit(t); err != nil {
-			return err
-		}
+		add(ext.fn(sc), all)
 	}
 
-	if !matched {
+	if len(sels) == 0 {
 		return fmt.Errorf("unknown figure %q", fig)
+	}
+	jobs := make([]*experiments.Job, len(sels))
+	for i, s := range sels {
+		jobs[i] = s.job
+	}
+	out, err := experiments.RunJobs(sc, jobs...)
+	if err != nil {
+		return err
+	}
+	for i, s := range sels {
+		if err := emit(s.filter(out[i])...); err != nil {
+			return err
+		}
 	}
 	return nil
 }

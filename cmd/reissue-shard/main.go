@@ -20,11 +20,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/searchengine"
+	"repro/internal/sweep"
 	"repro/reissue"
 	"repro/reissue/hedge/backend"
 	"repro/reissue/hedge/shard"
@@ -52,6 +55,8 @@ type options struct {
 	minMS    float64
 	seed     uint64
 	sim      bool
+	workers  int
+	progress bool
 }
 
 // rateTolerance is the fixed-policy reissue-rate agreement band —
@@ -88,6 +93,8 @@ func main() {
 	flag.Float64Var(&o.minMS, "min-service", 0, "clamp per-shard model service times to at least this (0 = auto)")
 	flag.Uint64Var(&o.seed, "seed", 7, "random seed")
 	flag.BoolVar(&o.sim, "sim", true, "cross-validate each sweep point against the sharded simulator")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "sweep worker-pool size (live wall-clock points contend for CPU; use 1 for the most faithful timings)")
+	flag.BoolVar(&o.progress, "progress", false, "report sweep progress/ETA on stderr")
 	flag.Parse()
 	if _, err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "reissue-shard:", err)
@@ -155,7 +162,7 @@ func run(o options, out io.Writer) ([]sweepPoint, error) {
 	if o.replicas <= 0 {
 		return nil, fmt.Errorf("replicas=%d must be positive", o.replicas)
 	}
-	sweep, err := parseShards(o.shards)
+	counts, err := parseShards(o.shards)
 	if err != nil {
 		return nil, err
 	}
@@ -177,13 +184,38 @@ func run(o options, out io.Writer) ([]sweepPoint, error) {
 	fmt.Fprintf(out, "per-shard budget %.3f at P%.0f, nominal utilization %.2f, %d queries + %d warmup\n\n",
 		o.budget, o.k*100, o.util, o.queries-o.warmup, o.warmup)
 
-	var points []sweepPoint
-	for _, S := range sweep {
-		pt, err := runPoint(o, out, S, unit, minMS, speeds)
-		if err != nil {
+	// Each shard count is an independent sweep point writing into its
+	// own buffer and result slot; after the pool drains, buffers are
+	// emitted in sweep order, so the report is byte-identical at any
+	// worker count. Points run live wall-clock backends, so parallel
+	// evaluation trades per-point timing fidelity for throughput.
+	points := make([]sweepPoint, len(counts))
+	bufs := make([]bytes.Buffer, len(counts))
+	pts := make([]sweep.Point, len(counts))
+	for i, S := range counts {
+		pts[i] = sweep.Point{
+			Label: fmt.Sprintf("shard/S=%d", S),
+			Run: func(*sweep.Env) error {
+				pt, err := runPoint(o, &bufs[i], S, unit, minMS, speeds)
+				if err != nil {
+					return err
+				}
+				points[i] = *pt
+				return nil
+			},
+		}
+	}
+	opt := sweep.Options{Workers: o.workers, Name: "shards"}
+	if o.progress {
+		opt.Progress = os.Stderr
+	}
+	if err := sweep.Run(pts, opt); err != nil {
+		return nil, err
+	}
+	for i := range bufs {
+		if _, err := bufs[i].WriteTo(out); err != nil {
 			return nil, err
 		}
-		points = append(points, *pt)
 	}
 
 	fmt.Fprintf(out, "\nsweep summary (end-to-end max-over-shards, model-ms):\n")

@@ -21,6 +21,9 @@ func fast() options {
 		unitMS:   0.2,
 		seed:     3,
 		sim:      true,
+		// Live wall-clock points are timing-sensitive; the smoke runs
+		// pin the pool to one worker for reproducible contention.
+		workers: 1,
 	}
 }
 

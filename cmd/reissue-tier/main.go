@@ -21,11 +21,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/reissue"
 	"repro/reissue/hedge/backend"
 	"repro/reissue/hedge/tier"
@@ -53,6 +56,8 @@ type options struct {
 	minMS    float64
 	seed     uint64
 	sim      bool
+	workers  int
+	progress bool
 }
 
 // rateTolerance is the fixed-policy agreement band — the same
@@ -93,6 +98,8 @@ func main() {
 	flag.Float64Var(&o.minMS, "min-service", 0, "clamp model service times to at least this (0 = auto)")
 	flag.Uint64Var(&o.seed, "seed", 7, "random seed")
 	flag.BoolVar(&o.sim, "sim", true, "cross-validate each point against the tiered simulator")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "sweep worker-pool size (live wall-clock points contend for CPU; use 1 for the most faithful timings)")
+	flag.BoolVar(&o.progress, "progress", false, "report sweep progress/ETA on stderr")
 	flag.Parse()
 	if _, err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "reissue-tier:", err)
@@ -180,14 +187,45 @@ func run(o options, out io.Writer) ([]sweepPoint, error) {
 	fmt.Fprintf(out, "store budget %.3f at P%.0f, nominal cache utilization %.2f, %d queries + %d warmup\n\n",
 		o.budget, o.k*100, o.util, o.queries-o.warmup, o.warmup)
 
-	var points []sweepPoint
+	// The (hit-rate × tier-delay) grid flattens to independent sweep
+	// points, each writing into its own buffer and result slot;
+	// buffers are emitted in grid order after the pool drains, so the
+	// report is byte-identical at any worker count. Points run live
+	// wall-clock backends, so parallel evaluation trades per-point
+	// timing fidelity for throughput.
+	type gridPoint struct{ h, d float64 }
+	var grid []gridPoint
 	for _, h := range hitRates {
 		for _, d := range delays {
-			pt, err := runPoint(o, out, w, h, d, unit, minMS)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, *pt)
+			grid = append(grid, gridPoint{h, d})
+		}
+	}
+	points := make([]sweepPoint, len(grid))
+	bufs := make([]bytes.Buffer, len(grid))
+	pts := make([]sweep.Point, len(grid))
+	for i, g := range grid {
+		pts[i] = sweep.Point{
+			Label: fmt.Sprintf("tier/hit=%.2f,delay=%s", g.h, fmtDelay(g.d)),
+			Run: func(*sweep.Env) error {
+				pt, err := runPoint(o, &bufs[i], w, g.h, g.d, unit, minMS)
+				if err != nil {
+					return err
+				}
+				points[i] = *pt
+				return nil
+			},
+		}
+	}
+	opt := sweep.Options{Workers: o.workers, Name: "tiers"}
+	if o.progress {
+		opt.Progress = os.Stderr
+	}
+	if err := sweep.Run(pts, opt); err != nil {
+		return nil, err
+	}
+	for i := range bufs {
+		if _, err := bufs[i].WriteTo(out); err != nil {
+			return nil, err
 		}
 	}
 

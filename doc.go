@@ -19,6 +19,12 @@
 // Lucene-like search engine, statistics and range-query structures)
 // live in the other internal packages.
 //
+// Figure regeneration and every parameter grid run through
+// internal/sweep, a dispatcher/worker pool over warm per-worker
+// simulation engines; all cmd/reissue-* tools take -workers (default
+// NumCPU) and -progress, and their output is byte-identical at any
+// worker count (see DESIGN.md's "Parallel sweeps").
+//
 // See DESIGN.md for the system inventory, the public-API layering,
 // and the simulator-for-testbed substitution argument; bench_test.go
 // and ablation_bench_test.go hold the per-figure benchmark harness.

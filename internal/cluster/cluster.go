@@ -302,6 +302,37 @@ func New(cfg Config) (*Cluster, error) {
 // Config returns the cluster's configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
+// AdoptState transfers prev's pooled simulation state — event slab,
+// request arena, query records, server pool — into c, so a fresh
+// Cluster starts allocation-warm instead of rebuilding its engine on
+// the first run. The sweep harness uses it to keep one warm engine
+// per worker while points construct their own Cluster values.
+//
+// Adoption moves the state: prev is left engine-less and lazily
+// rebuilds if run again. Results are unaffected either way — every
+// run re-derives its RNG streams from the Config seed and fully
+// resets the pooled state, so an adopted engine replays the exact
+// run a cold one would. Servers are rebuilt only when the adopting
+// configuration changes their shape (count or discipline); all other
+// pooled buffers carry over regardless of configuration.
+func (c *Cluster) AdoptState(prev *Cluster) {
+	if prev == nil || prev == c || prev.rs == nil || c.rs != nil {
+		return
+	}
+	rs := prev.rs
+	prev.rs = nil
+	rs.cfg = &c.cfg
+	n := c.cfg.Servers
+	if n != len(rs.servers) || (n > 0 && rs.servers[0].discipline != c.cfg.Discipline) {
+		rs.servers = make([]*server, n)
+		rs.lengths = make([]int, n)
+		for i := range rs.servers {
+			rs.servers[i] = newServer(i, c.cfg.Discipline, rs.sim, rs.onComplete)
+		}
+	}
+	c.rs = rs
+}
+
 // Run implements core.System.
 func (c *Cluster) Run(p core.Policy) core.RunResult {
 	res := c.RunDetailed(p)

@@ -12,11 +12,14 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/searchengine"
+	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // Scale controls experiment sizes.
@@ -27,6 +30,16 @@ type Scale struct {
 	AdaptiveTrials int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers sizes the sweep worker pool the figure harnesses run
+	// their points through (see internal/sweep). Zero keeps the
+	// historical sequential path — one warm engine, no goroutines —
+	// so the zero Scale behaves exactly as before the harness
+	// existed; negative selects runtime.NumCPU(). The cmd tools set
+	// it from their -workers flag. Results are identical at every
+	// worker count; only wall-clock changes.
+	Workers int
+	// Progress, when non-nil, receives sweep progress/ETA lines.
+	Progress io.Writer
 }
 
 // DefaultScale is the paper-comparable configuration. The seed is
@@ -156,21 +169,26 @@ func formatCell(v float64) string {
 
 // redisWorkload and luceneWorkload are generated once per process —
 // building the kvstore's million-element sets and the search index is
-// expensive and the workloads are immutable.
+// expensive and the workloads are immutable. The caches are
+// sync.Once-guarded because sweep points warm them from pool workers
+// concurrently.
 var (
-	redisWL  *kvstore.Workload
-	luceneWL *searchengine.Workload
+	redisOnce  sync.Once
+	redisWL    *kvstore.Workload
+	redisErr   error
+	luceneOnce sync.Once
+	luceneWL   *searchengine.Workload
+	luceneErr  error
 )
 
 // RedisServiceTimes returns (cached) service times of the synthetic
 // Redis set-intersection workload.
 func RedisServiceTimes() ([]float64, error) {
-	if redisWL == nil {
-		w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{})
-		if err != nil {
-			return nil, err
-		}
-		redisWL = w
+	redisOnce.Do(func() {
+		redisWL, redisErr = kvstore.GenerateWorkload(kvstore.WorkloadConfig{})
+	})
+	if redisErr != nil {
+		return nil, redisErr
 	}
 	return redisWL.Times, nil
 }
@@ -178,12 +196,11 @@ func RedisServiceTimes() ([]float64, error) {
 // LuceneServiceTimes returns (cached) service times of the synthetic
 // Lucene search workload.
 func LuceneServiceTimes() ([]float64, error) {
-	if luceneWL == nil {
-		w, err := searchengine.GenerateWorkload(searchengine.WorkloadConfig{})
-		if err != nil {
-			return nil, err
-		}
-		luceneWL = w
+	luceneOnce.Do(func() {
+		luceneWL, luceneErr = searchengine.GenerateWorkload(searchengine.WorkloadConfig{})
+	})
+	if luceneErr != nil {
+		return nil, luceneErr
 	}
 	return luceneWL.Times, nil
 }
@@ -267,5 +284,87 @@ func meanOf(xs []float64) float64 {
 func adaptiveCfg(k, b float64, sc Scale, correlated bool) core.AdaptiveConfig {
 	return core.AdaptiveConfig{
 		K: k, B: b, Lambda: 0.5, Trials: sc.AdaptiveTrials, Correlated: correlated,
+	}
+}
+
+// Job is one figure's sweep decomposition: a list of independent
+// points (each a pure function of its own configuration, writing its
+// results into storage no other point touches) plus an ordered merge
+// that assembles the figure's tables after every point has run.
+// Because points rebuild their workload from the Scale and every
+// cluster run re-derives its RNG streams from its Config seed, the
+// merged tables are byte-identical to the historical sequential
+// harnesses at any worker count.
+type Job struct {
+	// Name identifies the job, e.g. "figure3/Queueing".
+	Name string
+	// Points are the job's independent sweep points.
+	Points []sweep.Point
+	// Tables assembles the job's output from the point results.
+	// Call it only after every point in Points has run.
+	Tables func() ([]*Table, error)
+}
+
+// RunJobs evaluates the points of all jobs through one sweep pool —
+// flattened, so parallelism spans job boundaries — and returns each
+// job's tables in job order. sc.Workers sizes the pool (0 =
+// sequential, <0 = NumCPU); sc.Progress receives progress lines.
+func RunJobs(sc Scale, jobs ...*Job) ([][]*Table, error) {
+	var points []sweep.Point
+	for _, j := range jobs {
+		points = append(points, j.Points...)
+	}
+	workers := sc.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if err := sweep.Run(points, sweep.Options{
+		Workers: workers, Progress: sc.Progress, Name: "figures",
+	}); err != nil {
+		return nil, err
+	}
+	out := make([][]*Table, len(jobs))
+	for i, j := range jobs {
+		ts, err := j.Tables()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", j.Name, err)
+		}
+		out[i] = ts
+	}
+	return out, nil
+}
+
+// runJobTables runs a single job through the pool and returns its
+// tables — the shared body of the Figure* convenience wrappers.
+func runJobTables(sc Scale, j *Job) ([]*Table, error) {
+	out, err := RunJobs(sc, j)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// SweepJobs returns the full deterministic figure set as sweep jobs:
+// the aggregate grid behind TestFigureGoldens, the parallel-sweep
+// benchmark, and cmd/reissue-figures' default run. Figures 7 and 9
+// are excluded, as in the goldens — their cost is dominated by
+// workload generation (kvstore/searchengine), not simulation.
+func SweepJobs(sc Scale) []*Job {
+	return []*Job{
+		Figure2aJob(sc),
+		Figure2bJob(sc),
+		Figure3Job(Independent, sc),
+		Figure3Job(CorrelatedWL, sc),
+		Figure3Job(Queueing, sc),
+		Figure4Job(sc),
+		Figure5aJob(sc),
+		Figure5bJob(sc),
+		Figure5cJob(sc),
+		Figure6Job(stats.NewExponential(0.1), "Exp(0.1)", sc),
+		Figure8Job(sc),
+		ExtensionOnlineTrackingJob(sc),
+		ExtensionCancellationJob(sc),
+		ExtensionFanOutJob(sc),
+		ExtensionBurstinessJob(sc),
 	}
 }

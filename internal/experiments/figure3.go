@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -61,6 +62,100 @@ type Figure3Result struct {
 	PolicyShape *Table // Figure 3c
 }
 
+// Figure3Job decomposes Figure 3 for one workload model into one
+// baseline point plus one point per reissue budget. Every point
+// rebuilds the workload from the Scale, so each budget's policy
+// tuning and measurement runs reproduce the sequential harness
+// exactly; only the reduction ratio needs the baseline, and it is
+// computed at merge time.
+func Figure3Job(kind WorkloadKind, sc Scale) *Job {
+	sc = sc.withDefaults()
+	const k = 0.95
+	name := kind.String()
+
+	var baseP95 float64
+	type budgetOut struct {
+		rateR, p95R, remR   float64
+		rateD, p95D, remD   float64
+		outstanding, reissQ float64
+	}
+	outs := make([]budgetOut, len(Figure3Budgets))
+
+	j := &Job{Name: "figure3/" + name}
+	j.Points = []sweep.Point{{
+		Label: "3/" + name + "/base",
+		Run: func(env *sweep.Env) error {
+			wl, err := env.WarmCluster(buildWorkload(kind, sc))
+			if err != nil {
+				return err
+			}
+			base := wl.RunDetailed(core.None{})
+			baseP95 = metrics.TailLatency(base.Log.ResponseTimes(), 95)
+			return nil
+		},
+	}}
+	for bi, B := range Figure3Budgets {
+		bi, B := bi, B
+		j.Points = append(j.Points, sweep.Point{
+			Label: fmt.Sprintf("3/%s/B=%v", name, B),
+			Run: func(env *sweep.Env) error {
+				wl, err := env.WarmCluster(buildWorkload(kind, sc))
+				if err != nil {
+					return err
+				}
+				polR, polD, err := tunePolicies(wl, kind, k, B, sc)
+				if err != nil {
+					return fmt.Errorf("budget %v: %w", B, err)
+				}
+				runR := wl.RunDetailed(polR)
+				runD := wl.RunDetailed(polD)
+				o := &outs[bi]
+				o.p95R = metrics.TailLatency(runR.Log.ResponseTimes(), 95)
+				o.p95D = metrics.TailLatency(runD.Log.ResponseTimes(), 95)
+				o.rateR, o.rateD = runR.ReissueRate, runD.ReissueRate
+				o.remR = metrics.RemediationRate(runR.Outcomes, o.p95R)
+				o.remD = metrics.RemediationRate(runD.Outcomes, o.p95D)
+				// Fraction of requests still outstanding at the
+				// reissue time, evaluated against the policy run's
+				// primary distribution.
+				o.outstanding = 1 - fracLE(runR.Log.PrimaryTimes(), polR.D)
+				o.reissQ = polR.Q
+				return nil
+			},
+		})
+	}
+	j.Tables = func() ([]*Table, error) {
+		res := &Figure3Result{
+			Reduction: &Table{
+				ID:      "3a/" + name,
+				Title:   fmt.Sprintf("P95 reduction ratio vs reissue rate (%s workload)", name),
+				Columns: []string{"budget", "rate_singler", "ratio_singler", "rate_singled", "ratio_singled"},
+				Notes:   []string{fmt.Sprintf("baseline P95 = %.2f", baseP95)},
+			},
+			Remediation: &Table{
+				ID:      "3b/" + name,
+				Title:   fmt.Sprintf("Remediation rate vs reissue rate (%s workload)", name),
+				Columns: []string{"budget", "singler_remediation", "singled_remediation"},
+			},
+			PolicyShape: &Table{
+				ID:      "3c/" + name,
+				Title:   fmt.Sprintf("Optimal SingleR reissue time and probability (%s workload)", name),
+				Columns: []string{"budget", "outstanding_at_d", "reissue_prob"},
+			},
+		}
+		for bi, B := range Figure3Budgets {
+			o := &outs[bi]
+			res.Reduction.AddRow(B,
+				o.rateR, metrics.ReductionRatio(baseP95, o.p95R),
+				o.rateD, metrics.ReductionRatio(baseP95, o.p95D))
+			res.Remediation.AddRow(B, o.remR, o.remD)
+			res.PolicyShape.AddRow(B, o.outstanding, o.reissQ)
+		}
+		return []*Table{res.Reduction, res.Remediation, res.PolicyShape}, nil
+	}
+	return j
+}
+
 // Figure3 reproduces the paper's Figure 3 for one workload model:
 // for each reissue budget it tunes the optimal SingleR and SingleD
 // policies (adaptively on the Queueing workload, where reissue load
@@ -68,60 +163,11 @@ type Figure3Result struct {
 // remediation rate, and the SingleR policy's reissue time (as the
 // fraction of requests outstanding at d) and probability.
 func Figure3(kind WorkloadKind, sc Scale) (*Figure3Result, error) {
-	sc = sc.withDefaults()
-	const k = 0.95
-
-	wl, err := buildWorkload(kind, sc)
+	ts, err := runJobTables(sc, Figure3Job(kind, sc))
 	if err != nil {
 		return nil, err
 	}
-	base := wl.RunDetailed(core.None{})
-	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
-
-	name := kind.String()
-	res := &Figure3Result{
-		Reduction: &Table{
-			ID:      "3a/" + name,
-			Title:   fmt.Sprintf("P95 reduction ratio vs reissue rate (%s workload)", name),
-			Columns: []string{"budget", "rate_singler", "ratio_singler", "rate_singled", "ratio_singled"},
-			Notes:   []string{fmt.Sprintf("baseline P95 = %.2f", baseP95)},
-		},
-		Remediation: &Table{
-			ID:      "3b/" + name,
-			Title:   fmt.Sprintf("Remediation rate vs reissue rate (%s workload)", name),
-			Columns: []string{"budget", "singler_remediation", "singled_remediation"},
-		},
-		PolicyShape: &Table{
-			ID:      "3c/" + name,
-			Title:   fmt.Sprintf("Optimal SingleR reissue time and probability (%s workload)", name),
-			Columns: []string{"budget", "outstanding_at_d", "reissue_prob"},
-		},
-	}
-
-	for _, B := range Figure3Budgets {
-		polR, polD, err := tunePolicies(wl, kind, k, B, sc)
-		if err != nil {
-			return nil, fmt.Errorf("budget %v: %w", B, err)
-		}
-
-		runR := wl.RunDetailed(polR)
-		runD := wl.RunDetailed(polD)
-		p95R := metrics.TailLatency(runR.Log.ResponseTimes(), 95)
-		p95D := metrics.TailLatency(runD.Log.ResponseTimes(), 95)
-
-		res.Reduction.AddRow(B,
-			runR.ReissueRate, metrics.ReductionRatio(baseP95, p95R),
-			runD.ReissueRate, metrics.ReductionRatio(baseP95, p95D))
-		res.Remediation.AddRow(B,
-			metrics.RemediationRate(runR.Outcomes, p95R),
-			metrics.RemediationRate(runD.Outcomes, p95D))
-
-		// Fraction of requests still outstanding at the reissue time,
-		// evaluated against the policy run's primary distribution.
-		outstanding := 1 - fracLE(runR.Log.PrimaryTimes(), polR.D)
-		res.PolicyShape.AddRow(B, outstanding, polR.Q)
-	}
-	return res, nil
+	return &Figure3Result{Reduction: ts[0], Remediation: ts[1], PolicyShape: ts[2]}, nil
 }
 
 // tunePolicies finds the SingleR and SingleD policies for one budget.

@@ -6,8 +6,60 @@ import (
 	"repro/internal/core"
 	"repro/internal/rangequery"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// Figure4Job decomposes Figure 4 into its two independent panels:
+// the Correlated-workload scatter (4a) and the Queueing-workload
+// scatter (4b).
+func Figure4Job(sc Scale) *Job {
+	sc = sc.withDefaults()
+	const maxPoints = 2000
+
+	var a, b *Table
+	j := &Job{Name: "figure4"}
+	j.Points = []sweep.Point{
+		{
+			Label: "4a/correlated",
+			Run: func(env *sweep.Env) error {
+				corrWL, err := env.WarmCluster(workload.Correlated(workload.Options{
+					Queries: sc.Queries, Seed: sc.Seed,
+				}))
+				if err != nil {
+					return err
+				}
+				// Reissue everything at t=0: with infinite servers this
+				// samples the joint service-time distribution without
+				// perturbing it.
+				corrRun := corrWL.RunDetailed(core.SingleD{D: 0})
+				a = scatterTable("4a", "Correlated workload: primary vs reissue response times",
+					corrRun.Pairs, maxPoints)
+				return nil
+			},
+		},
+		{
+			Label: "4b/queueing",
+			Run: func(env *sweep.Env) error {
+				queueWL, err := env.WarmCluster(workload.Queueing(workload.Options{
+					Queries: sc.Queries, Seed: sc.Seed,
+				}))
+				if err != nil {
+					return err
+				}
+				// On the finite-server workload reissue only a fraction
+				// of queries, immediately, to sample pairs while
+				// bounding added load.
+				queueRun := queueWL.RunDetailed(core.SingleR{D: 0, Q: 0.3})
+				b = scatterTable("4b", "Queueing workload: primary vs reissue response times",
+					queueRun.Pairs, maxPoints)
+				return nil
+			},
+		},
+	}
+	j.Tables = func() ([]*Table, error) { return []*Table{a, b}, nil }
+	return j
+}
 
 // Figure4 reproduces the paper's Figure 4: the joint distribution of
 // primary and reissue response times on the Correlated workload (4a)
@@ -16,29 +68,11 @@ import (
 // of up to maxPoints (primary, reissue) pairs, with the measured
 // Pearson correlation in the notes.
 func Figure4(sc Scale) (a, b *Table, err error) {
-	sc = sc.withDefaults()
-	const maxPoints = 2000
-
-	corrWL, err := workload.Correlated(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
+	ts, err := runJobTables(sc, Figure4Job(sc))
 	if err != nil {
 		return nil, nil, err
 	}
-	// Reissue everything at t=0: with infinite servers this samples
-	// the joint service-time distribution without perturbing it.
-	corrRun := corrWL.RunDetailed(core.SingleD{D: 0})
-	a = scatterTable("4a", "Correlated workload: primary vs reissue response times",
-		corrRun.Pairs, maxPoints)
-
-	queueWL, err := workload.Queueing(workload.Options{Queries: sc.Queries, Seed: sc.Seed})
-	if err != nil {
-		return nil, nil, err
-	}
-	// On the finite-server workload reissue only a fraction of
-	// queries, immediately, to sample pairs while bounding added load.
-	queueRun := queueWL.RunDetailed(core.SingleR{D: 0, Q: 0.3})
-	b = scatterTable("4b", "Queueing workload: primary vs reissue response times",
-		queueRun.Pairs, maxPoints)
-	return a, b, nil
+	return ts[0], ts[1], nil
 }
 
 func scatterTable(id, title string, pairs []rangequery.Point, maxPoints int) *Table {

@@ -4,7 +4,52 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
+
+// Figure8Job decomposes Figure 8: the budget binary search is one
+// inherently sequential trajectory, so it is a single sweep point.
+func Figure8Job(sc Scale) *Job {
+	sc = sc.withDefaults()
+	const k, util = 0.99, 0.20
+
+	var bs core.BudgetSearchResult
+	j := &Job{Name: "figure8"}
+	j.Points = []sweep.Point{{
+		Label: "8/search",
+		Run: func(env *sweep.Env) error {
+			sys, err := env.WarmCluster(NewSystemCluster(Redis, util, sc))
+			if err != nil {
+				return err
+			}
+			bs, err = core.BudgetSearch(sys, core.BudgetSearchConfig{
+				K: k, Lambda: 0.5,
+				AdaptiveSteps: min(sc.AdaptiveTrials, 5),
+				Trials:        14, // the paper plots 14 trials
+				InitialDelta:  0.01,
+				MaxBudget:     0.5,
+				Correlated:    true,
+			})
+			return err
+		},
+	}}
+	j.Tables = func() ([]*Table, error) {
+		t := &Table{
+			ID:      "8",
+			Title:   "Budget binary search on Redis at 20% utilization (P99)",
+			Columns: []string{"trial", "trial_budget", "trial_p99", "best_budget", "best_p99"},
+			Notes: []string{
+				fmt.Sprintf("final best budget %.3f with P99 %.1f ms, policy %v",
+					bs.BestBudget, bs.BestLatency, bs.Policy),
+			},
+		}
+		for _, tr := range bs.Trials {
+			t.AddRow(float64(tr.Trial), tr.Budget, tr.Latency, tr.BestBudget, tr.BestLatency)
+		}
+		return []*Table{t}, nil
+	}
+	return j
+}
 
 // Figure8 reproduces the paper's Figure 8: the trace of the binary
 // search for the P99-optimal reissue budget on the Redis
@@ -12,36 +57,9 @@ import (
 // probed budget and its measured P99 alongside the best budget and
 // latency found so far.
 func Figure8(sc Scale) (*Table, error) {
-	sc = sc.withDefaults()
-	const k, util = 0.99, 0.20
-
-	sys, err := NewSystemCluster(Redis, util, sc)
+	ts, err := runJobTables(sc, Figure8Job(sc))
 	if err != nil {
 		return nil, err
 	}
-	bs, err := core.BudgetSearch(sys, core.BudgetSearchConfig{
-		K: k, Lambda: 0.5,
-		AdaptiveSteps: minInt(sc.AdaptiveTrials, 5),
-		Trials:        14, // the paper plots 14 trials
-		InitialDelta:  0.01,
-		MaxBudget:     0.5,
-		Correlated:    true,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	t := &Table{
-		ID:      "8",
-		Title:   "Budget binary search on Redis at 20% utilization (P99)",
-		Columns: []string{"trial", "trial_budget", "trial_p99", "best_budget", "best_p99"},
-		Notes: []string{
-			fmt.Sprintf("final best budget %.3f with P99 %.1f ms, policy %v",
-				bs.BestBudget, bs.BestLatency, bs.Policy),
-		},
-	}
-	for _, tr := range bs.Trials {
-		t.AddRow(float64(tr.Trial), tr.Budget, tr.Latency, tr.BestBudget, tr.BestLatency)
-	}
-	return t, nil
+	return ts[0], nil
 }

@@ -23,15 +23,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"testing"
-
-	"repro/internal/stats"
 )
 
 var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata/figure_goldens.txt from the current engine")
+
+// sweepWorkers, when positive, pins the golden regeneration to a
+// single pass at that worker-pool size (CI runs an extra job at
+// -sweep-workers 2). Zero — the default — runs the sequential pass
+// against the goldens and then a parallel pass that must reproduce
+// the sequential hashes bit for bit.
+var sweepWorkers = flag.Int("sweep-workers", 0, "worker-pool size for golden regeneration (0 = both sequential and parallel passes)")
 
 // goldenScale matches the benchmark scale so the goldens exercise the
 // same configurations the tracked benchmarks time.
@@ -57,49 +63,37 @@ func hashTable(t *Table) string {
 }
 
 // goldenTables regenerates every deterministic figure the goldens
-// cover. Figures 7 and 9 are excluded: their cost is dominated by
-// workload generation (kvstore/searchengine), and the engine features
-// they exercise (TraceSource, RoundRobin, interference) are covered by
-// 5c and the extensions.
-func goldenTables(t *testing.T) []*Table {
+// cover, through the sweep harness at the given worker count.
+// Figures 7 and 9 are excluded: their cost is dominated by workload
+// generation (kvstore/searchengine), and the engine features they
+// exercise (TraceSource, RoundRobin, interference) are covered by 5c
+// and the extensions.
+func goldenTables(t *testing.T, workers int) []*Table {
 	t.Helper()
 	sc := goldenScale()
+	sc.Workers = workers
+	out, err := RunJobs(sc, SweepJobs(sc)...)
+	if err != nil {
+		t.Fatalf("regenerating figures (workers=%d): %v", workers, err)
+	}
 	var tables []*Table
-	add := func(tb *Table, err error) {
-		if err != nil {
-			t.Fatalf("regenerating figure: %v", err)
-		}
-		tables = append(tables, tb)
+	for _, ts := range out {
+		tables = append(tables, ts...)
 	}
-
-	add(Figure2a(sc))
-	add(Figure2b(sc))
-	for _, kind := range []WorkloadKind{Independent, CorrelatedWL, Queueing} {
-		res, err := Figure3(kind, sc)
-		if err != nil {
-			t.Fatalf("figure 3 %v: %v", kind, err)
-		}
-		tables = append(tables, res.Reduction, res.Remediation, res.PolicyShape)
-	}
-	fa, fb, err := Figure4(sc)
-	if err != nil {
-		t.Fatalf("figure 4: %v", err)
-	}
-	tables = append(tables, fa, fb)
-	add(Figure5a(sc))
-	add(Figure5b(sc))
-	add(Figure5c(sc))
-	p95, p99, err := Figure6(stats.NewExponential(0.1), "Exp(0.1)", sc)
-	if err != nil {
-		t.Fatalf("figure 6: %v", err)
-	}
-	tables = append(tables, p95, p99)
-	add(Figure8(sc))
-	add(ExtensionOnlineTracking(sc))
-	add(ExtensionCancellation(sc))
-	add(ExtensionFanOut(sc))
-	add(ExtensionBurstiness(sc))
 	return tables
+}
+
+// hashTables digests each table, failing on duplicate IDs.
+func hashTables(t *testing.T, tables []*Table) map[string]string {
+	t.Helper()
+	got := make(map[string]string, len(tables))
+	for _, tb := range tables {
+		if _, dup := got[tb.ID]; dup {
+			t.Fatalf("duplicate table id %q", tb.ID)
+		}
+		got[tb.ID] = hashTable(tb)
+	}
+	return got
 }
 
 const goldenPath = "testdata/figure_goldens.txt"
@@ -108,14 +102,11 @@ func TestFigureGoldens(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden regeneration is slow; skipped with -short")
 	}
-	tables := goldenTables(t)
-	got := make(map[string]string, len(tables))
-	for _, tb := range tables {
-		if _, dup := got[tb.ID]; dup {
-			t.Fatalf("duplicate table id %q", tb.ID)
-		}
-		got[tb.ID] = hashTable(tb)
+	firstPass := *sweepWorkers
+	if firstPass <= 0 {
+		firstPass = 1
 	}
+	got := hashTables(t, goldenTables(t, firstPass))
 
 	if *updateGoldens {
 		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
@@ -172,6 +163,25 @@ func TestFigureGoldens(t *testing.T) {
 	for id := range got {
 		if _, ok := want[id]; !ok {
 			t.Errorf("table %s: generated but missing from goldens (regenerate with -update-goldens)", id)
+		}
+	}
+
+	if *sweepWorkers > 0 {
+		return
+	}
+	// Second pass through a genuinely concurrent pool: the merged
+	// tables must reproduce the first pass's hashes bit for bit
+	// regardless of worker count and scheduling (on a single-core
+	// runner NumCPU is 1, so force at least two workers to exercise
+	// the dispatcher).
+	parWorkers := max(2, runtime.NumCPU())
+	par := hashTables(t, goldenTables(t, parWorkers))
+	if len(par) != len(got) {
+		t.Fatalf("parallel pass produced %d tables, sequential %d", len(par), len(got))
+	}
+	for id, seqHash := range got {
+		if par[id] != seqHash {
+			t.Errorf("table %s: workers=%d output differs from sequential", id, parWorkers)
 		}
 	}
 }

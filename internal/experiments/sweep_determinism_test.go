@@ -1,0 +1,118 @@
+package experiments
+
+// Determinism regressions for the sweep decomposition of the figure
+// harnesses: the merged tables must be byte-identical whatever the
+// worker count and whatever order the pool happens to evaluate the
+// points in. These are the ISSUE 6 pins behind the golden dual-pass
+// — they exercise the properties directly, at test scale, including
+// an adversarial shuffle the golden test cannot produce.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// figure5aHashes regenerates Figure 5a through a job whose points
+// have been permuted and run at the given worker count, returning
+// the table hash. Shuffling the point slice changes only evaluation
+// order; each point still writes its own result slot, so the merge
+// must be unaffected.
+func figure5aHash(t *testing.T, workers int, shuffleSeed int64) string {
+	t.Helper()
+	j := Figure5aJob(TestScale())
+	if shuffleSeed != 0 {
+		rng := rand.New(rand.NewSource(shuffleSeed))
+		rng.Shuffle(len(j.Points), func(a, b int) {
+			j.Points[a], j.Points[b] = j.Points[b], j.Points[a]
+		})
+	}
+	if err := sweep.Run(j.Points, sweep.Options{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := j.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hashTable(ts[0])
+}
+
+func TestSweepShuffledPointsAndWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow; skipped with -short")
+	}
+	want := figure5aHash(t, 1, 0)
+	for _, tc := range []struct {
+		workers     int
+		shuffleSeed int64
+	}{
+		{1, 99},  // sequential, shuffled
+		{3, 0},   // parallel, in order
+		{3, 7},   // parallel, shuffled
+		{16, 42}, // more workers than points, shuffled
+	} {
+		got := figure5aHash(t, tc.workers, tc.shuffleSeed)
+		if got != want {
+			t.Errorf("workers=%d shuffle=%d: table diverged from sequential in-order run",
+				tc.workers, tc.shuffleSeed)
+		}
+	}
+}
+
+// TestRunJobsSpansJobBoundaries pins RunJobs' flattening: several
+// jobs run through one pool and still merge independently.
+func TestRunJobsSpansJobBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow; skipped with -short")
+	}
+	sc := TestScale()
+	seqA, err := Figure2b(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := ExtensionCancellation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := sc
+	par.Workers = 4
+	out, err := RunJobs(par, Figure2bJob(par), ExtensionCancellationJob(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashTable(out[0][0]) != hashTable(seqA) {
+		t.Error("figure 2b diverged when pooled with other jobs")
+	}
+	if hashTable(out[1][0]) != hashTable(seqB) {
+		t.Error("extension X2 diverged when pooled with other jobs")
+	}
+}
+
+// TestRunJobsPanicIdentifiesPoint pins the dispatcher-safety
+// contract at the experiments layer: a panicking figure point fails
+// RunJobs with the point's label in the error instead of
+// deadlocking.
+func TestRunJobsPanicIdentifiesPoint(t *testing.T) {
+	j := &Job{
+		Name: "panicky",
+		Points: []sweep.Point{
+			{Label: "ok", Run: func(*sweep.Env) error { return nil }},
+			{Label: "boom/B=0.2", Run: func(*sweep.Env) error { panic("kaput") }},
+		},
+		Tables: func() ([]*Table, error) { return nil, nil },
+	}
+	sc := TestScale()
+	sc.Workers = 2
+	_, err := RunJobs(sc, j)
+	if err == nil {
+		t.Fatal("panicking point did not fail the sweep")
+	}
+	for _, want := range []string{"boom/B=0.2", "panicked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
