@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run.
+func fast() options {
+	return options{
+		shape:    "tier-over-shards",
+		shards:   2,
+		cacheR:   2,
+		storeR:   2,
+		slow:     2.0,
+		hitRates: "0.6",
+		delays:   "inf,3",
+		queries:  260,
+		warmup:   40,
+		util:     0.20,
+		k:        0.95,
+		unitMS:   0.2,
+		seed:     3,
+		sim:      true,
+		// Live wall-clock points are timing-sensitive; the smoke runs
+		// pin the pool to one worker for reproducible contention.
+		workers: 1,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := run(fast(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"hit 0.60", "tier delay inf", "tier delay 3",
+		"sweep summary", "live: tier", "live: leaf", "sim:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(pts) != 2 || !math.IsInf(pts[0].tierDelay, 1) || pts[1].tierDelay != 3 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+	// With an infinite tier delay the tier rate is the measured miss
+	// rate, and the hit bits are shared with the simulator twin bit
+	// for bit — the demo's cross-validation must agree exactly.
+	if pts[0].tierDiff != 0 {
+		t.Errorf("shared hit stream diverged in the demo: max tier |live-sim| = %.6f", pts[0].tierDiff)
+	}
+}
+
+func TestRunShardedTiers(t *testing.T) {
+	o := fast()
+	o.shape = "sharded-tiers"
+	o.delays = "inf"
+	var buf bytes.Buffer
+	pts, err := run(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Per-shard caches: every shard has its own tier node and cache
+	// fleet, and the fall-through miss streams pin both worlds.
+	for _, want := range []string{`"shard0"`, `"shard1"`, `"shard0/cache"`, `"shard1/store"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if len(pts) != 1 || pts[0].tierDiff != 0 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+}
+
+func TestRunNoSim(t *testing.T) {
+	o := fast()
+	o.delays = "2"
+	o.sim = false
+	var buf bytes.Buffer
+	pts, err := run(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "sim:") {
+		t.Error("simulator pass printed with -sim=false")
+	}
+	if len(pts) != 1 || !math.IsNaN(pts[0].simBasePk) || !math.IsNaN(pts[0].tierDiff) {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*options){
+		"warmup >= queries": func(o *options) { o.warmup = o.queries },
+		"unknown topology":  func(o *options) { o.shape = "ring" },
+		"zero shards":       func(o *options) { o.shards = 0 },
+		"zero replicas":     func(o *options) { o.cacheR = 0 },
+		"bad hit rate":      func(o *options) { o.hitRates = "1.5" },
+		"malformed rates":   func(o *options) { o.hitRates = "0.5,x" },
+		"negative delay":    func(o *options) { o.delays = "-2" },
+		"inf hit rate":      func(o *options) { o.hitRates = "inf" },
+	} {
+		o := fast()
+		mutate(&o)
+		if _, err := run(o, &bytes.Buffer{}); err == nil {
+			t.Errorf("run accepted %s", name)
+		}
+	}
+}
+
+func TestSlotPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"":                "",
+		"cache":           "cache",
+		"store/shard0":    "store/shard",
+		"shard3/cache":    "shard/cache",
+		"store/shardful":  "store/shardful",
+		"store/shard0x":   "store/shard0x",
+		"shard1/shard12":  "shard/shard",
+		"shardless/cache": "shardless/cache",
+	} {
+		if got := slotPath(in); got != want {
+			t.Errorf("slotPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

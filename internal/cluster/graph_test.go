@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// graphTrace builds a deterministic heavy-tailed service trace.
+func graphTrace(n int, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	exp := stats.NewExponential(0.25)
+	times := make([]float64, n)
+	for i := range times {
+		times[i] = 1 + exp.Sample(rng)
+	}
+	return times
+}
+
+func graphBase(n, warmup int, times []float64) Config {
+	return Config{
+		Servers:     3,
+		ArrivalRate: 0.4,
+		Queries:     n + warmup,
+		Warmup:      0,
+		Source:      &TraceSource{Times: times},
+		LB:          HashedLB{},
+		Seed:        9,
+	}
+}
+
+func polConst(p core.Policy) func(string) core.Policy {
+	return func(string) core.Policy { return p }
+}
+
+// plainRun runs an uncomposed Cluster over the same trace, load, and
+// seeds, measuring the same post-warmup window, and returns the
+// per-query responses plus the reissue rate over measured queries.
+func plainRun(t *testing.T, cfg Config, warmup int, pol core.Policy) ([]float64, float64) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.RunDetailed(pol)
+	rts := res.Log.ResponseTimes()
+	copies := 0
+	for i := warmup; i < len(rts); i++ {
+		copies += res.Log.Records[i].Reissues
+	}
+	return rts[warmup:], float64(copies) / float64(len(rts)-warmup)
+}
+
+// TestGraphLeafIdentity: a single-leaf graph is the uncomposed
+// cluster, byte for byte — responses and reissue rate.
+func TestGraphLeafIdentity(t *testing.T) {
+	const n, warmup = 400, 50
+	times := graphTrace(n+warmup, 3)
+	pol := core.SingleR{D: 2, Q: 0.3}
+
+	leaf, err := NewGraphLeaf("root", graphBase(n, warmup, times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(leaf, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Run(polConst(pol))
+
+	want, wantRate := plainRun(t, graphBase(n, warmup, times), warmup, pol)
+	if len(got.Query) != len(want) {
+		t.Fatalf("graph measured %d queries, cluster %d", len(got.Query), len(want))
+	}
+	for i := range want {
+		if got.Query[i] != want[i] {
+			t.Fatalf("query %d: graph %v != cluster %v", i, got.Query[i], want[i])
+		}
+	}
+	if got.LeafRates["root"] != wantRate {
+		t.Errorf("leaf rate %v != cluster rate %v", got.LeafRates["root"], wantRate)
+	}
+}
+
+// TestGraphShardDegenerateIdentity: a 1-shard fan-out adds no salt
+// and no merge, so it is byte-identical to the uncomposed cluster.
+func TestGraphShardDegenerateIdentity(t *testing.T) {
+	const n, warmup = 400, 50
+	times := graphTrace(n+warmup, 4)
+	pol := core.SingleR{D: 2, Q: 0.3}
+
+	leaf, err := NewGraphLeaf("shard0", graphBase(n, warmup, times))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewGraphShard("", n+warmup, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(sh, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Run(polConst(pol))
+
+	want, wantRate := plainRun(t, graphBase(n, warmup, times), warmup, pol)
+	for i := range want {
+		if got.Query[i] != want[i] {
+			t.Fatalf("query %d: 1-shard graph %v != cluster %v", i, got.Query[i], want[i])
+		}
+	}
+	if got.LeafRates["shard0"] != wantRate {
+		t.Errorf("1-shard leaf rate %v != cluster rate %v", got.LeafRates["shard0"], wantRate)
+	}
+}
+
+// TestGraphTierDegenerateIdentity: an Inf-delay, hit-rate-1 tier
+// shields every query, so the composition is byte-identical to the
+// uncomposed cache cluster and the store sees zero dispatches.
+func TestGraphTierDegenerateIdentity(t *testing.T) {
+	const n, warmup = 400, 50
+	total := n + warmup
+	cacheTimes := graphTrace(total, 5)
+	storeTimes := graphTrace(total, 6)
+	pol := core.SingleR{D: 2, Q: 0.3}
+	hits := make([]bool, total)
+	for i := range hits {
+		hits[i] = true
+	}
+
+	cache, err := NewGraphLeaf("cache", graphBase(n, warmup, cacheTimes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeCfg := graphBase(n, warmup, storeTimes)
+	storeCfg.PolicySeed = tierSalt()
+	store, err := NewGraphLeaf("store", storeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := NewGraphTier("", cache, store, hits, math.Inf(1), total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(tier, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Run(polConst(pol))
+
+	want, wantRate := plainRun(t, graphBase(n, warmup, cacheTimes), warmup, pol)
+	for i := range want {
+		if got.Query[i] != want[i] {
+			t.Fatalf("query %d: degenerate tier %v != cache cluster %v", i, got.Query[i], want[i])
+		}
+	}
+	if got.LeafRates["cache"] != wantRate {
+		t.Errorf("cache leaf rate %v != cluster rate %v", got.LeafRates["cache"], wantRate)
+	}
+	if got.TierRates[""] != 0 {
+		t.Errorf("hit-rate-1/Inf-delay tier dispatched to the store: TierRate=%v", got.TierRates[""])
+	}
+	if got.LeafRates["store"] != 0 {
+		t.Errorf("fully shielded store leaf reports rate %v", got.LeafRates["store"])
+	}
+}
+
+// TestGraphMatchesSharded: a shard node over leaf fleets, salted the
+// way the builder salts them, replays NewSharded byte for byte — the
+// composed twin IS the existing pairing at depth 1.
+func TestGraphMatchesSharded(t *testing.T) {
+	const n, warmup, S = 400, 50, 3
+	total := n + warmup
+	pol := core.SingleR{D: 2, Q: 0.3}
+
+	children := make([]GraphNode, S)
+	traces := make([][]float64, S)
+	for s := 0; s < S; s++ {
+		traces[s] = graphTrace(total, uint64(10+s))
+		cfg := graphBase(n, warmup, traces[s])
+		if s > 0 {
+			cfg.PolicySeed = shardMix(s)
+			cfg.ServiceSeed = shardMix(s)
+		}
+		leaf, err := NewGraphLeaf("", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[s] = leaf
+	}
+	sh, err := NewGraphShard("", total, children...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(sh, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Run(polConst(pol))
+
+	sources := make([]ServiceSource, S)
+	for s := range traces {
+		sources[s] = &TraceSource{Times: traces[s]}
+	}
+	base := graphBase(n, warmup, nil)
+	base.Source = nil
+	base.Queries = n
+	base.Warmup = warmup
+	sharded, err := NewSharded(ShardedConfig{Base: base, Sources: sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sharded.Run(pol)
+	if len(got.Query) != len(want.Query) {
+		t.Fatalf("graph measured %d queries, sharded %d", len(got.Query), len(want.Query))
+	}
+	for i := range want.Query {
+		if got.Query[i] != want.Query[i] {
+			t.Fatalf("query %d: graph %v != sharded %v", i, got.Query[i], want.Query[i])
+		}
+	}
+}
+
+// TestGraphMatchesTiered: a tier node over leaf fleets replays
+// NewTiered byte for byte, rates included.
+func TestGraphMatchesTiered(t *testing.T) {
+	const n, warmup = 400, 50
+	const delay = 3.0
+	total := n + warmup
+	cacheTimes := graphTrace(total, 20)
+	storeTimes := graphTrace(total, 21)
+	hits := make([]bool, total)
+	hrng := stats.NewRNG(33)
+	for i := range hits {
+		hits[i] = hrng.Float64() < 0.7
+	}
+	cachePol := core.SingleR{D: 2, Q: 0.3}
+	storePol := core.SingleR{D: 4, Q: 0.2}
+
+	cache, err := NewGraphLeaf("cache", graphBase(n, warmup, cacheTimes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeCfg := graphBase(n, warmup, storeTimes)
+	storeCfg.PolicySeed = tierSalt()
+	store, err := NewGraphLeaf("store", storeCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := NewGraphTier("", cache, store, hits, delay, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(tier, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Run(func(path string) core.Policy {
+		if path == "store" {
+			return storePol
+		}
+		return cachePol
+	})
+
+	base := graphBase(n, warmup, nil)
+	base.Source = nil
+	base.Queries = n
+	base.Warmup = warmup
+	tiered, err := NewTiered(TieredConfig{
+		Base:      base,
+		Cache:     TierConfig{Servers: 3, Source: &TraceSource{Times: cacheTimes}},
+		Store:     TierConfig{Servers: 3, Source: &TraceSource{Times: storeTimes}},
+		Hits:      hits,
+		TierDelay: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tiered.Run(cachePol, storePol)
+	for i := range want.Query {
+		if got.Query[i] != want.Query[i] {
+			t.Fatalf("query %d: graph %v != tiered %v", i, got.Query[i], want.Query[i])
+		}
+	}
+	if got.TierRates[""] != want.TierRate {
+		t.Errorf("tier rate %v != tiered %v", got.TierRates[""], want.TierRate)
+	}
+	if got.LeafRates["cache"] != want.CacheRate {
+		t.Errorf("cache rate %v != tiered %v", got.LeafRates["cache"], want.CacheRate)
+	}
+	if got.LeafRates["store"] != want.StoreRate {
+		t.Errorf("store rate %v != tiered %v", got.LeafRates["store"], want.StoreRate)
+	}
+}
+
+// TestGraphDepth2Composes: a cache tier over a sharded store — the
+// depth-2 graph the live combinators wire — runs, masks consistently,
+// and reports every edge's statistics.
+func TestGraphDepth2Composes(t *testing.T) {
+	const n, warmup, S = 300, 40, 2
+	const delay = 3.0
+	total := n + warmup
+	hits := make([]bool, total)
+	hrng := stats.NewRNG(44)
+	for i := range hits {
+		hits[i] = hrng.Float64() < 0.6
+	}
+
+	cache, err := NewGraphLeaf("cache", graphBase(n, warmup, graphTrace(total, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := make([]GraphNode, S)
+	for s := 0; s < S; s++ {
+		cfg := graphBase(n, warmup, graphTrace(total, uint64(40+s)))
+		cfg.PolicySeed = tierSalt()
+		cfg.ServiceSeed = 0
+		if s > 0 {
+			cfg.PolicySeed ^= shardMix(s)
+			cfg.ServiceSeed = shardMix(s)
+		}
+		leaf, err := NewGraphLeaf("store/shard"+string(rune('0'+s)), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[s] = leaf
+	}
+	storeNode, err := NewGraphShard("store", total, children...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := NewGraphTier("", cache, storeNode, hits, delay, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGraph(tier, n, warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run(polConst(core.SingleR{D: 2, Q: 0.25}))
+
+	if len(res.Query) != n {
+		t.Fatalf("measured %d queries, want %d", len(res.Query), n)
+	}
+	for i, rt := range res.Query {
+		if rt <= 0 || math.IsNaN(rt) {
+			t.Fatalf("query %d response %v", i, rt)
+		}
+	}
+	tr := res.TierRates[""]
+	if tr <= 0 || tr >= 1 {
+		t.Errorf("depth-2 tier rate %v outside (0,1)", tr)
+	}
+	for _, path := range []string{"cache", "store/shard0", "store/shard1"} {
+		if _, ok := res.LeafRates[path]; !ok {
+			t.Errorf("missing leaf rate for %q", path)
+		}
+	}
+	// The store shards serve only dispatched (non-shielded) queries;
+	// their rates must still be well-formed.
+	for path, rate := range res.LeafRates {
+		if rate < 0 || math.IsNaN(rate) {
+			t.Errorf("leaf %q rate %v", path, rate)
+		}
+	}
+}

@@ -144,6 +144,7 @@ func Run(points []Point, opt Options) error {
 		for i := range points {
 			env.Point = i
 			if err := runPoint(&points[i], i, env); err != nil {
+				prog.fail(i, label(&points[i], i))
 				return err
 			}
 			prog.done()
@@ -187,8 +188,9 @@ func Run(points []Point, opt Options) error {
 	}
 	wg.Wait()
 
-	for _, err := range errs {
+	for i, err := range errs {
 		if err != nil {
+			prog.fail(i, label(&points[i], i))
 			return err
 		}
 	}
@@ -256,6 +258,12 @@ type progress struct {
 	start     time.Time
 	stop      chan struct{}
 	stopped   sync.WaitGroup
+	// failure, when non-empty, identifies the failing point
+	// ("point 3 (label)"); the final summary then reports the
+	// failure instead of the success shape. Written by Run before
+	// close, read by the final report — never concurrently with the
+	// ticker goroutine, which only renders non-final lines.
+	failure string
 }
 
 func newProgress(opt Options, total int) *progress {
@@ -293,17 +301,35 @@ func (p *progress) done() {
 	p.completed.Add(1)
 }
 
+// fail records the failing point for the final summary.
+func (p *progress) fail(i int, label string) {
+	p.failure = fmt.Sprintf("point %d (%s)", i, label)
+}
+
 func (p *progress) report(final bool) {
 	n := int(p.completed.Load())
 	elapsed := time.Since(p.start)
-	rate := float64(n) / elapsed.Seconds()
+	// A first tick on a coarse clock, or a clock step, can make
+	// elapsed zero or negative; a rate computed from it would be
+	// NaN/Inf/negative and the ETA nonsense.
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(n) / elapsed.Seconds()
+	} else {
+		elapsed = 0
+	}
 	if final {
+		if p.failure != "" {
+			fmt.Fprintf(p.w, "%s: FAILED at %s after %d/%d points, %s elapsed\n",
+				p.name, p.failure, n, p.total, elapsed.Round(time.Millisecond))
+			return
+		}
 		fmt.Fprintf(p.w, "%s: %d/%d points in %s (%.1f pts/s)\n",
 			p.name, n, p.total, elapsed.Round(time.Millisecond), rate)
 		return
 	}
 	eta := "?"
-	if n > 0 {
+	if n > 0 && rate > 0 {
 		rem := time.Duration(float64(p.total-n) / rate * float64(time.Second))
 		eta = rem.Round(time.Second).String()
 	}

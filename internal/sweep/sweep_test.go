@@ -170,6 +170,64 @@ func TestWarmEnginesReplayIdentical(t *testing.T) {
 	}
 }
 
+// TestFailedSweepSummaryNamesFailure: a failed sweep's final
+// progress line must say which point failed, not render the
+// success-shaped "n/N points in ..." summary as if the grid had
+// merely been short.
+func TestFailedSweepSummaryNamesFailure(t *testing.T) {
+	boom := errors.New("bad point")
+	for _, workers := range []int{1, 3} {
+		var buf bytes.Buffer
+		points := make([]Point, 8)
+		for i := range points {
+			i := i
+			points[i] = Point{
+				Label: fmt.Sprintf("grid/p%d", i),
+				Run: func(*Env) error {
+					if i == 5 {
+						return boom
+					}
+					return nil
+				},
+			}
+		}
+		err := Run(points, Options{Workers: workers, Progress: &buf, Name: "demo"})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := buf.String()
+		for _, want := range []string{"FAILED", "point 5 (grid/p5)"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("workers=%d: failed-sweep summary missing %q:\n%s", workers, want, out)
+			}
+		}
+		if strings.Contains(out, "points in ") {
+			t.Errorf("workers=%d: failed sweep printed the success-shaped summary:\n%s", workers, out)
+		}
+	}
+}
+
+// TestProgressReportGuardsDegenerateElapsed: a report rendered with
+// no measurable elapsed time (first tick on a coarse clock, or a
+// clock step) must not print a negative/Inf/NaN rate or a negative
+// ETA.
+func TestProgressReportGuardsDegenerateElapsed(t *testing.T) {
+	var buf bytes.Buffer
+	p := &progress{w: &buf, name: "demo", total: 10, start: time.Now().Add(time.Minute)}
+	p.done()
+	p.report(false)
+	p.report(true)
+	out := buf.String()
+	for _, bad := range []string{"(-", "ETA -", "NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("degenerate-elapsed report contains %q:\n%s", bad, out)
+		}
+	}
+	if !strings.Contains(out, "ETA ?") {
+		t.Errorf("unmeasurable rate should leave the ETA unknown:\n%s", out)
+	}
+}
+
 func TestProgressReporting(t *testing.T) {
 	var buf bytes.Buffer
 	items := make([]int, 30)

@@ -19,6 +19,11 @@
 // sliding-window quantile tracker and the reissue.OnlineAdapter,
 // which re-solves the paper's offline optimizer each epoch so the
 // reissue delay follows drifting load, exactly as in Section 4.4.
+//
+// Anything that exposes Request(i) Fn composes: the tier and shard
+// subpackages wrap their clients back into backend.Source, and
+// reissue/hedge/topo assembles those combinators into arbitrary
+// service graphs built simultaneously with their simulator twins.
 package hedge
 
 import (
@@ -563,6 +568,12 @@ func (c *Client) record(o outcome, primaryErr *error) {
 		*primaryErr = o.err
 	}
 }
+
+// Unit returns the wall-clock duration of one policy time unit —
+// the configured Unit, or the 1ms default when none was given. With
+// Request-side sources this makes the client itself Source-shaped
+// enough for unit-consistency checks at composition seams.
+func (c *Client) Unit() time.Duration { return c.unit }
 
 // Wait blocks until every in-flight copy and drain goroutine has
 // finished — losing copies included. Call it before shutdown, or in

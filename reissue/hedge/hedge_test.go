@@ -53,6 +53,17 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{Policy: reissue.None{}, Unit: -time.Second}); err == nil {
 		t.Error("New accepted a negative Unit")
 	}
+	// The constructed client's unit is always positive: a zero Unit
+	// takes the documented 1ms default, never zero — upstream
+	// constructors (tier.New, shard.New) rely on rejecting zero units
+	// themselves precisely because this seam substitutes a default.
+	c, err := New(Config{Policy: reissue.None{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Unit() != time.Millisecond {
+		t.Errorf("zero Unit defaulted to %v, want 1ms", c.Unit())
+	}
 	if _, err := New(Config{Online: &reissue.OnlineConfig{K: 2, B: 0.02, Lambda: 0.5, Window: 200}}); err == nil {
 		t.Error("New accepted an invalid OnlineConfig")
 	}

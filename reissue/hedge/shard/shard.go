@@ -29,6 +29,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -103,6 +104,13 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("shard: shard %d Unit %v differs from %v — one wall-clock scale per fleet", s, su, unit)
 		}
 	}
+	// Zero slips past the mismatch check above (every source agrees on
+	// 0) and the per-shard hedge clients would then silently fall back
+	// to hedge's 1ms default — a wall-clock scale unrelated to the
+	// sources'. Units must be positive at this seam.
+	if unit <= 0 {
+		return nil, fmt.Errorf("shard: fleet Unit %v must be positive", unit)
+	}
 	r := &Router{
 		shards:  cfg.Shards,
 		clients: make([]*hedge.Client, len(cfg.Shards)),
@@ -153,10 +161,24 @@ func (r *Router) Unit() time.Duration { return r.unit }
 // loaded box the inline path measurably tightens dispatch.
 //
 // If any shard fails, the query fails with the first error in shard
-// order after every shard has settled; a cancelled or expired parent
-// context reports ctx.Err() and counts as Cancelled, not a Failure.
+// order after every shard has settled. Cancellations are not
+// Failures: a cancelled or expired parent context reports ctx.Err()
+// (a context already done on entry short-circuits before any fan-out
+// reaches the shard clients), and a sub-query error wrapping
+// context.Canceled or DeadlineExceeded — the transport's 499, a
+// composed sub-graph's own loser cancellation — counts as Cancelled
+// too, matching hedge.Do and tier.Do.
 func (r *Router) Do(ctx context.Context, i int) ([]any, error) {
 	r.issued.Add(1)
+	if err := ctx.Err(); err != nil {
+		// The caller walked away before anything was fanned out: the
+		// router counts one cancelled query and the per-shard clients
+		// never see it — the same entry short-circuit tier.Do applies
+		// to its sub-clients.
+		r.completed.Add(1)
+		r.cancelled.Add(1)
+		return nil, err
+	}
 	start := time.Now()
 	n := len(r.clients)
 	vals := make([]any, n)
@@ -184,6 +206,14 @@ func (r *Router) Do(ctx context.Context, i int) ([]any, error) {
 			r.cancelled.Add(1)
 			return vals, ctx.Err()
 		}
+		// A sub-query error that wraps a cancellation — the
+		// transport's 499, or a composed sub-graph cancelling its own
+		// losers — is a cancellation even with the parent context
+		// live: the same taxonomy hedge.Do and tier.Do apply.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			r.cancelled.Add(1)
+			return vals, err
+		}
 		r.failures.Add(1)
 		return vals, fmt.Errorf("shard: %w", err)
 	}
@@ -193,6 +223,35 @@ func (r *Router) Do(ctx context.Context, i int) ([]any, error) {
 	r.mu.Unlock()
 	return vals, nil
 }
+
+// Request adapts the router to the backend.Source seam, so a
+// partitioned fleet can sit anywhere a single fleet goes — as a
+// tier's store (one cache over a sharded store), behind an outer
+// hedging client, or under a deeper composition. The returned Fn
+// executes fan-out query i via Do — the caller's context cancels
+// every shard's in-flight copies exactly as a direct Do call would,
+// and the query index propagates unchanged so warmup exclusion by
+// index composes at every level. The value is the []any of per-shard
+// responses in shard order.
+//
+// The attempt argument is ignored: replica diversity lives inside
+// each shard's own hedge client, so an outer reissue would re-execute
+// the whole fan-out — outer clients over composite sources should run
+// reissue.None (the topo builder enforces this; the simulator has no
+// twin for reissue-the-whole-subgraph).
+func (r *Router) Request(i int) hedge.Fn {
+	return func(ctx context.Context, _ int) (any, error) {
+		vals, err := r.Do(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		return vals, nil
+	}
+}
+
+// The router is itself a backend.Source, closing the composition
+// algebra.
+var _ backend.Source = (*Router)(nil)
 
 // Wait blocks until every in-flight copy on every shard has finished.
 // Call it before shutdown or before asserting on final counters; new

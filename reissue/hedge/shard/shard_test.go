@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -62,6 +63,137 @@ func TestNewValidation(t *testing.T) {
 		Hedge:  hedge.Config{Policy: reissue.None{}},
 	}); err == nil {
 		t.Error("New accepted shards with mismatched units")
+	}
+	// All-zero units pass the mismatch check, and the per-shard hedge
+	// clients then silently fall back to hedge's 1ms default — a
+	// wall-clock scale unrelated to what the sources report.
+	zero := sourceFunc{unit: 0, fn: func(context.Context, int) (any, error) { return "v", nil }}
+	if _, err := New(Config{
+		Shards: []backend.Source{zero, zero},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	}); err == nil {
+		t.Error("New accepted shards whose sources all report a zero Unit")
+	}
+}
+
+// TestDoSourceCancellationCountsCancelled pins the Cancelled-vs-
+// Failure taxonomy at the fan-out level: an error that wraps
+// context.Canceled (the transport's 499, or a composed sub-graph
+// cancelling its own losers) is a cancellation even when the parent
+// context is still live — the same classification hedge.Do and
+// tier.Do already apply.
+func TestDoSourceCancellationCountsCancelled(t *testing.T) {
+	wrapped := fmt.Errorf("rpc aborted: %w", context.Canceled)
+	src := sourceFunc{unit: unit, fn: func(context.Context, int) (any, error) { return nil, wrapped }}
+	r, err := New(Config{
+		Shards: []backend.Source{src, src},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, doErr := r.Do(context.Background(), 0)
+	r.Wait()
+	if !errors.Is(doErr, context.Canceled) {
+		t.Fatalf("Do = %v, want an error wrapping context.Canceled", doErr)
+	}
+	snap := r.Snapshot()
+	if snap.Cancelled != 1 || snap.Failures != 0 {
+		t.Errorf("cancellation-shaped sub-query error misclassified: Cancelled=%d Failures=%d, want 1/0",
+			snap.Cancelled, snap.Failures)
+	}
+}
+
+// TestDoDeadContextShortCircuits: a caller whose context is already
+// done must not fan anything out — the router counts one Cancelled
+// query and the per-shard clients never see it, exactly as tier.Do
+// treats its sub-clients.
+func TestDoDeadContextShortCircuits(t *testing.T) {
+	src := sourceFunc{unit: unit, fn: func(context.Context, int) (any, error) { return "v", nil }}
+	r, err := New(Config{
+		Shards: []backend.Source{src, src},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, doErr := r.Do(ctx, 0)
+	r.Wait()
+	if !errors.Is(doErr, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", doErr)
+	}
+	snap := r.Snapshot()
+	if snap.Issued != 1 || snap.Completed != 1 || snap.Cancelled != 1 {
+		t.Errorf("router counters = issued %d / completed %d / cancelled %d, want 1/1/1",
+			snap.Issued, snap.Completed, snap.Cancelled)
+	}
+	for s, cs := range snap.Shards {
+		if cs.Issued != 0 {
+			t.Errorf("shard %d client saw %d queries from a dead-context fan-out, want 0", s, cs.Issued)
+		}
+	}
+}
+
+// TestRouterAsSource pins the Source adapter: a router behind an
+// outer hedging client answers with the per-shard []any in shard
+// order, the query index reaches every shard unchanged, and
+// cancelling the outer context cancels the whole fan-out.
+func TestRouterAsSource(t *testing.T) {
+	mk := func(name string) sourceFunc {
+		return sourceFunc{unit: unit, fn: func(ctx context.Context, _ int) (any, error) {
+			if err := sleepFor(ctx, 1); err != nil {
+				return nil, err
+			}
+			return name, nil
+		}}
+	}
+	r, err := New(Config{
+		Shards: []backend.Source{mk("a"), mk("b")},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := hedge.New(hedge.Config{Policy: reissue.None{}, Unit: r.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := outer.Do(context.Background(), r.Request(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := v.([]any)
+	if !ok || len(vals) != 2 || vals[0] != "a" || vals[1] != "b" {
+		t.Fatalf("composed fan-out = %#v, want [a b]", v)
+	}
+
+	slow := sourceFunc{unit: unit, fn: func(ctx context.Context, _ int) (any, error) {
+		if err := sleepFor(ctx, 500); err != nil {
+			return nil, err
+		}
+		return "slow", nil
+	}}
+	r2, err := New(Config{
+		Shards: []backend.Source{slow, slow},
+		Hedge:  hedge.Config{Policy: reissue.None{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(20 * float64(unit)))
+		cancel()
+	}()
+	if _, err := outer.Do(ctx, r2.Request(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled composed fan-out returned %v, want context.Canceled", err)
+	}
+	outer.Wait()
+	r2.Wait()
+	if s := r2.Snapshot(); s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("router misclassified the outer cancellation: Cancelled=%d Failures=%d", s.Cancelled, s.Failures)
 	}
 }
 

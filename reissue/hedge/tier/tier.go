@@ -127,6 +127,12 @@ func New(cfg Config) (*Client, error) {
 	if su := cfg.Store.Unit(); su != unit {
 		return nil, fmt.Errorf("tier: store Unit %v differs from cache Unit %v — one wall-clock scale per deployment", su, unit)
 	}
+	// A zero unit would pass the equality check and then collapse any
+	// finite TierDelay to 0 below (immediate full fan-out), so units
+	// must be positive at this seam.
+	if unit <= 0 {
+		return nil, fmt.Errorf("tier: source Unit %v must be positive", unit)
+	}
 	if math.IsNaN(cfg.TierDelay) || cfg.TierDelay < 0 {
 		return nil, fmt.Errorf("tier: TierDelay=%v must be non-negative (math.Inf(1) disables the proactive hedge)", cfg.TierDelay)
 	}
@@ -371,6 +377,31 @@ func (c *Client) Do(ctx context.Context, i int) (any, error) {
 	}
 	return nil, fmt.Errorf("%w: %w", ErrExhausted, why)
 }
+
+// Request adapts the tier client to the backend.Source seam, so a
+// composed graph can put a cache→store tier anywhere a replicated
+// fleet goes: behind an outer hedging client, as one shard of a
+// shard.Router (per-shard caches), or under another tier. The
+// returned Fn executes query i through the whole tier graph via Do —
+// the caller's context cancels both tiers' in-flight copies exactly
+// as a direct Do call would, and the query index propagates
+// unchanged so warmup exclusion by index composes at every level.
+//
+// The attempt argument is ignored: replica diversity lives inside
+// the sub-graph (each tier's own hedge client routes its copies), so
+// an outer reissue would re-execute the composed query end to end —
+// outer clients over composite sources should run reissue.None (the
+// topo builder enforces this; the simulator has no twin for
+// reissue-the-whole-subgraph).
+func (c *Client) Request(i int) hedge.Fn {
+	return func(ctx context.Context, _ int) (any, error) {
+		return c.Do(ctx, i)
+	}
+}
+
+// The tier client is itself a backend.Source, closing the
+// composition algebra.
+var _ backend.Source = (*Client)(nil)
 
 // Wait blocks until every in-flight sub-query and copy on both tiers
 // has finished — losing tiers and within-tier losers included. Call

@@ -3,6 +3,7 @@ package tier
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -86,6 +87,14 @@ func TestNewValidation(t *testing.T) {
 		"nan delay":        func(c *Config) { c.TierDelay = math.NaN() },
 		"bad cache policy": func(c *Config) { c.CacheHedge = hedge.Config{} },
 		"bad store policy": func(c *Config) { c.StoreHedge = hedge.Config{} },
+		// Zero-unit sources pass the equality check, and then
+		// time.Duration(TierDelay * 0) silently collapses any finite
+		// tier delay to 0 — immediate full fan-out to the store.
+		"zero units": func(c *Config) {
+			c.Cache = &fakeSource{unitD: 0, hold: cache.hold, value: cache.value}
+			c.Store = &fakeSource{unitD: 0, hold: store.hold, value: store.value}
+			c.TierDelay = 4
+		},
 	} {
 		cfg := valid
 		mutate(&cfg)
@@ -276,6 +285,54 @@ func TestMidFlightCancellation(t *testing.T) {
 	s := c.Snapshot()
 	if s.Cancelled != 1 || s.Failures != 0 {
 		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestClientAsSource pins the Source adapter: a tier client behind
+// an outer hedging client answers with the tier's value, the query
+// index reaches the inner sources unchanged (warmup-by-index
+// composes), and cancelling the outer context cancels the composed
+// sub-graph — counted as Cancelled at the tier level.
+func TestClientAsSource(t *testing.T) {
+	cache := &fakeSource{
+		unitD: unit,
+		hold:  func(int) float64 { return 1 },
+		value: func(i int) (any, error) { return fmt.Sprintf("cached-%d", i), nil },
+	}
+	store := constSource(1, "stored", nil)
+	c := mustTier(t, Config{Cache: cache, Store: store, TierDelay: 50})
+	outer, err := hedge.New(hedge.Config{Policy: reissue.None{}, Unit: c.Unit()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v, err := outer.Do(context.Background(), c.Request(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("cached-%d", i); v != want {
+			t.Fatalf("query %d = %v, want %s", i, v, want)
+		}
+	}
+
+	// Mid-flight cancellation through the adapter: both tiers hold
+	// long; the outer caller walks away.
+	slow := mustTier(t, Config{
+		Cache: constSource(500, "cached", nil), Store: constSource(500, "stored", nil),
+		TierDelay: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(time.Duration(20 * float64(unit)))
+		cancel()
+	}()
+	if _, err := outer.Do(ctx, slow.Request(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled composed query returned %v, want context.Canceled", err)
+	}
+	outer.Wait()
+	slow.Wait()
+	if s := slow.Snapshot(); s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("inner tier misclassified the outer cancellation: %+v", s)
 	}
 }
 
