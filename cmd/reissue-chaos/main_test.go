@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run.
+func fast() options {
+	return options{
+		profiles:         "error-rate",
+		rates:            "0.2",
+		queries:          600,
+		warmup:           100,
+		replicas:         4,
+		slow:             2.5,
+		util:             0.24,
+		unitMS:           0.5,
+		seed:             61,
+		sim:              true,
+		breakerThreshold: 5,
+		breakerCooldown:  400,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := run(fast(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+	out := buf.String()
+	for _, want := range []string{"error-rate @ 0.20", "live:", "sim:", "cross-validation:", "sweep summary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if pts[0].live.FailureRate == 0 {
+		t.Error("error-rate sweep point failed nothing — the injector is not in the path")
+	}
+}
+
+func TestRunCrashBreaker(t *testing.T) {
+	o := fast()
+	o.profiles = "crash"
+	o.rates = "0.5"
+	var buf bytes.Buffer
+	pts, err := run(o, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts[0].live.BreakerTrips) == 0 || pts[0].live.BreakerTrips[1] != 1 {
+		t.Errorf("live breaker trips = %v, want exactly one on the crashed replica", pts[0].live.BreakerTrips)
+	}
+	if len(pts[0].sim.BreakerTrips) == 0 || pts[0].sim.BreakerTrips[1] != 1 {
+		t.Errorf("sim breaker trips = %v, want exactly one on the crashed replica", pts[0].sim.BreakerTrips)
+	}
+	if !strings.Contains(buf.String(), "breaker:") {
+		t.Error("breaker verdicts not printed for the crash profile")
+	}
+}
+
+func TestRunNoSim(t *testing.T) {
+	o := fast()
+	o.sim = false
+	var buf bytes.Buffer
+	if _, err := run(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "sim:") {
+		t.Error("simulator pass printed with -sim=false")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*options){
+		"unknown profile":   func(o *options) { o.profiles = "meteor" },
+		"rate above 1":      func(o *options) { o.rates = "1.5" },
+		"rate zero":         func(o *options) { o.rates = "0" },
+		"malformed rates":   func(o *options) { o.rates = "0.2,x" },
+		"warmup >= queries": func(o *options) { o.warmup = o.queries },
+	} {
+		o := fast()
+		mutate(&o)
+		if _, err := run(o, &bytes.Buffer{}); err == nil {
+			t.Errorf("run accepted %s", name)
+		}
+	}
+}

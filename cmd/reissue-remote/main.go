@@ -184,6 +184,11 @@ func run(o options, out io.Writer) (*summary, error) {
 			s.Close()
 		}
 	}()
+	// Supervise the fleet: a replica whose serve loop dies cancels
+	// every in-flight open loop and fails the run with the replica's
+	// real error instead of downstream timeout noise.
+	wctx, stop, fatal := transport.WatchFleet(context.Background(), servers...)
+	defer stop()
 	unit := clusters[0].Unit()
 	client, err := transport.NewClient(transport.ClientConfig{
 		Replicas: urls, Unit: unit,
@@ -214,13 +219,25 @@ func run(o options, out io.Writer) (*summary, error) {
 	sys := &backend.LiveSystem{
 		Back: client, N: o.queries, Warmup: o.warmup, Lambda: lambda, Seed: o.seed,
 	}
+	// Every trial runs under the fleet-watch context; a fatal replica
+	// error preempts whatever the aborted open loop reported.
+	runPol := func(p reissue.Policy) (reissue.RunResult, error) {
+		res, err := sys.RunContext(wctx, p)
+		if fe := fatal(); fe != nil {
+			return res, fmt.Errorf("replica fleet failed mid-run: %w", fe)
+		}
+		return res, err
+	}
 	report := func(name string, lats []float64) {
 		fmt.Fprintf(out, "%-12s P50=%6.1f  P90=%6.1f  P%.0f=%6.1f model-ms\n",
 			name, pctl(lats, 0.50), pctl(lats, 0.90), o.k*100, pctl(lats, o.k))
 	}
 
 	fmt.Fprintln(out, "running no-hedging baseline over the wire...")
-	base := sys.Run(reissue.None{})
+	base, err := runPol(reissue.None{})
+	if err != nil {
+		return nil, err
+	}
 	report("baseline:", base.Query)
 
 	// A fixed moderate-delay policy whose reissue rate Q·Pr(X > D) is
@@ -228,7 +245,10 @@ func run(o options, out io.Writer) (*summary, error) {
 	// anchor, exactly as in the in-process agreement test.
 	fixedPol := reissue.SingleR{D: 5, Q: 0.25}
 	fmt.Fprintf(out, "\nrunning fixed rate-anchor policy %v...\n", fixedPol)
-	fixed := sys.Run(fixedPol)
+	fixed, err := runPol(fixedPol)
+	if err != nil {
+		return nil, err
+	}
 	fmt.Fprintf(out, "fixed-policy reissue rate over the wire: %.4f\n", fixed.ReissueRate)
 
 	pol, pred, err := reissue.ComputeOptimalSingleR(base.Query, nil, o.k, o.budget)
@@ -240,7 +260,10 @@ func run(o options, out io.Writer) (*summary, error) {
 		o.k*100, pred.TailLatency, pred.Budget)
 
 	fmt.Fprintln(out, "running hedged over the wire (same arrival stream)...")
-	first := sys.Run(pol)
+	first, err := runPol(pol)
+	if err != nil {
+		return nil, err
+	}
 	report("hedged:", first.Query)
 
 	// One Section 4.3 adaptation step, delay held: re-bind the
@@ -251,7 +274,10 @@ func run(o options, out io.Writer) (*summary, error) {
 		return nil, err
 	}
 	fmt.Fprintf(out, "\nre-bound policy %v on the hedged distribution; rerunning...\n", pol)
-	hedged := sys.Run(pol)
+	hedged, err := runPol(pol)
+	if err != nil {
+		return nil, err
+	}
 	report("hedged #2:", hedged.Query)
 
 	s := &summary{
@@ -269,7 +295,10 @@ func run(o options, out io.Writer) (*summary, error) {
 		hedged.ReissueRate, o.budget)
 
 	if o.multi {
-		if err := runMultipleR(o, out, client, pol, lambda, s); err != nil {
+		if err := runMultipleR(wctx, o, out, client, pol, lambda, s); err != nil {
+			if fe := fatal(); fe != nil {
+				return nil, fmt.Errorf("replica fleet failed mid-run: %w", fe)
+			}
 			return nil, err
 		}
 	}
@@ -311,7 +340,7 @@ func measureWireOverhead(client *transport.Client, back *backend.Cluster, speeds
 // policy's budget over the wire and prints the winning-attempt
 // histogram — multi-delay plans routing attempts 1 and 2 to distinct
 // replicas beyond the primary's.
-func runMultipleR(o options, out io.Writer, client *transport.Client,
+func runMultipleR(ctx context.Context, o options, out io.Writer, client *transport.Client,
 	pol reissue.SingleR, lambda float64, s *summary) error {
 
 	round := func(x float64) float64 { return math.Round(x*1000) / 1000 }
@@ -326,7 +355,7 @@ func runMultipleR(o options, out io.Writer, client *transport.Client,
 		return err
 	}
 	fmt.Fprintf(out, "\nrunning two-delay %v over the wire...\n", multi)
-	lats, err := backend.RunOpenLoop(context.Background(), client, hc, o.queries, lambda, o.seed)
+	lats, err := backend.RunOpenLoop(ctx, client, hc, o.queries, lambda, o.seed)
 	if err != nil {
 		return err
 	}

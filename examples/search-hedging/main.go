@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -87,6 +88,10 @@ func runRow(w *searchengine.Workload, util float64, queries, warmup, replicas in
 			s.Close()
 		}
 	}()
+	// A replica server dying mid-row fails the row immediately with
+	// the replica's own error.
+	wctx, stop, fatal := transport.WatchFleet(context.Background(), servers...)
+	defer stop()
 	client, err := transport.NewClient(transport.ClientConfig{Replicas: urls, Unit: unit})
 	if err != nil {
 		return err
@@ -96,7 +101,17 @@ func runRow(w *searchengine.Workload, util float64, queries, warmup, replicas in
 		Back: client, N: queries, Warmup: warmup,
 		Lambda: lambda, Seed: 11,
 	}
-	base := sys.Run(reissue.None{})
+	runPol := func(p reissue.Policy) (reissue.RunResult, error) {
+		res, err := sys.RunContext(wctx, p)
+		if fe := fatal(); fe != nil {
+			return res, fmt.Errorf("replica fleet failed mid-run: %w", fe)
+		}
+		return res, err
+	}
+	base, err := runPol(reissue.None{})
+	if err != nil {
+		return err
+	}
 	pol, _, err := reissue.ComputeOptimalSingleR(base.Query, nil, K, B)
 	if err != nil {
 		return err
@@ -105,12 +120,18 @@ func runRow(w *searchengine.Workload, util float64, queries, warmup, replicas in
 	// system runs — re-bind the probability to the budget on the
 	// distribution measured under hedging (Section 4.3) before the
 	// reported run.
-	first := sys.Run(pol)
+	first, err := runPol(pol)
+	if err != nil {
+		return err
+	}
 	pol, err = reissue.BindBudget(first.Query, pol.D, B)
 	if err != nil {
 		return err
 	}
-	hedged := sys.Run(pol)
+	hedged, err := runPol(pol)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "%-6.2f  %11.0f ms  %11.0f ms  %8.3f\n",
 		util, base.TailLatency(K), hedged.TailLatency(K), hedged.ReissueRate)
 	return nil

@@ -1,0 +1,253 @@
+// Package chaoslab runs the same fault script through both worlds —
+// the live goroutine hedging stack under a fault.Injector, and the
+// discrete-event cluster simulator under its chaos mirror
+// (cluster.FaultPlan) — on the same workload trace, replica fleet,
+// and open-loop arrival rate. It is the harness behind the chaos
+// agreement test (TestChaosSimLiveAgreement) and cmd/reissue-chaos:
+// one Scenario, two Outcomes, directly comparable failure and
+// reissue rates plus per-replica breaker verdicts.
+//
+// The agreement scenarios run single-delay policies: the simulator
+// keys a copy's fault stream by its reissue ordinal, which equals the
+// live attempt slot only when the plan has one reissue — see
+// cluster.FaultPlan.
+package chaoslab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+	"repro/reissue/hedge/fault"
+)
+
+// coinSalt decorrelates policy coins from the arrival stream — the
+// same constant backend.LiveSystem applies, so the live chaos run
+// flips the same kind of decorrelated coins the plain live runner
+// does.
+const coinSalt = 0x94d049bb133111eb
+
+// Scenario is one chaos experiment, shared verbatim by both worlds.
+type Scenario struct {
+	// Replicas is the fleet size; Speeds optionally gives per-replica
+	// static service multipliers (length Replicas).
+	Replicas int
+	Speeds   []float64
+	// Profiles is the fault script (fault.Decide keys), identical in
+	// both worlds.
+	Profiles []fault.Profile
+	// BreakerThreshold/BreakerCooldownMS arm the per-replica circuit
+	// breaker in both worlds (live: hedge.Breaker inside the
+	// injector; sim: the FaultPlan mirror). Threshold 0 disables.
+	BreakerThreshold  int
+	BreakerCooldownMS float64
+	// N queries total, Warmup of them excluded from every statistic.
+	N, Warmup int
+	// Rho is the nominal fleet utilization; the arrival rate is
+	// derived from the workload's mean service time.
+	Rho float64
+	// Policy is the single-delay reissue policy both worlds run.
+	Policy reissue.SingleR
+	// Seed drives arrivals (and, salted, the live policy coins).
+	Seed uint64
+	// Unit is the live wall-clock scale of one model millisecond.
+	Unit time.Duration
+	// MinServiceMS clamps service times above the kernel sleep floor
+	// so live replicas and the simulator see the same holds.
+	MinServiceMS float64
+	// AttemptTimeoutMS, when positive, bounds each live copy try
+	// (hedge.Config.AttemptTimeout). Live-only containment: the
+	// simulator has no attempt-timeout model, so agreement scenarios
+	// leave it zero.
+	AttemptTimeoutMS float64
+}
+
+// Outcome is one world's view of a Scenario.
+type Outcome struct {
+	// FailureRate is failed queries (no successful copy) over
+	// measured queries; ReissueRate is dispatched reissues over
+	// measured queries.
+	FailureRate float64
+	ReissueRate float64
+	// P99 is the 99th-percentile end-to-end latency of SUCCESSFUL
+	// measured queries, in model ms.
+	P99 float64
+	// BreakerTrips and BreakerTripped are the per-replica breaker
+	// verdicts (nil when the breaker is disarmed): closed->open
+	// transition counts and whether the replica ended the run still
+	// evicted (open or half-open).
+	BreakerTrips   []int
+	BreakerTripped []bool
+	// Injector is the live injector's fault accounting (zero for sim
+	// outcomes; the sim's mirror counters are folded into the fields
+	// above and logged by the callers that need them).
+	Injector fault.Snapshot
+}
+
+// Lab binds a Scenario to a generated workload and live backend so
+// the two worlds run the same trace.
+type Lab struct {
+	sc   Scenario
+	back *backend.Cluster
+}
+
+// New generates the kv workload and the live replica fleet for the
+// scenario.
+func New(sc Scenario) (*Lab, error) {
+	if sc.Replicas <= 0 || sc.N <= sc.Warmup || sc.Warmup < 0 {
+		return nil, fmt.Errorf("chaoslab: need Replicas > 0 and N > Warmup >= 0, got R=%d N=%d warmup=%d",
+			sc.Replicas, sc.N, sc.Warmup)
+	}
+	if err := fault.Validate(sc.Profiles, sc.Replicas); err != nil {
+		return nil, err
+	}
+	w, err := kvstore.GenerateWorkload(kvstore.WorkloadConfig{
+		NumSets: 200, NumQueries: sc.N, Seed: sc.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	back, err := backend.NewKV(w, backend.Config{
+		Replicas:     sc.Replicas,
+		Unit:         sc.Unit,
+		SpeedFactors: sc.Speeds,
+		MinServiceMS: sc.MinServiceMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{sc: sc, back: back}, nil
+}
+
+// Lambda returns the open-loop arrival rate for the scenario's Rho.
+func (l *Lab) Lambda() float64 { return l.back.ArrivalRate(l.sc.Rho) }
+
+// breakerCfg returns the live breaker config, or nil when disarmed.
+func (l *Lab) breakerCfg() *hedge.BreakerConfig {
+	if l.sc.BreakerThreshold <= 0 {
+		return nil
+	}
+	return &hedge.BreakerConfig{
+		Threshold: l.sc.BreakerThreshold,
+		Cooldown:  time.Duration(l.sc.BreakerCooldownMS * float64(l.sc.Unit)),
+	}
+}
+
+// RunLive executes the scenario on the goroutine stack: the kv fleet
+// wrapped by a fault.Injector, hedged by a single-delay client with
+// losers running to completion (matching the simulator's
+// run-to-completion default). Injected per-query failures are
+// expected outcomes, counted and swallowed; cancellations and driver
+// errors stay fatal.
+func (l *Lab) RunLive() (Outcome, error) {
+	sc := l.sc
+	inj, err := fault.New(l.back, fault.Config{
+		Replicas: sc.Replicas,
+		Profiles: sc.Profiles,
+		Breaker:  l.breakerCfg(),
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	m := backend.NewMeasuredSource(inj, sc.Warmup)
+	hc, err := hedge.New(hedge.Config{
+		Policy:         sc.Policy,
+		Unit:           sc.Unit,
+		LetLoserRun:    true,
+		Seed:           sc.Seed ^ coinSalt,
+		AttemptTimeout: sc.AttemptTimeoutMS,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	failed := make([]atomic.Bool, sc.N)
+	do := func(ctx context.Context, i int) error {
+		_, err := hc.Do(ctx, m.Request(i))
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		// A query the faults killed outright: an expected chaos
+		// outcome, not a run-fatal driver error.
+		failed[i].Store(true)
+		return nil
+	}
+	lats, err := backend.OpenLoop(context.Background(), sc.Unit, sc.N, l.Lambda(), sc.Seed, do, hc.Wait)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	measured := sc.N - sc.Warmup
+	var out Outcome
+	ok := make([]float64, 0, measured)
+	failedN := 0
+	for i := sc.Warmup; i < sc.N; i++ {
+		if failed[i].Load() {
+			failedN++
+			continue
+		}
+		ok = append(ok, lats[i])
+	}
+	out.FailureRate = float64(failedN) / float64(measured)
+	out.ReissueRate = float64(m.Reissues()) / float64(measured)
+	out.P99 = metrics.TailLatency(ok, 99)
+	out.Injector = inj.Snapshot()
+	if b := inj.Breaker(); b != nil {
+		out.BreakerTrips = make([]int, sc.Replicas)
+		out.BreakerTripped = make([]bool, sc.Replicas)
+		for r := 0; r < sc.Replicas; r++ {
+			out.BreakerTrips[r] = b.Trips(r)
+			out.BreakerTripped[r] = b.State(r) != hedge.BreakerClosed
+		}
+	}
+	return out, nil
+}
+
+// RunSim replays the scenario on the virtual-time cluster twin: the
+// same effective service trace, hashed placement, and fault script
+// through the chaos mirror.
+func (l *Lab) RunSim() (Outcome, error) {
+	sc := l.sc
+	var plan *cluster.FaultPlan
+	if len(sc.Profiles) > 0 || sc.BreakerThreshold > 0 {
+		plan = &cluster.FaultPlan{
+			Profiles:         sc.Profiles,
+			BreakerThreshold: sc.BreakerThreshold,
+			BreakerCooldown:  sc.BreakerCooldownMS,
+		}
+	}
+	sim, err := cluster.New(cluster.Config{
+		Servers:      sc.Replicas,
+		ArrivalRate:  l.Lambda(),
+		Queries:      sc.N - sc.Warmup,
+		Warmup:       sc.Warmup,
+		Source:       &cluster.TraceSource{Times: l.back.EffectiveModelTimes()},
+		LB:           cluster.HashedLB{},
+		SpeedFactors: sc.Speeds,
+		Seed:         sc.Seed,
+		Faults:       plan,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	res := sim.RunDetailed(sc.Policy)
+	out := Outcome{
+		FailureRate:    res.FailureRate,
+		ReissueRate:    res.ReissueRate,
+		P99:            metrics.TailLatency(res.Log.ResponseTimes(), 99),
+		BreakerTrips:   res.BreakerTrips,
+		BreakerTripped: res.BreakerOpen,
+	}
+	return out, nil
+}

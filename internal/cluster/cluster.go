@@ -31,6 +31,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/reissue"
+	"repro/reissue/hedge/fault"
 )
 
 // ServiceSource produces per-query service times. Sample returns the
@@ -165,6 +166,13 @@ type Config struct {
 	// not preempted. Note that cancelled copies yield no response
 	// time, so the optimizer's RX/RY logs shrink accordingly.
 	CancelOnComplete bool
+	// Faults, when set, arms the chaos mirror: the live fault
+	// injector's profile script replayed on virtual time, with an
+	// optional per-server circuit breaker re-implementing
+	// hedge.Breaker's transitions. See FaultPlan. Requires finite
+	// Servers. Nil (the default) is a strict no-op — no chaos branch
+	// touches the hot path.
+	Faults *FaultPlan
 	// FreshPerRun gives every successive Run its own random stream.
 	// The default (false) applies common random numbers: every run
 	// replays the identical arrival and service-time streams, so two
@@ -237,6 +245,11 @@ func (c Config) validate() error {
 				c.Queries, c.Warmup, c.FanOut)
 		}
 	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(c.Servers); err != nil {
+			return err
+		}
+	}
 	if c.SpeedFactors != nil {
 		if len(c.SpeedFactors) != c.Servers {
 			return fmt.Errorf("cluster: %d speed factors for %d servers", len(c.SpeedFactors), c.Servers)
@@ -272,6 +285,23 @@ type Result struct {
 	// time of each fan-out batch: the maximum over its sub-requests'
 	// end-to-end responses.
 	FanOutResponses []float64
+	// FailedQueries counts measured queries that ended with no
+	// successful copy; FailureRate is FailedQueries over measured
+	// queries. Failed queries contribute no Log record (they have no
+	// response) but their dispatched reissues still count toward
+	// ReissueRate — the live MeasuredSource counts dispatches the
+	// same way. Zero without Config.Faults.
+	FailedQueries int
+	FailureRate   float64
+	// FaultedCopies, StalledCopies, ReroutedCopies, and
+	// RejectedCopies mirror the live injector's Snapshot accounting.
+	FaultedCopies, StalledCopies, ReroutedCopies, RejectedCopies int
+	// BreakerTrips and BreakerOpen are the per-server breaker-mirror
+	// outcome: closed->open transition counts and whether each
+	// server's breaker ended the run tripped (open or half-open). Nil
+	// without a breaker-armed Config.Faults.
+	BreakerTrips []int
+	BreakerOpen  []bool
 }
 
 // Cluster is a reusable simulation harness. It implements
@@ -423,13 +453,19 @@ type runState struct {
 	policyRNG *stats.RNG
 	lbRNG     *stats.RNG
 
+	// chaos is non-nil only while a Faults-configured run is active;
+	// chaosPool is its pooled backing store.
+	chaos     *chaosState
+	chaosPool chaosState
+
 	// Shared ArgEvent func values (one allocation each, at pool
 	// construction) — the typed replacements for the per-query,
 	// per-reissue, and per-toggle closures of the old controller.
-	arriveFn  des.ArgEvent
-	reissueFn des.ArgEvent
-	infDoneFn des.ArgEvent
-	slowFn    des.ArgEvent
+	arriveFn    des.ArgEvent
+	reissueFn   des.ArgEvent
+	infDoneFn   des.ArgEvent
+	slowFn      des.ArgEvent
+	chaosDoneFn des.ArgEvent
 }
 
 // state returns the cluster's pooled runState, reset for a new run.
@@ -441,6 +477,7 @@ func (c *Cluster) state() *runState {
 		rs.reissueFn = rs.reissueAt
 		rs.infDoneFn = rs.infComplete
 		rs.slowFn = rs.setSlow
+		rs.chaosDoneFn = rs.chaosComplete
 		if n := c.cfg.Servers; n > 0 {
 			rs.servers = make([]*server, n)
 			rs.lengths = make([]int, n)
@@ -452,6 +489,12 @@ func (c *Cluster) state() *runState {
 	}
 	rs.sim.Reset()
 	rs.arena.reset()
+	if c.cfg.Faults != nil {
+		rs.chaosPool.reset(c.cfg.Faults, c.cfg.Servers)
+		rs.chaos = &rs.chaosPool
+	} else {
+		rs.chaos = nil
+	}
 	total := c.cfg.Queries + c.cfg.Warmup
 	if cap(rs.queries) < total {
 		rs.queries = make([]query, total)
@@ -484,6 +527,22 @@ func (rs *runState) onComplete(r *request, now float64) {
 		// In-service when cancelled: finished anyway, but its
 		// measurement was already forfeited.
 		return
+	}
+	if rs.chaos != nil {
+		if r.slowEdge > 1 && !r.deferred {
+			// Slow fault: hold the completed copy for (Factor-1)x its
+			// elapsed time before reporting it — the server has
+			// already moved on, so capacity is untouched. This is the
+			// virtual-time twin of the live injector's post-completion
+			// stretch: both make response = Factor x (wait + service).
+			r.deferred = true
+			rs.sim.AfterArg((r.slowEdge-1)*(now-r.dispatch), rs.chaosDoneFn, int(r.idx), 0)
+			return
+		}
+		// Success reports land at the (possibly stretched) completion
+		// instant, mirroring the live injector reporting when the copy
+		// returns to the hedger.
+		rs.chaos.report(int(r.server), true, now)
 	}
 	rt := now - r.dispatch
 	cfg := rs.cfg
@@ -537,8 +596,45 @@ func (rs *runState) dispatch(r *request, now float64, exclude int) int {
 	} else {
 		idx = rs.cfg.LB.Pick(rs.lbRNG, rs.queueLens(), exclude)
 	}
+	if rs.chaos != nil {
+		routed, ok := rs.chaos.route(idx, now)
+		if !ok {
+			// Every server's breaker is open: the copy fails fast,
+			// exactly like the live injector returning ErrBreakerOpen.
+			rs.chaos.rejected++
+			return idx
+		}
+		if routed != idx {
+			rs.chaos.rerouted++
+			idx = routed
+		}
+		out := fault.Decide(rs.chaos.plan.Profiles, idx, r.q.id, copyOrdinal(r))
+		switch {
+		case out.Fail:
+			// Crash / flap / error-rate: the copy fails at dispatch and
+			// never occupies the server; failures report immediately,
+			// in deterministic event order.
+			rs.chaos.failed++
+			rs.chaos.report(idx, false, now)
+			return idx
+		case out.Stall:
+			// The copy hangs forever: never enqueued, never completes.
+			// Only its query's other copies can still answer.
+			rs.chaos.stalled++
+			return idx
+		case out.Slow > 1:
+			r.slowEdge = out.Slow
+		}
+		r.server = int32(idx)
+	}
 	rs.servers[idx].Enqueue(r, now)
 	return idx
+}
+
+// chaosComplete fires at a slow-faulted copy's stretched completion
+// instant and re-enters the ordinary completion path.
+func (rs *runState) chaosComplete(now float64, reqIdx int, _ float64) {
+	rs.onComplete(rs.arena.at(reqIdx), now)
 }
 
 // infComplete fires when an infinite-server copy finishes service.
@@ -710,6 +806,15 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 		if !q.measured {
 			continue
 		}
+		if rs.chaos != nil && !q.done {
+			// No copy of this query ever answered — a chaos failure.
+			// It has no response to log, but its dispatched reissues
+			// still count (the live MeasuredSource counts dispatches
+			// whether or not the copy later succeeds).
+			res.FailedQueries++
+			reissued += q.reissues
+			continue
+		}
 		rec := trace.Record{
 			ID:          int64(q.id),
 			Arrival:     q.arrival,
@@ -737,6 +842,21 @@ func (c *Cluster) RunDetailed(p core.Policy) *Result {
 		res.Outcomes = append(res.Outcomes, outcome)
 	}
 	res.ReissueRate = float64(reissued) / float64(cfg.Queries)
+	if rs.chaos != nil {
+		res.FailureRate = float64(res.FailedQueries) / float64(cfg.Queries)
+		res.FaultedCopies = rs.chaos.failed
+		res.StalledCopies = rs.chaos.stalled
+		res.ReroutedCopies = rs.chaos.rerouted
+		res.RejectedCopies = rs.chaos.rejected
+		if rs.chaos.plan.BreakerThreshold > 0 {
+			res.BreakerTrips = make([]int, len(rs.chaos.servers))
+			res.BreakerOpen = make([]bool, len(rs.chaos.servers))
+			for i := range rs.chaos.servers {
+				res.BreakerTrips[i] = rs.chaos.servers[i].trips
+				res.BreakerOpen[i] = rs.chaos.servers[i].open
+			}
+		}
+	}
 	if fan > 1 {
 		res.FanOutResponses = make([]float64, 0, cfg.Queries/fan)
 		for i := cfg.Warmup; i < total; i += fan {

@@ -77,6 +77,14 @@ type request struct {
 	// service runs to completion (no preemption).
 	cancelled bool
 	inService bool
+	// Chaos-mirror fields, untouched (zero) without Config.Faults:
+	// server is the server that accepted the copy (for the breaker's
+	// success report at completion), slowEdge the Slow-fault inflation
+	// factor, and deferred marks a completion report already rescheduled
+	// to its stretched instant.
+	server   int32
+	slowEdge float64
+	deferred bool
 }
 
 // server is a single-threaded simulated server: it serves exactly one

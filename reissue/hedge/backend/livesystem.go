@@ -132,8 +132,24 @@ func (m *MeasuredSource) Logs() (primary, reissue []float64) {
 // Run implements reissue.System: one live trial under policy p.
 // Configuration errors (invalid N, Warmup, Lambda) panic, since the
 // System interface has no error path and a half-configured trial
-// would silently corrupt every measurement derived from it.
+// would silently corrupt every measurement derived from it. Run
+// drives the trial under context.Background(); runners that need
+// supervision — a transport.WatchFleet context that dies with a
+// crashed replica — use RunContext.
 func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
+	res, err := s.RunContext(context.Background(), p)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is Run with a caller-supplied base context and an error
+// path: a context cancelled mid-trial (a caller deadline, or a
+// WatchFleet context tripped by a dying replica server) aborts the
+// open loop immediately and surfaces the driver error instead of
+// panicking. Configuration errors still panic, as in Run.
+func (s *LiveSystem) RunContext(ctx context.Context, p reissue.Policy) (reissue.RunResult, error) {
 	if s.Warmup < 0 || s.Warmup >= s.N {
 		panic(fmt.Sprintf("backend: LiveSystem Warmup=%d outside [0, N=%d)", s.Warmup, s.N))
 	}
@@ -159,9 +175,9 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 		// comes from the optimizer); surface them loudly.
 		panic(err)
 	}
-	lats, err := RunOpenLoop(context.Background(), src, client, s.N, s.Lambda, seed)
+	lats, err := RunOpenLoop(ctx, src, client, s.N, s.Lambda, seed)
 	if err != nil {
-		panic(err)
+		return reissue.RunResult{}, err
 	}
 	rx, ry := src.Logs()
 	return reissue.RunResult{
@@ -169,7 +185,7 @@ func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
 		Reissue:     ry,
 		Query:       lats[s.Warmup:],
 		ReissueRate: float64(src.Reissues()) / float64(s.N-s.Warmup),
-	}
+	}, nil
 }
 
 // Unit returns the wall-clock duration of one model millisecond.

@@ -1,0 +1,195 @@
+package hedge
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned when a request cannot be routed because
+// every candidate replica's circuit breaker is open and none is due a
+// half-open probe. Layers that fail a copy with it should wrap it so
+// errors.Is classification (Snapshot.BreakerOpen) keeps working.
+var ErrBreakerOpen = errors.New("hedge: circuit breaker open")
+
+// ErrDegraded is returned by composite clients that are deliberately
+// failing fast in a brown-out — e.g. the tier client when the store
+// tier's breaker is open: cache hits are still served, but a miss
+// fails in bounded time instead of stalling on a dead store.
+var ErrDegraded = errors.New("hedge: degraded")
+
+// ErrAttemptTimeout marks a copy try that exceeded the client's
+// per-attempt timeout (Config.AttemptTimeout) while the caller was
+// still waiting. It deliberately does NOT wrap
+// context.DeadlineExceeded: a copy that timed out is a fault of that
+// copy (retryable, counted under Faulted), not the caller walking
+// away (which is what Cancelled means).
+var ErrAttemptTimeout = errors.New("hedge: attempt timed out")
+
+// BreakerState is a replica's health as seen by a Breaker.
+type BreakerState int
+
+const (
+	// BreakerClosed: the replica is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the replica tripped and its cooldown has not
+	// elapsed; Route skips it.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; Route admits probe
+	// requests, whose outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// BreakerConfig parametrizes per-replica circuit breaking.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that open a
+	// replica's breaker. Must be > 0.
+	Threshold int
+	// Cooldown is how long an opened breaker rejects the replica
+	// before admitting half-open probes. Must be > 0.
+	Cooldown time.Duration
+}
+
+// Breaker tracks per-replica health with the classic three-state
+// circuit breaker: Threshold consecutive failures open a replica,
+// Cooldown later probes are admitted (half-open), and the first
+// probe's outcome closes or re-opens it. Route re-routes an intended
+// replica to the next healthy one in (primary+attempt) mod R order —
+// the same seam the hedging stack already routes attempts through —
+// so hedged copies steer around evicted replicas deterministically.
+//
+// The simulator's chaos mirror (internal/cluster.FaultPlan)
+// re-implements exactly these transitions on virtual time; the chaos
+// agreement test pins the two state machines against each other.
+// All methods are safe for concurrent use.
+type Breaker struct {
+	mu   sync.Mutex
+	cfg  BreakerConfig
+	now  func() time.Time // injectable clock for tests
+	reps []breakerReplica
+}
+
+type breakerReplica struct {
+	consec    int  // consecutive failures while closed
+	open      bool // tripped; half-open once openUntil passes
+	openUntil time.Time
+	trips     int // closed->open transitions
+}
+
+// NewBreaker returns a Breaker over the given number of replicas.
+func NewBreaker(replicas int, cfg BreakerConfig) (*Breaker, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("hedge: breaker needs at least one replica, got %d", replicas)
+	}
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("hedge: breaker Threshold must be positive, got %d", cfg.Threshold)
+	}
+	if cfg.Cooldown <= 0 {
+		return nil, fmt.Errorf("hedge: breaker Cooldown must be positive, got %v", cfg.Cooldown)
+	}
+	return &Breaker{cfg: cfg, now: time.Now, reps: make([]breakerReplica, replicas)}, nil
+}
+
+// Route returns the replica a request intended for replica `intended`
+// should actually go to: the first replica in intended, intended+1,
+// ... (mod R) order whose breaker is closed or due a half-open probe.
+// If every replica is open and cooling down, it returns the intended
+// replica and ErrBreakerOpen; the caller should fail the copy fast.
+func (b *Breaker) Route(intended int) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	r := len(b.reps)
+	for k := 0; k < r; k++ {
+		i := (intended + k) % r
+		st := &b.reps[i]
+		if !st.open || !now.Before(st.openUntil) {
+			return i, nil
+		}
+	}
+	return intended, ErrBreakerOpen
+}
+
+// Report records one request's outcome against the replica that
+// served it. Cancellations are neutral and must not be reported —
+// only genuine successes and genuine failures move the state machine.
+func (b *Breaker) Report(replica int, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := &b.reps[replica]
+	now := b.now()
+	if ok {
+		if st.open {
+			// A successful half-open probe closes the breaker. A
+			// straggler success from before the trip (cooldown not yet
+			// elapsed) is ignored: the timed window stays authoritative.
+			if !now.Before(st.openUntil) {
+				st.open = false
+				st.consec = 0
+			}
+			return
+		}
+		st.consec = 0
+		return
+	}
+	if st.open {
+		// A failed half-open probe re-arms the cooldown; straggler
+		// failures inside the window change nothing.
+		if !now.Before(st.openUntil) {
+			st.openUntil = now.Add(b.cfg.Cooldown)
+		}
+		return
+	}
+	st.consec++
+	if st.consec >= b.cfg.Threshold {
+		st.open = true
+		st.openUntil = now.Add(b.cfg.Cooldown)
+		st.trips++
+		st.consec = 0
+	}
+}
+
+// State returns the replica's current breaker state.
+func (b *Breaker) State(replica int) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := &b.reps[replica]
+	switch {
+	case !st.open:
+		return BreakerClosed
+	case b.now().Before(st.openUntil):
+		return BreakerOpen
+	default:
+		return BreakerHalfOpen
+	}
+}
+
+// Trips returns how many times the replica's breaker has transitioned
+// closed -> open. Failed half-open probes extend the open window but
+// do not count as new trips, so under a permanent fault Trips is
+// deterministic (exactly one) in both the live and simulated worlds.
+func (b *Breaker) Trips(replica int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reps[replica].trips
+}
+
+// Replicas returns the fleet size the breaker tracks.
+func (b *Breaker) Replicas() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.reps)
+}

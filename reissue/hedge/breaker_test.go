@@ -1,0 +1,125 @@
+package hedge
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically; same-package access
+// to the injectable now func keeps the state-machine tests free of
+// wall-clock sleeps.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(t *testing.T, replicas int, cfg BreakerConfig) (*Breaker, *fakeClock) {
+	t.Helper()
+	b, err := NewBreaker(replicas, cfg)
+	if err != nil {
+		t.Fatalf("NewBreaker: %v", err)
+	}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerConfigValidation(t *testing.T) {
+	if _, err := NewBreaker(0, BreakerConfig{Threshold: 1, Cooldown: time.Second}); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := NewBreaker(2, BreakerConfig{Threshold: 0, Cooldown: time.Second}); err == nil {
+		t.Error("zero Threshold accepted")
+	}
+	if _, err := NewBreaker(2, BreakerConfig{Threshold: 1}); err == nil {
+		t.Error("zero Cooldown accepted")
+	}
+}
+
+func TestBreakerTripAndRecovery(t *testing.T) {
+	b, clk := newTestBreaker(t, 3, BreakerConfig{Threshold: 3, Cooldown: 100 * time.Millisecond})
+
+	// Below threshold: stays closed, a success resets the streak.
+	b.Report(1, false)
+	b.Report(1, false)
+	b.Report(1, true)
+	b.Report(1, false)
+	b.Report(1, false)
+	if got := b.State(1); got != BreakerClosed {
+		t.Fatalf("below threshold: state %v, want closed", got)
+	}
+
+	// Third consecutive failure trips it.
+	b.Report(1, false)
+	if got := b.State(1); got != BreakerOpen {
+		t.Fatalf("at threshold: state %v, want open", got)
+	}
+	if got := b.Trips(1); got != 1 {
+		t.Fatalf("trips %d, want 1", got)
+	}
+
+	// While open, an intended-1 request re-routes to 2.
+	got, err := b.Route(1)
+	if err != nil || got != 2 {
+		t.Fatalf("Route(1) = %d, %v; want 2, nil", got, err)
+	}
+
+	// Straggler reports inside the open window change nothing.
+	b.Report(1, false)
+	b.Report(1, true)
+	if got := b.State(1); got != BreakerOpen {
+		t.Fatalf("after stragglers: state %v, want open", got)
+	}
+
+	// Cooldown elapses: half-open, Route admits the probe again.
+	clk.advance(100 * time.Millisecond)
+	if got := b.State(1); got != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state %v, want half-open", got)
+	}
+	if got, err := b.Route(1); err != nil || got != 1 {
+		t.Fatalf("half-open Route(1) = %d, %v; want 1, nil", got, err)
+	}
+
+	// A failed probe re-arms the cooldown without a new trip.
+	b.Report(1, false)
+	if got := b.State(1); got != BreakerOpen {
+		t.Fatalf("failed probe: state %v, want open", got)
+	}
+	if got := b.Trips(1); got != 1 {
+		t.Fatalf("failed probe trips %d, want 1 (re-arm is not a trip)", got)
+	}
+
+	// A successful probe after the re-armed window closes it.
+	clk.advance(100 * time.Millisecond)
+	b.Report(1, true)
+	if got := b.State(1); got != BreakerClosed {
+		t.Fatalf("successful probe: state %v, want closed", got)
+	}
+	if got, err := b.Route(1); err != nil || got != 1 {
+		t.Fatalf("closed Route(1) = %d, %v; want 1, nil", got, err)
+	}
+}
+
+func TestBreakerAllOpen(t *testing.T) {
+	b, clk := newTestBreaker(t, 2, BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	b.Report(0, false)
+	b.Report(1, false)
+	if _, err := b.Route(0); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("all-open Route error = %v, want ErrBreakerOpen", err)
+	}
+	// The moment one cooldown elapses, routing resumes there.
+	clk.advance(time.Second)
+	if got, err := b.Route(1); err != nil || got != 1 {
+		t.Fatalf("post-cooldown Route(1) = %d, %v; want 1, nil", got, err)
+	}
+}
+
+func TestBreakerRouteWrapsModR(t *testing.T) {
+	b, _ := newTestBreaker(t, 3, BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	b.Report(2, false)
+	b.Report(0, false)
+	// Intended 2: 2 open, 0 open, 1 closed — wraps past the end.
+	if got, err := b.Route(2); err != nil || got != 1 {
+		t.Fatalf("Route(2) = %d, %v; want 1, nil", got, err)
+	}
+}

@@ -1,0 +1,396 @@
+// Package fault injects deterministic failures into the hedging
+// stack: an Injector wraps any Source with seeded, scripted
+// per-replica fault profiles — crash, stall, slow, error-rate, and
+// flapping — so any edge of a live topology can be made faulty
+// reproducibly, down to exactly which copy of which query fails.
+//
+// Fault decisions are pure functions of (profile, query index,
+// attempt): there is no wall-clock or shared-RNG state, so the
+// simulator's chaos mirror (internal/cluster.FaultPlan) consults the
+// SAME Decide function on the same (i, attempt) keys and fails the
+// same copies. That is what makes the sim-vs-live chaos agreement
+// test (TestChaosSimLiveAgreement) possible: both worlds see one
+// fault script, bit for bit, the same discipline the tier package
+// uses for its shared cache-hit stream.
+//
+// Containment composes around the injector rather than inside it:
+// the injector can carry a hedge.Breaker that evicts replicas after
+// consecutive failures and re-routes attempts through the existing
+// (primary+attempt) mod R seam, while per-attempt timeouts and
+// bounded retries live in hedge.Config. See DESIGN.md "Failure
+// domains & chaos testing".
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/reissue/hedge"
+)
+
+// Source is the execution seam the injector wraps — structurally
+// identical to backend.Source, declared locally so this package
+// stays importable from internal/cluster (whose chaos mirror shares
+// Decide) without a cycle through backend's tests.
+type Source interface {
+	// Request returns the hedge.Fn for query i.
+	Request(i int) hedge.Fn
+	// Unit is the wall-clock duration of one model millisecond.
+	Unit() time.Duration
+}
+
+// Kind identifies a fault profile's behavior.
+type Kind int
+
+const (
+	// Crash: every copy routed to the replica fails instantly with an
+	// injected error while the profile is active — a dead process.
+	Crash Kind = iota
+	// Stall: every copy routed to the replica hangs until its context
+	// is cancelled — a wedged process that accepts and never answers.
+	// Only a deadline (hedge.Config.AttemptTimeout or a caller
+	// budget) bounds a stalled copy.
+	Stall
+	// Slow: the replica's responses are inflated by Factor — the copy
+	// completes, then the injector holds it for (Factor-1)× its
+	// elapsed time, modeling a degraded replica or a slow path.
+	Slow
+	// ErrorRate: each copy fails independently with probability Rate,
+	// from a Bernoulli stream off stats.Mix64NonZero-salted coins
+	// keyed by (query, attempt) — deterministic and shared with the
+	// simulator mirror.
+	ErrorRate
+	// Flap: the replica crashes and heals on a query-index window —
+	// active (failing) for the first On of every Period indices past
+	// From. Index-based windows keep flapping deterministic in both
+	// worlds; wall-clock flapping would not replay.
+	Flap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Stall:
+		return "stall"
+	case Slow:
+		return "slow"
+	case ErrorRate:
+		return "error-rate"
+	case Flap:
+		return "flap"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Profile scripts one fault on one replica. The zero window (From=0,
+// Until=0) means "the whole run"; Until is exclusive and 0 means
+// "never heals".
+type Profile struct {
+	// Replica is the index of the faulted replica in the wrapped
+	// source's routing seam.
+	Replica int
+	// Kind selects the fault behavior.
+	Kind Kind
+	// Rate is the per-copy failure probability for ErrorRate, in
+	// (0, 1].
+	Rate float64
+	// Factor is the latency inflation for Slow; must be > 1.
+	Factor float64
+	// From is the first query index the fault is active at.
+	From int
+	// Until, when nonzero, is the query index the fault heals at
+	// (exclusive).
+	Until int
+	// Period and On define Flap's repeating window: the fault is
+	// active when ((i - From) mod Period) < On. Requires
+	// 0 < On < Period.
+	Period, On int
+	// Seed salts the ErrorRate coin stream, so independent profiles
+	// draw independent streams.
+	Seed uint64
+}
+
+// ActiveAt reports whether the profile is active for query index i.
+func (p Profile) ActiveAt(i int) bool {
+	if i < p.From || (p.Until > 0 && i >= p.Until) {
+		return false
+	}
+	if p.Kind == Flap {
+		return (i-p.From)%p.Period < p.On
+	}
+	return true
+}
+
+// coin draws the deterministic Bernoulli coin for copy (i, attempt)
+// of an ErrorRate profile: the profile's Mix64NonZero-salted seed
+// hashed with the copy's identity, mapped to [0, 1). The simulator
+// mirror draws the identical coin for the identical copy.
+func (p Profile) coin(i, attempt int) float64 {
+	salt := stats.Mix64NonZero(p.Seed ^ 0xa0761d6478bd642f)
+	h := stats.Mix64(salt ^ (uint64(i)<<20 | uint64(attempt)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// Outcome is the combined fault decision for one copy: what the
+// scripted profiles do to it on the replica it actually reaches.
+type Outcome struct {
+	// Fail: the copy fails instantly with an injected error.
+	Fail bool
+	// Stall: the copy hangs until its context is cancelled.
+	Stall bool
+	// Slow is the latency inflation factor (1 when unaffected);
+	// stacked Slow profiles multiply.
+	Slow float64
+}
+
+// Decide consults the profiles for the copy (query i, attempt slot)
+// executing on the given replica. It is a pure function — both the
+// live Injector and the simulator mirror call it, which is the
+// single-source-of-truth that keeps the two worlds' fault streams
+// identical.
+func Decide(profiles []Profile, replica, i, attempt int) Outcome {
+	out := Outcome{Slow: 1}
+	for _, p := range profiles {
+		if p.Replica != replica || !p.ActiveAt(i) {
+			continue
+		}
+		switch p.Kind {
+		case Crash, Flap:
+			out.Fail = true
+		case Stall:
+			out.Stall = true
+		case Slow:
+			out.Slow *= p.Factor
+		case ErrorRate:
+			if p.coin(i, attempt) < p.Rate {
+				out.Fail = true
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks a fault script against a fleet of the given size.
+func Validate(profiles []Profile, replicas int) error {
+	for idx, p := range profiles {
+		if p.Replica < 0 || p.Replica >= replicas {
+			return fmt.Errorf("fault: profile %d: replica %d out of range [0,%d)", idx, p.Replica, replicas)
+		}
+		if p.From < 0 {
+			return fmt.Errorf("fault: profile %d: negative From %d", idx, p.From)
+		}
+		if p.Until != 0 && p.Until <= p.From {
+			return fmt.Errorf("fault: profile %d: Until %d not after From %d", idx, p.Until, p.From)
+		}
+		switch p.Kind {
+		case Crash, Stall:
+		case Slow:
+			if p.Factor <= 1 {
+				return fmt.Errorf("fault: profile %d: Slow needs Factor > 1, got %g", idx, p.Factor)
+			}
+		case ErrorRate:
+			if p.Rate <= 0 || p.Rate > 1 {
+				return fmt.Errorf("fault: profile %d: ErrorRate needs Rate in (0,1], got %g", idx, p.Rate)
+			}
+		case Flap:
+			if p.Period <= 0 || p.On <= 0 || p.On >= p.Period {
+				return fmt.Errorf("fault: profile %d: Flap needs 0 < On < Period, got On=%d Period=%d", idx, p.On, p.Period)
+			}
+		default:
+			return fmt.Errorf("fault: profile %d: unknown Kind %d", idx, int(p.Kind))
+		}
+	}
+	return nil
+}
+
+// ErrInjected is the sentinel every injected failure wraps; match it
+// with errors.Is to tell scripted faults from organic ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Error is an injected failure, identifying exactly which copy was
+// failed on which replica.
+type Error struct {
+	Replica int
+	Query   int
+	Attempt int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected failure at replica %d (query %d attempt %d)", e.Replica, e.Query, e.Attempt)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *Error) Unwrap() error { return ErrInjected }
+
+// Config parametrizes an Injector.
+type Config struct {
+	// Replicas is the wrapped source's fleet size — the modulus of
+	// its (primary+attempt) mod R routing seam. Required.
+	Replicas int
+	// Profiles is the fault script.
+	Profiles []Profile
+	// Breaker, when set, arms per-replica circuit breaking AT the
+	// injection seam: consecutive injected (or organic) failures
+	// evict the replica and re-route attempts intended for it to the
+	// next replica in mod-R order, until a timed half-open probe
+	// succeeds. The injector is the one layer that can see a stall
+	// for what it is, so a stalled copy whose deadline expires is
+	// reported as a breaker failure here.
+	Breaker *hedge.BreakerConfig
+}
+
+// Snapshot is the injector's running fault accounting.
+type Snapshot struct {
+	// Failed counts copies failed instantly (Crash, Flap, ErrorRate).
+	Failed int64
+	// Stalled counts copies that entered a stall.
+	Stalled int64
+	// Slowed counts copies held for a Slow inflation.
+	Slowed int64
+	// Rerouted counts copies the breaker steered away from their
+	// intended replica; Rejected counts copies failed fast because
+	// every replica's breaker was open.
+	Rerouted, Rejected int64
+}
+
+// Injector wraps a Source, applying the scripted fault
+// profiles to every copy that flows through it and (optionally)
+// containing them with a circuit breaker. It implements
+// Source, so it drops into any seam a Source fits: under a
+// hedge.Client, a tier, a shard, or a topo edge.
+type Injector struct {
+	src      Source
+	replicas int
+	profiles []Profile
+	breaker  *hedge.Breaker
+
+	failed   atomic.Int64
+	stalled  atomic.Int64
+	slowed   atomic.Int64
+	rerouted atomic.Int64
+	rejected atomic.Int64
+}
+
+var _ Source = (*Injector)(nil)
+
+// New validates the fault script and wraps src.
+func New(src Source, cfg Config) (*Injector, error) {
+	if src == nil {
+		return nil, fmt.Errorf("fault: nil source")
+	}
+	if cfg.Replicas <= 0 {
+		return nil, fmt.Errorf("fault: Replicas must be positive, got %d", cfg.Replicas)
+	}
+	if err := Validate(cfg.Profiles, cfg.Replicas); err != nil {
+		return nil, err
+	}
+	in := &Injector{src: src, replicas: cfg.Replicas, profiles: cfg.Profiles}
+	if cfg.Breaker != nil {
+		b, err := hedge.NewBreaker(cfg.Replicas, *cfg.Breaker)
+		if err != nil {
+			return nil, err
+		}
+		in.breaker = b
+	}
+	return in, nil
+}
+
+// Unit returns the wrapped source's unit.
+func (in *Injector) Unit() time.Duration { return in.src.Unit() }
+
+// Breaker returns the injector's circuit breaker, or nil.
+func (in *Injector) Breaker() *hedge.Breaker { return in.breaker }
+
+// Snapshot returns the injector's fault accounting so far.
+func (in *Injector) Snapshot() Snapshot {
+	return Snapshot{
+		Failed:   in.failed.Load(),
+		Stalled:  in.stalled.Load(),
+		Slowed:   in.slowed.Load(),
+		Rerouted: in.rerouted.Load(),
+		Rejected: in.rejected.Load(),
+	}
+}
+
+// Request returns the faulted hedge.Fn for query i. The copy's
+// intended replica is (backend.PrimaryReplica(i,R)+attempt) mod R —
+// the stack's one routing rule — and the profiles of the replica the
+// copy actually reaches (after any breaker re-route) decide its
+// fate. Re-routing shifts the attempt passed to the inner source by
+// the re-route offset, which lands the copy on the chosen replica
+// through the inner source's own mod-R seam.
+func (in *Injector) Request(i int) hedge.Fn {
+	inner := in.src.Request(i)
+	r := in.replicas
+	// The same primary placement backend.PrimaryReplica computes —
+	// inlined to keep this package backend-free (see Source).
+	base := int(stats.Mix64(uint64(i)) % uint64(r))
+	return func(ctx context.Context, attempt int) (any, error) {
+		intended := (base + attempt) % r
+		actual := intended
+		if in.breaker != nil {
+			a, err := in.breaker.Route(intended)
+			if err != nil {
+				in.rejected.Add(1)
+				return nil, fmt.Errorf("fault: replica %d: %w", intended, err)
+			}
+			if a != intended {
+				in.rerouted.Add(1)
+			}
+			actual = a
+		}
+		out := Decide(in.profiles, actual, i, attempt)
+		switch {
+		case out.Fail:
+			in.failed.Add(1)
+			if in.breaker != nil {
+				in.breaker.Report(actual, false)
+			}
+			return nil, &Error{Replica: actual, Query: i, Attempt: attempt}
+		case out.Stall:
+			in.stalled.Add(1)
+			<-ctx.Done()
+			// The injector KNOWS this copy stalled, so a deadline
+			// expiring on it is failure detection (report it), while a
+			// plain cancellation is the loser being reclaimed
+			// (neutral).
+			if in.breaker != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				in.breaker.Report(actual, false)
+			}
+			return nil, fmt.Errorf("fault: replica %d stalled: %w", actual, ctx.Err())
+		}
+		t0 := time.Now()
+		v, err := inner(ctx, attempt+(actual-intended+r)%r)
+		if err != nil {
+			if in.breaker != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				in.breaker.Report(actual, false)
+			}
+			return v, err
+		}
+		if out.Slow > 1 {
+			in.slowed.Add(1)
+			// Hold the completed copy for (Factor-1)× its elapsed time:
+			// response = Factor × (wait + service), replica capacity
+			// untouched — an edge-latency stretch, which is exactly
+			// what the simulator mirror models by deferring the copy's
+			// completion report.
+			t := time.NewTimer(time.Duration(float64(time.Since(t0)) * (out.Slow - 1)))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		if in.breaker != nil {
+			in.breaker.Report(actual, true)
+		}
+		return v, nil
+	}
+}

@@ -1,0 +1,329 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/reissue/hedge"
+)
+
+const unit = 200 * time.Microsecond
+
+// echoSource routes like the real backends — primary at
+// Mix64(i) mod R, attempt n at (primary+n) mod R — and records which
+// replica each copy landed on.
+type echoSource struct {
+	replicas int
+	hold     time.Duration
+	landed   []atomic.Int64 // per-replica copy count
+}
+
+func newEchoSource(replicas int, hold time.Duration) *echoSource {
+	return &echoSource{replicas: replicas, hold: hold, landed: make([]atomic.Int64, replicas)}
+}
+
+func (s *echoSource) Unit() time.Duration { return unit }
+
+func (s *echoSource) Request(i int) hedge.Fn {
+	base := int(stats.Mix64(uint64(i)) % uint64(s.replicas))
+	return func(ctx context.Context, attempt int) (any, error) {
+		rep := (base + attempt) % s.replicas
+		s.landed[rep].Add(1)
+		if s.hold > 0 {
+			t := time.NewTimer(s.hold)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		return rep, nil
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Profile
+	}{
+		{"replica out of range", Profile{Replica: 3, Kind: Crash}},
+		{"negative replica", Profile{Replica: -1, Kind: Crash}},
+		{"negative From", Profile{Kind: Crash, From: -1}},
+		{"Until before From", Profile{Kind: Crash, From: 10, Until: 5}},
+		{"slow factor <= 1", Profile{Kind: Slow, Factor: 1}},
+		{"zero error rate", Profile{Kind: ErrorRate, Rate: 0}},
+		{"rate above 1", Profile{Kind: ErrorRate, Rate: 1.5}},
+		{"flap without window", Profile{Kind: Flap}},
+		{"flap On >= Period", Profile{Kind: Flap, Period: 4, On: 4}},
+	}
+	for _, tc := range cases {
+		if err := Validate([]Profile{tc.p}, 3); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	ok := []Profile{
+		{Replica: 0, Kind: Crash, From: 100},
+		{Replica: 1, Kind: ErrorRate, Rate: 0.2},
+		{Replica: 2, Kind: Slow, Factor: 2.5},
+		{Replica: 2, Kind: Flap, Period: 10, On: 3},
+		{Replica: 0, Kind: Stall, From: 5, Until: 50},
+	}
+	if err := Validate(ok, 3); err != nil {
+		t.Errorf("valid script rejected: %v", err)
+	}
+}
+
+func TestActiveAtWindows(t *testing.T) {
+	crash := Profile{Kind: Crash, From: 10, Until: 20}
+	for i, want := range map[int]bool{9: false, 10: true, 19: true, 20: false} {
+		if got := crash.ActiveAt(i); got != want {
+			t.Errorf("crash.ActiveAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+	flap := Profile{Kind: Flap, From: 6, Period: 5, On: 2}
+	for i, want := range map[int]bool{5: false, 6: true, 7: true, 8: false, 10: false, 11: true, 12: true, 13: false} {
+		if got := flap.ActiveAt(i); got != want {
+			t.Errorf("flap.ActiveAt(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestDecideDeterministicAndSeeded pins Decide's purity: the same
+// (profiles, replica, i, attempt) key always gives the same outcome,
+// the ErrorRate coin stream hits its configured rate, and distinct
+// profile seeds draw distinct streams.
+func TestDecideDeterministicAndSeeded(t *testing.T) {
+	p1 := []Profile{{Replica: 0, Kind: ErrorRate, Rate: 0.3, Seed: 1}}
+	p2 := []Profile{{Replica: 0, Kind: ErrorRate, Rate: 0.3, Seed: 2}}
+	const n = 20000
+	fails, diff := 0, 0
+	for i := 0; i < n; i++ {
+		a := Decide(p1, 0, i, 0)
+		if b := Decide(p1, 0, i, 0); b != a {
+			t.Fatalf("Decide not deterministic at i=%d: %+v vs %+v", i, a, b)
+		}
+		if a.Fail {
+			fails++
+		}
+		if Decide(p2, 0, i, 0).Fail != a.Fail {
+			diff++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Errorf("ErrorRate 0.3 realized %.4f over %d coins", rate, n)
+	}
+	if diff == 0 {
+		t.Error("profiles with different seeds drew identical coin streams")
+	}
+	// Different attempt slots of the same query draw independent coins.
+	same := 0
+	for i := 0; i < n; i++ {
+		if Decide(p1, 0, i, 0).Fail == Decide(p1, 0, i, 1).Fail {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("attempt 0 and attempt 1 coins are identical")
+	}
+}
+
+func TestDecideComposition(t *testing.T) {
+	profiles := []Profile{
+		{Replica: 1, Kind: Slow, Factor: 2},
+		{Replica: 1, Kind: Slow, Factor: 3},
+		{Replica: 2, Kind: Stall},
+	}
+	if out := Decide(profiles, 1, 0, 0); out.Slow != 6 || out.Fail || out.Stall {
+		t.Errorf("stacked Slow = %+v, want Slow=6", out)
+	}
+	if out := Decide(profiles, 2, 0, 0); !out.Stall {
+		t.Errorf("stall replica = %+v, want Stall", out)
+	}
+	if out := Decide(profiles, 0, 0, 0); out.Fail || out.Stall || out.Slow != 1 {
+		t.Errorf("healthy replica = %+v, want zero outcome", out)
+	}
+}
+
+func TestInjectorCrashFailsOnlyFaultedReplica(t *testing.T) {
+	src := newEchoSource(3, 0)
+	in, err := New(src, Config{Replicas: 3, Profiles: []Profile{{Replica: 1, Kind: Crash}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed, succeeded int
+	for i := 0; i < 300; i++ {
+		base := int(stats.Mix64(uint64(i)) % 3)
+		_, err := in.Request(i)(context.Background(), 0)
+		if base == 1 {
+			var fe *Error
+			if !errors.As(err, &fe) || !errors.Is(err, ErrInjected) {
+				t.Fatalf("query %d on crashed replica: err = %v, want *Error wrapping ErrInjected", i, err)
+			}
+			if fe.Replica != 1 || fe.Query != i {
+				t.Fatalf("error identity = %+v", fe)
+			}
+			failed++
+		} else {
+			if err != nil {
+				t.Fatalf("query %d on healthy replica %d: %v", i, base, err)
+			}
+			succeeded++
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Fatalf("degenerate routing: failed=%d succeeded=%d", failed, succeeded)
+	}
+	if got := in.Snapshot().Failed; got != int64(failed) {
+		t.Errorf("Snapshot.Failed = %d, want %d", got, failed)
+	}
+	if got := src.landed[1].Load(); got != 0 {
+		t.Errorf("crashed replica still served %d copies — injected failures must not reach the backend", got)
+	}
+}
+
+func TestInjectorStallHangsUntilCancel(t *testing.T) {
+	src := newEchoSource(1, 0)
+	in, err := New(src, Config{Replicas: 1, Profiles: []Profile{{Replica: 0, Kind: Stall}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = in.Request(0)(ctx, 0)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled copy err = %v, want deadline wrap", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("stall released after %v, before the context died", elapsed)
+	}
+	if got := in.Snapshot().Stalled; got != 1 {
+		t.Errorf("Snapshot.Stalled = %d, want 1", got)
+	}
+	if got := src.landed[0].Load(); got != 0 {
+		t.Errorf("stalled copy reached the backend (%d)", got)
+	}
+}
+
+func TestInjectorSlowStretchesResponse(t *testing.T) {
+	const hold = 10 * time.Millisecond
+	src := newEchoSource(1, hold)
+	in, err := New(src, Config{Replicas: 1, Profiles: []Profile{{Replica: 0, Kind: Slow, Factor: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := in.Request(0)(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// response ≈ Factor × service = 30ms; generous bounds for CI noise.
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("slow copy finished in %v, want ~3x the %v hold", elapsed, hold)
+	}
+	if got := in.Snapshot().Slowed; got != 1 {
+		t.Errorf("Snapshot.Slowed = %d, want 1", got)
+	}
+}
+
+// TestInjectorBreakerEvictsAndReroutes: a crash-faulted replica trips
+// its breaker after Threshold failures, after which copies intended
+// for it re-route to the next replica via the attempt-shift seam —
+// and land there in the inner source.
+func TestInjectorBreakerEvictsAndReroutes(t *testing.T) {
+	src := newEchoSource(2, 0)
+	in, err := New(src, Config{
+		Replicas: 2,
+		Profiles: []Profile{{Replica: 0, Kind: Crash}},
+		Breaker:  &hedge.BreakerConfig{Threshold: 3, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected, served int
+	for i := 0; i < 200; i++ {
+		v, err := in.Request(i)(context.Background(), 0)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("query %d: %v", i, err)
+			}
+			injected++
+			continue
+		}
+		if rep, ok := v.(int); !ok || rep != 1 {
+			t.Fatalf("query %d landed on replica %v, want 1 (the healthy one)", i, v)
+		}
+		served++
+	}
+	if injected != 3 {
+		t.Errorf("injected failures = %d, want exactly Threshold=3 before eviction", injected)
+	}
+	snap := in.Snapshot()
+	if snap.Rerouted == 0 {
+		t.Error("no copies rerouted off the evicted replica")
+	}
+	if got := in.Breaker().Trips(0); got != 1 {
+		t.Errorf("Trips(0) = %d, want 1", got)
+	}
+	if got := in.Breaker().State(0); got != hedge.BreakerOpen {
+		t.Errorf("State(0) = %v, want open", got)
+	}
+	if served == 0 {
+		t.Error("no queries served after eviction")
+	}
+	if got := src.landed[0].Load(); got != 0 {
+		t.Errorf("dead replica reached %d times", got)
+	}
+}
+
+// TestInjectorAllOpenRejectsFast: with every replica's breaker open,
+// copies fail fast wrapping hedge.ErrBreakerOpen.
+func TestInjectorAllOpenRejectsFast(t *testing.T) {
+	src := newEchoSource(1, 0)
+	in, err := New(src, Config{
+		Replicas: 1,
+		Profiles: []Profile{{Replica: 0, Kind: Crash}},
+		Breaker:  &hedge.BreakerConfig{Threshold: 1, Cooldown: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Request(0)(context.Background(), 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first copy err = %v, want injected failure", err)
+	}
+	_, err = in.Request(1)(context.Background(), 0)
+	if !errors.Is(err, hedge.ErrBreakerOpen) {
+		t.Fatalf("post-trip err = %v, want ErrBreakerOpen", err)
+	}
+	if got := in.Snapshot().Rejected; got != 1 {
+		t.Errorf("Snapshot.Rejected = %d, want 1", got)
+	}
+}
+
+// TestInjectorNoFaultsPassthrough: an empty script is a strict no-op.
+func TestInjectorNoFaultsPassthrough(t *testing.T) {
+	src := newEchoSource(3, 0)
+	in, err := New(src, Config{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		want := int(stats.Mix64(uint64(i)) % 3)
+		v, err := in.Request(i)(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != (want+1)%3 {
+			t.Fatalf("query %d attempt 1 landed on %v, want %d", i, v, (want+1)%3)
+		}
+	}
+	if s := in.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("Snapshot = %+v, want all-zero", s)
+	}
+}

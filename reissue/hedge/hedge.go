@@ -24,6 +24,15 @@
 // subpackages wrap their clients back into backend.Source, and
 // reissue/hedge/topo assembles those combinators into arbitrary
 // service graphs built simultaneously with their simulator twins.
+//
+// The client also hardens the failure domain around each copy: a
+// per-replica circuit breaker (Breaker), per-attempt timeouts and
+// bounded retry-with-backoff kept strictly distinct from hedged
+// reissue in the accounting, and typed degradation errors
+// (ErrDegraded, ErrBreakerOpen, ErrAttemptTimeout). Deterministic
+// fault injection for all of it lives in reissue/hedge/fault; see
+// DESIGN.md's "Failure domains & chaos testing" for the taxonomy and
+// the sim-vs-live cross-validation.
 package hedge
 
 import (
@@ -84,6 +93,24 @@ type Config struct {
 	QuantileWindow int
 	// QuantileEps is the tracker's rank error; default 0.005.
 	QuantileEps float64
+	// AttemptTimeout, in policy time units, bounds each individual try
+	// of a copy: the copy's Fn runs under a child context with this
+	// deadline, and a try that exceeds it fails with an error wrapping
+	// ErrAttemptTimeout (retryable, counted under Faulted — not
+	// Cancelled). 0 disables the per-attempt timeout.
+	AttemptTimeout float64
+	// MaxRetries is how many times a failed try of a copy is re-sent
+	// before the copy is reported failed. Retries are failure
+	// containment, distinct from hedged reissue: a retry re-runs the
+	// SAME attempt slot and is counted only in Snapshot.Retried, never
+	// in Reissued or Attempts[].Dispatched/Wins — the policy's
+	// dispatch statistics must reflect the plan, not the retry storm.
+	// 0 disables retries.
+	MaxRetries int
+	// RetryBackoff, in policy time units, is the wait before the first
+	// retry, doubling on each subsequent retry. The wait is cancelled
+	// with the copy's context. 0 retries immediately.
+	RetryBackoff float64
 	// OnCopyComplete, when set, is invoked for every copy that
 	// actually completes successfully, with the copy's attempt number
 	// (0 for the primary, n for the copy sent at the plan's n-th
@@ -113,6 +140,18 @@ type Snapshot struct {
 	// deadline expired) before any copy succeeded. The two are
 	// disjoint: a caller walking away is not a backend failure.
 	PrimaryWins, ReissueWins, Failures, Cancelled int64
+	// Faulted counts dispatched copies that terminally failed with a
+	// backend fault (after exhausting any retries); copies that ended
+	// because the caller or the winner cancelled them are excluded.
+	// Retried counts individual retry sends performed under
+	// Config.MaxRetries — deliberately NOT part of Reissued or the
+	// Attempts table, so retry containment never skews the policy's
+	// win/dispatch statistics. BreakerOpen counts copies rejected
+	// because every candidate replica's circuit breaker was open;
+	// Degraded counts copies failed fast by a browned-out composite
+	// tier (errors wrapping ErrDegraded). BreakerOpen and Degraded are
+	// subsets of Faulted.
+	Faulted, Retried, BreakerOpen, Degraded int64
 	// ReissueRate is Reissued / Completed — directly comparable to
 	// the simulator's Result.ReissueRate and the policy's configured
 	// budget q·Pr(X > d).
@@ -175,6 +214,10 @@ type Client struct {
 	reissueWins atomic.Int64
 	failures    atomic.Int64
 	cancelled   atomic.Int64
+	faulted     atomic.Int64
+	retried     atomic.Int64
+	breakerOpen atomic.Int64
+	degraded    atomic.Int64
 
 	wg sync.WaitGroup // all copy and drain goroutines
 }
@@ -195,6 +238,15 @@ func New(cfg Config) (*Client, error) {
 	}
 	if cfg.QuantileEps <= 0 {
 		cfg.QuantileEps = DefaultQuantileEps
+	}
+	if cfg.AttemptTimeout < 0 {
+		return nil, fmt.Errorf("hedge: negative AttemptTimeout %v", cfg.AttemptTimeout)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("hedge: negative MaxRetries %d", cfg.MaxRetries)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("hedge: negative RetryBackoff %v", cfg.RetryBackoff)
 	}
 	c := &Client{
 		cfg:     cfg,
@@ -394,7 +446,7 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 
 	run := func(attempt int) {
 		t0 := time.Now()
-		v, err := fn(hctx, attempt)
+		v, err := c.execute(hctx, fn, attempt)
 		results <- outcome{attempt: attempt, val: v, err: err,
 			rt: float64(time.Since(t0)) / float64(c.unit)}
 	}
@@ -553,8 +605,66 @@ func (c *Client) Do(ctx context.Context, fn Fn) (any, error) {
 	return nil, fmt.Errorf("%w: %w", ErrAllCopiesFailed, primaryErr)
 }
 
-// record feeds a completed copy's measurements to the adapter and
-// remembers the primary's error for failure reporting.
+// execute runs one copy to its terminal outcome, applying the
+// per-attempt timeout and the bounded retry-with-backoff policy.
+// Retries are containment, not reissue: each retry re-runs the same
+// attempt slot, bumps only the retried counter, and the copy's
+// response time (measured by the caller from first dispatch) absorbs
+// the retry rounds — exactly one outcome per attempt slot reaches
+// the collector either way.
+func (c *Client) execute(ctx context.Context, fn Fn, attempt int) (any, error) {
+	backoff := c.cfg.RetryBackoff
+	for try := 0; ; try++ {
+		v, err := c.tryOnce(ctx, fn, attempt)
+		if err == nil || try >= c.cfg.MaxRetries || !retryable(ctx, err) {
+			return v, err
+		}
+		c.retried.Add(1)
+		if backoff > 0 {
+			t := time.NewTimer(time.Duration(backoff * float64(c.unit)))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return v, err
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// tryOnce runs a single try of one copy under Config.AttemptTimeout.
+func (c *Client) tryOnce(ctx context.Context, fn Fn, attempt int) (any, error) {
+	if c.cfg.AttemptTimeout <= 0 {
+		return fn(ctx, attempt)
+	}
+	d := time.Duration(c.cfg.AttemptTimeout * float64(c.unit))
+	actx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	v, err := fn(actx, attempt)
+	if err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+		// The per-attempt budget expired while the caller still wanted
+		// the answer: a fault of this try, not the caller walking
+		// away. %v (not %w) on the cause keeps DeadlineExceeded out of
+		// the chain so classification and retry treat it as a fault.
+		return nil, fmt.Errorf("%w (%v): %v", ErrAttemptTimeout, d, err)
+	}
+	return v, err
+}
+
+// retryable reports whether a failed try should be re-sent: the copy
+// must still be wanted, and the error must be a backend fault rather
+// than a cancellation the backend observed and echoed back.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// record feeds a completed copy's measurements to the adapter,
+// classifies terminal failures into the fault taxonomy, and remembers
+// the primary's error for failure reporting.
 func (c *Client) record(o outcome, primaryErr *error) {
 	if o.skipped {
 		return
@@ -564,7 +674,20 @@ func (c *Client) record(o outcome, primaryErr *error) {
 		if c.cfg.OnCopyComplete != nil {
 			c.cfg.OnCopyComplete(o.attempt, o.rt)
 		}
-	} else if o.attempt == 0 && *primaryErr == nil {
+		return
+	}
+	if !errors.Is(o.err, context.Canceled) && !errors.Is(o.err, context.DeadlineExceeded) {
+		// A genuine fault of this copy — loser cancellations and
+		// caller-deadline unwinds stay out of the taxonomy.
+		c.faulted.Add(1)
+		switch {
+		case errors.Is(o.err, ErrBreakerOpen):
+			c.breakerOpen.Add(1)
+		case errors.Is(o.err, ErrDegraded):
+			c.degraded.Add(1)
+		}
+	}
+	if o.attempt == 0 && *primaryErr == nil {
 		*primaryErr = o.err
 	}
 }
@@ -613,6 +736,10 @@ func (c *Client) Snapshot() Snapshot {
 		ReissueWins: c.reissueWins.Load(),
 		Failures:    c.failures.Load(),
 		Cancelled:   c.cancelled.Load(),
+		Faulted:     c.faulted.Load(),
+		Retried:     c.retried.Load(),
+		BreakerOpen: c.breakerOpen.Load(),
+		Degraded:    c.degraded.Load(),
 		P50:         p50,
 		P95:         p95,
 		P99:         p99,

@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/reissue"
+	"repro/reissue/hedge"
+	"repro/reissue/hedge/backend"
+)
+
+// TestDeadlineBoundsWedgedShard pins the fan-out deadline budget: one
+// wedged shard cannot hold the whole fan-out past Config.Deadline,
+// and the expiry classifies Cancelled — the budget is the caller's,
+// not a shard failure.
+func TestDeadlineBoundsWedgedShard(t *testing.T) {
+	fast := sourceFunc{unit: unit, fn: func(ctx context.Context, _ int) (any, error) {
+		return "ok", nil
+	}}
+	wedged := sourceFunc{unit: unit, fn: func(ctx context.Context, _ int) (any, error) {
+		<-ctx.Done() // only the budget frees it
+		return nil, ctx.Err()
+	}}
+	r, err := New(Config{
+		Shards:   []backend.Source{fast, wedged},
+		Hedge:    hedge.Config{Policy: reissue.None{}},
+		Deadline: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Wait()
+
+	start := time.Now()
+	_, err = r.Do(context.Background(), 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the fan-out budget", err)
+	}
+	if limit := time.Duration(200 * float64(unit)); elapsed > limit {
+		t.Errorf("Do took %v, want < %v — budget did not cut the wedged shard", elapsed, limit)
+	}
+	s := r.Snapshot()
+	if s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("Cancelled=%d Failures=%d, want 1, 0", s.Cancelled, s.Failures)
+	}
+}
+
+// TestDeadlineValidation: the deadline must be finite and
+// non-negative, like every other model-time knob.
+func TestDeadlineValidation(t *testing.T) {
+	src := sourceFunc{unit: unit, fn: func(context.Context, int) (any, error) { return "v", nil }}
+	for _, d := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := New(Config{
+			Shards:   []backend.Source{src, src},
+			Hedge:    hedge.Config{Policy: reissue.None{}},
+			Deadline: d,
+		}); err == nil {
+			t.Errorf("New accepted Deadline = %v", d)
+		}
+	}
+}

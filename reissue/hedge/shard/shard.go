@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,13 @@ type Config struct {
 	// real fan-out deployment. If Hedge.Unit is zero it is taken from
 	// the shards; otherwise it must match them.
 	Hedge hedge.Config
+	// Deadline, in model milliseconds, is the query's end-to-end
+	// budget: Do wraps its context with a timeout of Deadline×Unit,
+	// and every shard's sub-query — hedged copies included — inherits
+	// the remainder through the context chain. An exhausted budget
+	// cancels all in-flight copies and counts as Cancelled, not a
+	// Failure, matching tier.Config.Deadline. Zero means no budget.
+	Deadline float64
 }
 
 // shardSalt decorrelates shard s's policy coins from the template
@@ -73,9 +81,10 @@ func shardSalt(s int) uint64 {
 // concurrent use; a single Router is meant to be shared by every
 // goroutine issuing queries.
 type Router struct {
-	shards  []backend.Source
-	clients []*hedge.Client
-	unit    time.Duration
+	shards   []backend.Source
+	clients  []*hedge.Client
+	unit     time.Duration
+	deadline time.Duration
 
 	issued    atomic.Int64
 	completed atomic.Int64
@@ -111,10 +120,14 @@ func New(cfg Config) (*Router, error) {
 	if unit <= 0 {
 		return nil, fmt.Errorf("shard: fleet Unit %v must be positive", unit)
 	}
+	if math.IsNaN(cfg.Deadline) || math.IsInf(cfg.Deadline, 0) || cfg.Deadline < 0 {
+		return nil, fmt.Errorf("shard: Deadline=%v must be a non-negative finite model-ms budget", cfg.Deadline)
+	}
 	r := &Router{
-		shards:  cfg.Shards,
-		clients: make([]*hedge.Client, len(cfg.Shards)),
-		unit:    unit,
+		shards:   cfg.Shards,
+		clients:  make([]*hedge.Client, len(cfg.Shards)),
+		unit:     unit,
+		deadline: time.Duration(cfg.Deadline * float64(unit)),
 	}
 	qw, qe := cfg.Hedge.QuantileWindow, cfg.Hedge.QuantileEps
 	if qw <= 0 {
@@ -180,6 +193,15 @@ func (r *Router) Do(ctx context.Context, i int) ([]any, error) {
 		return nil, err
 	}
 	start := time.Now()
+	// Arm the deadline budget: every shard's sub-query inherits the
+	// remainder through the shadowed context, and since Do waits for
+	// all shards inline the deferred release cannot cut a straggler
+	// short — there are none by the time Do returns.
+	if r.deadline > 0 {
+		dctx, cancelBudget := context.WithTimeout(ctx, r.deadline)
+		defer cancelBudget()
+		ctx = dctx
+	}
 	n := len(r.clients)
 	vals := make([]any, n)
 	errs := make([]error, n)

@@ -1,0 +1,149 @@
+package tier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/reissue/hedge"
+)
+
+// TestBrownOutServesHitsFailsMissesFast pins the brown-out contract:
+// once the store tier's breaker declares the store down, every cache
+// hit is still served normally, and every miss fails fast with a
+// typed hedge.ErrDegraded instead of burning a store sub-query (or a
+// deadline) on a dead tier.
+func TestBrownOutServesHitsFailsMissesFast(t *testing.T) {
+	storeDown := errors.New("store down")
+	cache := &fakeSource{
+		unitD: unit,
+		hold:  func(int) float64 { return 1 },
+		value: func(i int) (any, error) {
+			if i%2 == 0 {
+				return fmt.Sprintf("hit-%d", i), nil
+			}
+			return Miss{}, nil
+		},
+	}
+	c := mustTier(t, Config{
+		Cache: cache,
+		Store: constSource(1, nil, storeDown),
+		// Pure fall-through: only misses consult the store, so the
+		// breaker sees exactly the miss stream.
+		TierDelay: 50,
+		Degrade:   &DegradeConfig{Threshold: 2, Cooldown: 1e9},
+	})
+	defer c.Wait()
+
+	const n = 20
+	var realFailures, degraded int
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		v, err := c.Do(context.Background(), i)
+		elapsed := time.Since(start)
+		if i%2 == 0 {
+			if err != nil || v != fmt.Sprintf("hit-%d", i) {
+				t.Fatalf("hit %d = %v, %v — a brown-out must not touch the hit path", i, v, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("miss %d succeeded against a dead store", i)
+		}
+		if errors.Is(err, hedge.ErrDegraded) {
+			degraded++
+			// Fail-fast: the cache miss resolves at ~1 model-ms and
+			// the brown-out gate answers instantly after it.
+			if limit := time.Duration(50 * float64(unit)); elapsed > limit {
+				t.Errorf("degraded miss %d took %v, want < %v", i, elapsed, limit)
+			}
+		} else if errors.Is(err, storeDown) {
+			realFailures++
+		} else {
+			t.Fatalf("miss %d failed with %v, want the store error or ErrDegraded", i, err)
+		}
+	}
+	// The first Threshold misses reach the store and open the
+	// breaker; with an unexpired cooldown every later miss degrades.
+	if realFailures != 2 {
+		t.Errorf("%d misses reached the dead store, want exactly Threshold=2", realFailures)
+	}
+	if degraded != n/2-2 {
+		t.Errorf("degraded = %d, want %d (every post-trip miss)", degraded, n/2-2)
+	}
+	if got := c.DegradeBreaker().State(0); got == hedge.BreakerClosed {
+		t.Error("store breaker still closed after a run of failures")
+	}
+	if got := c.Snapshot().Degraded; got != int64(degraded) {
+		t.Errorf("Snapshot.Degraded = %d, want %d", got, degraded)
+	}
+}
+
+// TestBrownOutRecovers: a healed store closes the breaker through the
+// half-open probe and misses flow again.
+func TestBrownOutRecovers(t *testing.T) {
+	var healed bool
+	store := &fakeSource{
+		unitD: unit,
+		hold:  func(int) float64 { return 1 },
+		value: func(int) (any, error) {
+			if healed {
+				return "from-store", nil
+			}
+			return nil, errors.New("store down")
+		},
+	}
+	c := mustTier(t, Config{
+		Cache:     constSource(1, Miss{}, nil),
+		Store:     store,
+		TierDelay: 50,
+		Degrade:   &DegradeConfig{Threshold: 1, Cooldown: 200},
+	})
+	defer c.Wait()
+
+	if _, err := c.Do(context.Background(), 0); err == nil {
+		t.Fatal("dead store answered")
+	}
+	if _, err := c.Do(context.Background(), 1); !errors.Is(err, hedge.ErrDegraded) {
+		t.Fatalf("inside the cooldown: err = %v, want ErrDegraded", err)
+	}
+	healed = true
+	time.Sleep(time.Duration(250 * float64(unit))) // cooldown elapses
+	v, err := c.Do(context.Background(), 2)
+	if err != nil || v != "from-store" {
+		t.Fatalf("post-heal probe = %v, %v; want from-store, nil", v, err)
+	}
+	if got := c.DegradeBreaker().State(0); got != hedge.BreakerClosed {
+		t.Errorf("breaker %v after a successful probe, want closed", got)
+	}
+}
+
+// TestDeadlineBudgetBoundsWedgedStore pins the tier-level deadline
+// budget: a miss whose store sub-query wedges is cut off at Deadline,
+// classified Cancelled (the budget is the caller's), and Do returns
+// in bounded time.
+func TestDeadlineBudgetBoundsWedgedStore(t *testing.T) {
+	c := mustTier(t, Config{
+		Cache:     constSource(1, Miss{}, nil),
+		Store:     constSource(10000, "never", nil), // wedged: only ctx frees it
+		TierDelay: 50,
+		Deadline:  20,
+	})
+	defer c.Wait()
+
+	start := time.Now()
+	_, err := c.Do(context.Background(), 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from the tier budget", err)
+	}
+	if limit := time.Duration(200 * float64(unit)); elapsed > limit {
+		t.Errorf("Do took %v, want < %v — budget did not cut the wedged store", elapsed, limit)
+	}
+	s := c.Snapshot()
+	if s.Cancelled != 1 || s.Failures != 0 {
+		t.Errorf("Cancelled=%d Failures=%d, want 1, 0 — budget expiry is a cancellation", s.Cancelled, s.Failures)
+	}
+}

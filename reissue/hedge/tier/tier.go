@@ -79,6 +79,34 @@ type Config struct {
 	// IsMiss classifies a cache-tier response value as a miss;
 	// defaults to the package-level IsMiss.
 	IsMiss func(v any) bool
+	// Deadline, in model milliseconds, is the query's end-to-end
+	// budget: Do runs both tiers under a context with this timeout, so
+	// the budget propagates through every sub-tier and copy (a nested
+	// composition inherits the shrinking remainder via the context
+	// chain — the standard deadline-propagation discipline). Queries
+	// that exhaust the budget count under Cancelled. 0 means no
+	// tier-imposed deadline.
+	Deadline float64
+	// Degrade, when set, arms brown-out containment for the store
+	// tier: after Threshold consecutive store sub-query failures the
+	// store is declared down, and until a Cooldown-spaced probe
+	// succeeds, miss-path queries fail fast with an error wrapping
+	// hedge.ErrDegraded instead of stalling on a dead store — while
+	// cache hits keep being served untouched. The machinery is a
+	// single-replica hedge.Breaker, so the state machine (and its
+	// half-open probe semantics) is the same one the transport and
+	// fault layers run per replica.
+	Degrade *DegradeConfig
+}
+
+// DegradeConfig parametrizes the store tier's brown-out breaker.
+type DegradeConfig struct {
+	// Threshold is the consecutive store-failure count that declares
+	// the store down. Must be > 0.
+	Threshold int
+	// Cooldown, in model milliseconds, is how long misses fail fast
+	// before a probe sub-query re-tests the store. Must be > 0.
+	Cooldown float64
 }
 
 // tierSalt decorrelates the store tier's policy coins from the cache
@@ -104,12 +132,15 @@ type Client struct {
 	tierDelay    time.Duration
 	noProactive  bool // TierDelay = +Inf: fall-through only
 	isMiss       func(any) bool
+	deadline     time.Duration
+	degrade      *hedge.Breaker // single-replica store brown-out breaker, nil when disarmed
 
 	issued, completed    atomic.Int64
 	hits, misses         atomic.Int64
 	storeDispatched      atomic.Int64
 	cacheWins, storeWins atomic.Int64
 	failures, cancelled  atomic.Int64
+	degraded             atomic.Int64
 
 	wg sync.WaitGroup
 
@@ -149,6 +180,20 @@ func New(cfg Config) (*Client, error) {
 	if c.isMiss == nil {
 		c.isMiss = IsMiss
 	}
+	if math.IsNaN(cfg.Deadline) || math.IsInf(cfg.Deadline, 0) || cfg.Deadline < 0 {
+		return nil, fmt.Errorf("tier: Deadline=%v must be a non-negative finite model-ms budget", cfg.Deadline)
+	}
+	c.deadline = time.Duration(cfg.Deadline * float64(unit))
+	if cfg.Degrade != nil {
+		b, err := hedge.NewBreaker(1, hedge.BreakerConfig{
+			Threshold: cfg.Degrade.Threshold,
+			Cooldown:  time.Duration(cfg.Degrade.Cooldown * float64(unit)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("tier: Degrade: %w", err)
+		}
+		c.degrade = b
+	}
 	cacheCfg := cfg.CacheHedge
 	cacheCfg.Unit = unit
 	cacheC, err := hedge.New(cacheCfg)
@@ -182,6 +227,12 @@ func (c *Client) Unit() time.Duration { return c.unit }
 // quantiles live there.
 func (c *Client) CacheClient() *hedge.Client { return c.cacheC }
 func (c *Client) StoreClient() *hedge.Client { return c.storeC }
+
+// DegradeBreaker returns the store tier's brown-out breaker (a
+// single-replica hedge.Breaker), or nil when Config.Degrade is unset.
+// Tests and supervisors inspect its state; the tier client itself
+// reports outcomes.
+func (c *Client) DegradeBreaker() *hedge.Breaker { return c.degrade }
 
 // outcome is one tier's terminal report for a query.
 type outcome struct {
@@ -230,6 +281,14 @@ func (c *Client) Do(ctx context.Context, i int) (any, error) {
 		return nil, err
 	}
 	start := time.Now()
+	// The deadline budget wraps BOTH tiers' contexts, so it propagates
+	// down the whole composition: every sub-tier, hedged copy, and
+	// wire request of this query inherits the shrinking remainder.
+	dctx, cancelBudget := ctx, func() {}
+	if c.deadline > 0 {
+		dctx, cancelBudget = context.WithTimeout(ctx, c.deadline)
+	}
+	ctx = dctx
 	results := make(chan outcome, 2)
 	fallThrough := make(chan struct{}) // closed when the cache misses or fails
 	var ftOnce sync.Once
@@ -281,8 +340,28 @@ func (c *Client) Do(ctx context.Context, i int) (any, error) {
 			results <- outcome{store: true, err: err, skipped: true}
 			return
 		}
+		if c.degrade != nil {
+			if _, rerr := c.degrade.Route(0); rerr != nil {
+				// Brown-out: the store is declared down, so the miss
+				// path fails fast in bounded time instead of stalling
+				// — and a cache hit in flight is entirely unaffected.
+				c.degraded.Add(1)
+				results <- outcome{store: true, err: fmt.Errorf("tier: store tier browned out: %w", hedge.ErrDegraded)}
+				return
+			}
+		}
 		c.storeDispatched.Add(1)
 		v, err := c.storeC.Do(ctx, c.store.Request(i))
+		if c.degrade != nil {
+			switch {
+			case err == nil:
+				c.degrade.Report(0, true)
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				// Cancellations say nothing about store health.
+			default:
+				c.degrade.Report(0, false)
+			}
+		}
 		results <- outcome{store: true, v: v, err: err}
 	}()
 
@@ -329,16 +408,21 @@ func (c *Client) Do(ctx context.Context, i int) (any, error) {
 		if remaining > 0 {
 			// Hand the losing tier to a drain goroutine: it runs to
 			// completion in the background, and its hit/miss
-			// classification is still recorded.
+			// classification is still recorded. The budget context is
+			// released only once the loser has drained, so Deadline
+			// does not cut the run-to-completion loser short.
 			c.wg.Add(1)
 			go func(rem int) {
 				defer c.wg.Done()
+				defer cancelBudget()
 				for ; rem > 0; rem-- {
 					if o := <-results; !o.store {
 						c.noteCache(o)
 					}
 				}
 			}(remaining)
+		} else {
+			cancelBudget()
 		}
 		if winner.store {
 			c.storeWins.Add(1)
@@ -355,7 +439,10 @@ func (c *Client) Do(ctx context.Context, i int) (any, error) {
 
 	// No tier produced a valid answer. Distinguish the caller walking
 	// away (directly, or surfacing as backend cancelled-while-queued
-	// reports) from a genuine all-tiers outcome.
+	// reports) from a genuine all-tiers outcome. An exhausted Deadline
+	// budget surfaces here as ctx.Err() == DeadlineExceeded and counts
+	// under Cancelled: the budget is the caller's, not the backend's.
+	cancelBudget()
 	c.completed.Add(1)
 	if err := ctx.Err(); err != nil {
 		c.cancelled.Add(1)
@@ -432,6 +519,13 @@ type Snapshot struct {
 	// queries abandoned by the caller — the same taxonomy as
 	// hedge.Snapshot, lifted to the tier level.
 	CacheWins, StoreWins, Failures, Cancelled int64
+	// Degraded counts store sub-queries refused by the brown-out
+	// breaker (Config.Degrade): the store was declared down, so the
+	// miss path failed fast with hedge.ErrDegraded instead of
+	// dispatching. A query can still succeed on a cache hit while its
+	// proactive store copy is refused, so Degraded is not a subset of
+	// Failures.
+	Degraded int64
 	// P50, P95, P99 are end-to-end query latencies in policy time
 	// units over the sliding window, successful queries only (NaN
 	// until data arrives).
@@ -453,6 +547,7 @@ func (c *Client) Snapshot() Snapshot {
 		StoreWins:       c.storeWins.Load(),
 		Failures:        c.failures.Load(),
 		Cancelled:       c.cancelled.Load(),
+		Degraded:        c.degraded.Load(),
 	}
 	if s.Completed > 0 {
 		s.TierRate = float64(s.StoreDispatched) / float64(s.Completed)

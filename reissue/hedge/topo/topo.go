@@ -92,6 +92,11 @@ type ShardSpec struct {
 	// a real partitioned deployment (and as required for the single
 	// hedge template shard.New applies across shards).
 	Child Spec
+	// Deadline is the fan-out's end-to-end budget in model
+	// milliseconds, handed to shard.Config.Deadline. Live runs only:
+	// the simulator twin has no deadline model, so leave it zero in
+	// sim/live parity runs. Zero means no budget.
+	Deadline float64
 }
 
 // TierSpec puts a cache fleet in front of a store subgraph.
@@ -109,6 +114,11 @@ type TierSpec struct {
 	Cache FleetSpec
 	// Store is the authoritative tier: any subgraph.
 	Store Spec
+	// Deadline is the tier query's end-to-end budget in model
+	// milliseconds, handed to tier.Config.Deadline. Live runs only:
+	// the simulator twin has no deadline model, so leave it zero in
+	// sim/live parity runs. Zero means no budget.
+	Deadline float64
 }
 
 // Options parametrizes Build.
@@ -171,6 +181,9 @@ type node struct {
 	// Tier nodes.
 	delay float64
 	cw    *kvstore.CacheWorkload
+	// deadline is the live-only model-ms budget (tier and shard
+	// nodes); zero when unset.
+	deadline float64
 
 	// children: [cache, store] for tiers, per-shard for shards.
 	children []*node
@@ -185,7 +198,7 @@ type Topology struct {
 	unit     time.Duration
 	opt      Options
 	servers  []*transport.ReplicaServer
-	leaves   map[string]*node   // concrete path → fleet leaf
+	leaves   map[string]*node    // concrete path → fleet leaf
 	slotKind map[string]nodeKind // slot path → node kind (policy validation)
 	// maxQueries bounds RunSpec.N: the shortest stream any node can
 	// replay (trace lengths, hit streams).
@@ -193,8 +206,8 @@ type Topology struct {
 	closed     bool
 }
 
-func tierSalt() uint64          { return stats.Mix64NonZero(1) }
-func shardMix(k int) uint64     { return stats.Mix64NonZero(uint64(k) + 1) }
+func tierSalt() uint64      { return stats.Mix64NonZero(1) }
+func shardMix(k int) uint64 { return stats.Mix64NonZero(uint64(k) + 1) }
 func join(parent, seg string) string {
 	if parent == "" {
 		return seg
@@ -283,7 +296,7 @@ func (t *Topology) build(w *kvstore.Workload, spec Spec, path, slot string, salt
 		if err != nil {
 			return nil, fmt.Errorf("topo: shard %q: %w", path, err)
 		}
-		n := &node{kind: kindShard, path: path, slot: slot, saltP: saltP, saltS: saltS}
+		n := &node{kind: kindShard, path: path, slot: slot, saltP: saltP, saltS: saltS, deadline: spec.Shard.Deadline}
 		for k, part := range parts {
 			cp, cs := saltP, saltS
 			if k > 0 {
@@ -331,7 +344,7 @@ func (t *Topology) build(w *kvstore.Workload, spec Spec, path, slot string, salt
 		}
 		n := &node{
 			kind: kindTier, path: path, slot: slot, saltP: saltP, saltS: saltS,
-			delay: ts.TierDelay, cw: cw, children: []*node{cacheN, storeN},
+			delay: ts.TierDelay, cw: cw, deadline: ts.Deadline, children: []*node{cacheN, storeN},
 		}
 		t.slotKind[slot] = kindTier
 		return n, nil
@@ -633,6 +646,7 @@ func (t *Topology) RunLive(rs RunSpec) (*Result, error) {
 					LetLoserRun: true,
 					Seed:        coinSeed ^ n.saltP,
 				},
+				Deadline: n.deadline,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("topo: %q: %w", n.path, err)
@@ -659,6 +673,7 @@ func (t *Topology) RunLive(rs RunSpec) (*Result, error) {
 				CacheHedge: hedge.Config{Policy: polFor(cacheN.slot), LetLoserRun: true, Seed: coinSeed ^ n.saltP},
 				StoreHedge: hedge.Config{Policy: polFor(storeN.slot), LetLoserRun: true, Seed: coinSeed ^ n.saltP},
 				TierDelay:  n.delay,
+				Deadline:   n.deadline,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("topo: %q: %w", n.path, err)
@@ -721,7 +736,21 @@ func (t *Topology) RunLive(rs RunSpec) (*Result, error) {
 			waiters[i]()
 		}
 	}
-	lats, err := backend.OpenLoop(context.Background(), t.unit, rs.N, rs.Lambda, rs.Seed, do, waitAll)
+	// Supervise the HTTP fleet (if any): a replica whose serve loop
+	// dies mid-run cancels the open loop immediately and the run
+	// fails with the replica's real error, not downstream timeout
+	// noise.
+	runCtx := context.Background()
+	fatal := func() error { return nil }
+	if len(t.servers) > 0 {
+		var stop context.CancelFunc
+		runCtx, stop, fatal = transport.WatchFleet(runCtx, t.servers...)
+		defer stop()
+	}
+	lats, err := backend.OpenLoop(runCtx, t.unit, rs.N, rs.Lambda, rs.Seed, do, waitAll)
+	if fe := fatal(); fe != nil {
+		return nil, fmt.Errorf("topo: replica fleet failed mid-run: %w", fe)
+	}
 	if err != nil {
 		return nil, err
 	}

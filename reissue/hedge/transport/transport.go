@@ -46,6 +46,25 @@ import (
 // cancelling a losing copy that was still queued.
 const statusClientClosedRequest = 499
 
+// StatusError is a replica's non-OK, non-499 HTTP response, carrying
+// the status code and a snippet of the body so fault-handling layers
+// (breakers, retry policies, the fault injector's classification)
+// can match on structure instead of error strings. 499 is excluded
+// because it is a cancellation echo, not a replica failure — it
+// surfaces as an error wrapping context.Canceled instead.
+type StatusError struct {
+	// Replica is the index of the replica within the client's fleet.
+	Replica int
+	// Code is the HTTP status code the replica returned.
+	Code int
+	// Body is the response body, truncated to 512 bytes and trimmed.
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("transport: replica %d: status %d: %s", e.Replica, e.Code, e.Body)
+}
+
 // Server serves one replica over HTTP: typically a single-replica
 // backend.Cluster standing in for a standalone replica process. The
 // handler exposes
@@ -179,6 +198,54 @@ func (rs *ReplicaServer) Fatal() <-chan error { return rs.fatal }
 // connections are closed without waiting for in-flight requests.
 func (rs *ReplicaServer) Close() error { return rs.srv.Close() }
 
+// Kill crashes the replica mid-run: it closes only the listener, so
+// the serve loop dies with an accept error — exactly what a replica
+// process being killed looks like from outside — and the failure
+// surfaces on Fatal(). In-flight connections are left to drain and
+// new dials are refused. Close remains the orderly teardown (its
+// ErrServerClosed never reaches Fatal); Kill is for fault injection
+// and the crash regression tests.
+func (rs *ReplicaServer) Kill() error { return rs.lis.Close() }
+
+// WatchFleet supervises a fleet of replica servers: it returns a
+// context derived from ctx that is cancelled the moment any server's
+// serve loop dies, plus a stop function releasing the watchers and a
+// func reporting the first fatal error (nil if none occurred). Live
+// runners wrap their open-loop context with it so a crashed replica
+// fails the run immediately with the real error, instead of the run
+// limping along and surfacing the crash as timeout noise.
+//
+//	ctx, stop, fatal := transport.WatchFleet(ctx, servers...)
+//	defer stop()
+//	lats, err := backend.RunOpenLoop(ctx, src, n, lambda, seed, true)
+//	if fe := fatal(); fe != nil {
+//		err = fe
+//	}
+func WatchFleet(ctx context.Context, servers ...*ReplicaServer) (context.Context, context.CancelFunc, func() error) {
+	wctx, cancel := context.WithCancel(ctx)
+	var first atomic.Pointer[error]
+	for _, rs := range servers {
+		go func(rs *ReplicaServer) {
+			select {
+			case err, ok := <-rs.Fatal():
+				// A closed channel without a value is the orderly Close
+				// path — not fatal.
+				if ok && err != nil {
+					first.CompareAndSwap(nil, &err)
+					cancel()
+				}
+			case <-wctx.Done():
+			}
+		}(rs)
+	}
+	return wctx, cancel, func() error {
+		if p := first.Load(); p != nil {
+			return *p
+		}
+		return nil
+	}
+}
+
 // ServeAll starts one ReplicaServer per cluster and returns the
 // servers with their base URLs, closing any already-started server on
 // error.
@@ -213,15 +280,24 @@ type ClientConfig struct {
 	// keeps enough idle connections per replica that a hedged open
 	// loop reuses connections instead of churning through ports.
 	HTTPClient *http.Client
+	// Breaker, when set, arms a per-replica circuit breaker: after
+	// Threshold consecutive failures (connection errors, timeouts,
+	// 5xx StatusErrors) a replica is evicted and attempts intended for
+	// it are re-routed to the next replica in the (primary+attempt)
+	// mod R order, until a timed half-open probe succeeds. 499s and
+	// context cancellations are neutral — a cancelled loser says
+	// nothing about replica health.
+	Breaker *hedge.BreakerConfig
 }
 
 // Client issues queries against a fleet of HTTP replica servers and
 // implements backend.Source, so RunOpenLoop and LiveSystem drive the
 // remote fleet exactly as they drive an in-process cluster.
 type Client struct {
-	urls []string
-	unit time.Duration
-	hc   *http.Client
+	urls    []string
+	unit    time.Duration
+	hc      *http.Client
+	breaker *hedge.Breaker
 }
 
 var _ backend.Source = (*Client)(nil)
@@ -251,8 +327,21 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		tr.MaxIdleConnsPerHost = 256
 		hc = &http.Client{Transport: tr}
 	}
-	return &Client{urls: urls, unit: cfg.Unit, hc: hc}, nil
+	c := &Client{urls: urls, unit: cfg.Unit, hc: hc}
+	if cfg.Breaker != nil {
+		b, err := hedge.NewBreaker(len(urls), *cfg.Breaker)
+		if err != nil {
+			return nil, err
+		}
+		c.breaker = b
+	}
+	return c, nil
 }
+
+// Breaker returns the client's circuit breaker, or nil when
+// ClientConfig.Breaker was not set. Callers inspect it for health
+// state; the client itself reports outcomes.
+func (c *Client) Breaker() *hedge.Breaker { return c.breaker }
 
 // Unit returns the wall-clock duration of one model millisecond.
 func (c *Client) Unit() time.Duration { return c.unit }
@@ -267,8 +356,15 @@ func (c *Client) Replicas() int { return len(c.urls) }
 func (c *Client) Request(i int) hedge.Fn {
 	base := backend.PrimaryReplica(i, len(c.urls))
 	return func(ctx context.Context, attempt int) (any, error) {
-		url := fmt.Sprintf("%s/query?i=%d&attempt=%d",
-			c.urls[(base+attempt)%len(c.urls)], i, attempt)
+		idx := (base + attempt) % len(c.urls)
+		if c.breaker != nil {
+			r, err := c.breaker.Route(idx)
+			if err != nil {
+				return nil, fmt.Errorf("transport: replica %d: %w", idx, err)
+			}
+			idx = r
+		}
+		url := fmt.Sprintf("%s/query?i=%d&attempt=%d", c.urls[idx], i, attempt)
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, fmt.Errorf("transport: %w", err)
@@ -277,7 +373,14 @@ func (c *Client) Request(i int) hedge.Fn {
 		if err != nil {
 			// A cancelled loser surfaces here as an *url.Error
 			// wrapping context.Canceled; hedge.Client matches it
-			// with errors.Is through this return.
+			// with errors.Is through this return. Cancellation is
+			// neutral for the breaker, but a per-attempt timeout
+			// (DeadlineExceeded) is the failure detector for stalled
+			// replicas, and any other dial error (connection refused —
+			// a dead replica) is a plain failure.
+			if c.breaker != nil && !errors.Is(err, context.Canceled) {
+				c.breaker.Report(idx, false)
+			}
 			return nil, err
 		}
 		defer resp.Body.Close()
@@ -297,12 +400,19 @@ func (c *Client) Request(i int) hedge.Fn {
 				// still read as a cancellation, not a replica failure:
 				// hedge.Client classifies by errors.Is(context.
 				// Canceled), and a bare fmt.Errorf here made it count
-				// the query as a backend Failure.
+				// the query as a backend Failure. Neutral for the
+				// breaker too.
 				return nil, fmt.Errorf("transport: replica %d reported the copy cancelled while queued (%s): %w",
-					(base+attempt)%len(c.urls), strings.TrimSpace(string(msg)), context.Canceled)
+					idx, strings.TrimSpace(string(msg)), context.Canceled)
 			}
-			return nil, fmt.Errorf("transport: replica %d: %s: %s",
-				(base+attempt)%len(c.urls), resp.Status, strings.TrimSpace(string(msg)))
+			if c.breaker != nil {
+				c.breaker.Report(idx, false)
+			}
+			return nil, &StatusError{Replica: idx, Code: resp.StatusCode,
+				Body: strings.TrimSpace(string(msg))}
+		}
+		if c.breaker != nil {
+			c.breaker.Report(idx, true)
 		}
 		var out struct {
 			Value any `json:"value"`
