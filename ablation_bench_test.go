@@ -10,11 +10,11 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // BenchmarkAblationCorrelatedOptimizer measures the value of the
@@ -27,12 +27,12 @@ func BenchmarkAblationCorrelatedOptimizer(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	probe := wl.RunDetailed(core.SingleD{D: 0})
+	probe := wl.RunDetailed(reissue.SingleD{D: 0})
 
 	b.Run("correlated", func(b *testing.B) {
 		var p95 float64
 		for i := 0; i < b.N; i++ {
-			pol, _, err := core.ComputeOptimalSingleRCorrelated(
+			pol, _, err := reissue.ComputeOptimalSingleRCorrelated(
 				probe.Log.PrimaryTimes(), probe.Pairs, k, budget)
 			if err != nil {
 				b.Fatal(err)
@@ -44,7 +44,7 @@ func BenchmarkAblationCorrelatedOptimizer(b *testing.B) {
 	b.Run("independent", func(b *testing.B) {
 		var p95 float64
 		for i := 0; i < b.N; i++ {
-			pol, _, err := core.ComputeOptimalSingleR(
+			pol, _, err := reissue.ComputeOptimalSingleR(
 				probe.Log.PrimaryTimes(), probe.Log.ReissueTimes(), k, budget)
 			if err != nil {
 				b.Fatal(err)
@@ -63,13 +63,13 @@ func BenchmarkAblationRandomization(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	probe := wl.RunDetailed(core.SingleD{D: 0})
+	probe := wl.RunDetailed(reissue.SingleD{D: 0})
 	rx := probe.Log.PrimaryTimes()
 
 	b.Run("singler", func(b *testing.B) {
 		var p95 float64
 		for i := 0; i < b.N; i++ {
-			pol, _, err := core.ComputeOptimalSingleR(rx, probe.Log.ReissueTimes(), k, budget)
+			pol, _, err := reissue.ComputeOptimalSingleR(rx, probe.Log.ReissueTimes(), k, budget)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -80,7 +80,7 @@ func BenchmarkAblationRandomization(b *testing.B) {
 	b.Run("singled", func(b *testing.B) {
 		var p95 float64
 		for i := 0; i < b.N; i++ {
-			pol, err := core.OptimalSingleD(rx, budget)
+			pol, err := reissue.OptimalSingleD(rx, budget)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -115,7 +115,7 @@ func BenchmarkAblationCancellation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res := c.RunDetailed(core.Immediate{N: 1})
+				res := c.RunDetailed(reissue.Immediate{N: 1})
 				p99 = metrics.TailLatency(res.Log.ResponseTimes(), 99)
 			}
 			b.ReportMetric(p99, "p99_ms")
@@ -160,7 +160,7 @@ func BenchmarkAblationInterference(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res := c.RunDetailed(core.None{})
+				res := c.RunDetailed(reissue.None{})
 				p99 = metrics.TailLatency(res.Log.ResponseTimes(), 99)
 			}
 			b.ReportMetric(p99, "p99_ms")

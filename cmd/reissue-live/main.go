@@ -34,6 +34,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/searchengine"
+	"repro/internal/stats"
 	"repro/reissue"
 	"repro/reissue/hedge"
 	"repro/reissue/hedge/backend"
@@ -261,7 +262,7 @@ func crossValidate(o options, out io.Writer, back *backend.Cluster, lambda float
 			Warmup:       o.warmup,
 			Source:       &cluster.TraceSource{Times: back.EffectiveModelTimes()},
 			SpeedFactors: speeds,
-			Seed:         o.seed ^ (0xdead + i*0x9e37),
+			Seed:         stats.Mix64NonZero(o.seed ^ (0xdead + i*0x9e37)),
 		})
 		if err != nil {
 			return err

@@ -16,9 +16,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/rangequery"
 	"repro/internal/trace"
+	"repro/reissue"
 )
 
 func main() {
@@ -52,8 +52,8 @@ func run(logPath string, k, budget float64, correlated bool) error {
 		return fmt.Errorf("log %s is empty", logPath)
 	}
 
-	var pol core.SingleR
-	var pred core.Prediction
+	var pol reissue.SingleR
+	var pred reissue.Prediction
 	if correlated {
 		var pairs []rangequery.Point
 		for _, r := range log.Records {
@@ -64,9 +64,9 @@ func run(logPath string, k, budget float64, correlated bool) error {
 		if len(pairs) == 0 {
 			return fmt.Errorf("log has no reissued queries; run without -correlated")
 		}
-		pol, pred, err = core.ComputeOptimalSingleRCorrelated(log.PrimaryTimes(), pairs, k/100, budget)
+		pol, pred, err = reissue.ComputeOptimalSingleRCorrelated(log.PrimaryTimes(), pairs, k/100, budget)
 	} else {
-		pol, pred, err = core.ComputeOptimalSingleR(log.PrimaryTimes(), log.ReissueTimes(), k/100, budget)
+		pol, pred, err = reissue.ComputeOptimalSingleR(log.PrimaryTimes(), log.ReissueTimes(), k/100, budget)
 	}
 	if err != nil {
 		return err

@@ -37,6 +37,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/searchengine"
+	"repro/internal/stats"
 	"repro/reissue"
 	"repro/reissue/hedge"
 	"repro/reissue/hedge/backend"
@@ -397,7 +398,7 @@ func crossValidate(o options, out io.Writer, back *backend.Cluster, speeds []flo
 			Warmup:       o.warmup,
 			Source:       &cluster.TraceSource{Times: simTimes},
 			SpeedFactors: speeds,
-			Seed:         o.seed ^ (0xbeef + i*0x9e37),
+			Seed:         stats.Mix64NonZero(o.seed ^ (0xbeef + i*0x9e37)),
 		})
 		if err != nil {
 			return err

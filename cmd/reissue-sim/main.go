@@ -20,11 +20,11 @@ import (
 	"os"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 func main() {
@@ -52,10 +52,10 @@ func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName
 		return err
 	}
 
-	var pol core.Policy = core.None{}
+	var pol reissue.Policy = reissue.None{}
 	if q > 0 {
-		pol = core.SingleR{D: d, Q: q}
-		if err := (core.SingleR{D: d, Q: q}).Validate(); err != nil {
+		pol = reissue.SingleR{D: d, Q: q}
+		if err := (reissue.SingleR{D: d, Q: q}).Validate(); err != nil {
 			return err
 		}
 	}
@@ -74,7 +74,7 @@ func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName
 	for _, k := range []float64{50, 90, 95, 99, 99.9} {
 		fmt.Printf("P%-5.4g        %.3f\n", k, metrics.TailLatency(rts, k))
 	}
-	if pol != (core.Policy)(core.None{}) {
+	if pol != (reissue.Policy)(reissue.None{}) {
 		p99 := metrics.TailLatency(rts, 99)
 		fmt.Printf("remediation:   %.3f (at P99)\n", metrics.RemediationRate(res.Outcomes, p99))
 	}

@@ -1,0 +1,85 @@
+// Command reissue-vet is the repository's invariant checker: a
+// multichecker over the custom analyzers in internal/analysis, run in
+// CI (and scripts/lint.sh) as a hard gate alongside go vet.
+//
+// Usage:
+//
+//	reissue-vet [-analyzers a,b] [-list] [packages]
+//
+// With no package patterns it checks ./... . Exit status is 0 when
+// the tree is clean, 1 when findings are reported, 2 on usage or
+// load errors. Deliberate exceptions are annotated in the source as
+//
+//	//lint:allow <analyzer> <reason>
+//
+// (the reason is mandatory); see DESIGN.md "Static analysis &
+// enforced invariants" for each analyzer's contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut *os.File) int {
+	fs := flag.NewFlagSet("reissue-vet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(out, "%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *names != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, n := range strings.Split(*names, ",") {
+			a, ok := byName[strings.TrimSpace(n)]
+			if !ok {
+				fmt.Fprintf(errOut, "reissue-vet: unknown analyzer %q\n", n)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := analysis.Run(*dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(errOut, "reissue-vet: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(errOut, "reissue-vet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

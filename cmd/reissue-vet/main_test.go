@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoIsClean is the self-hosting gate: the full analyzer suite
+// over the whole repository must report nothing. Every deliberate
+// exception carries a //lint:allow with its reason, so a finding here
+// is either a real invariant break or a missing annotation.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export")
+	}
+	if code := run([]string{"-C", "../.."}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("reissue-vet ./... = exit %d, want 0 (fix the finding or annotate it with //lint:allow <analyzer> <reason>)", code)
+	}
+}
+
+func TestListAndUsage(t *testing.T) {
+	if code := run([]string{"-list"}, os.Stdout, os.Stderr); code != 0 {
+		t.Fatalf("-list = exit %d, want 0", code)
+	}
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devNull.Close()
+	if code := run([]string{"-analyzers", "nosuch"}, devNull, devNull); code != 2 {
+		t.Fatalf("unknown analyzer = exit %d, want 2", code)
+	}
+}

@@ -30,6 +30,14 @@
 // and ablation_bench_test.go hold the per-figure benchmark harness.
 // cmd/reissue-live is the live end-to-end demo.
 //
+// The cross-cutting contracts those layers rest on — replayable
+// simulation, Mix64-disciplined coin salts, context threading,
+// snapshot-counter accounting — are machine-checked by the custom
+// analyzers in internal/analysis, run in CI (and scripts/lint.sh) as
+// cmd/reissue-vet; see DESIGN.md's "Static analysis & enforced
+// invariants" for each analyzer's contract and the //lint:allow
+// exception grammar.
+//
 // # Benchmarking
 //
 // The simulation engine's performance is tracked: cmd/reissue-bench

@@ -16,8 +16,8 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 func main() {
@@ -35,14 +35,14 @@ func run(queries, trials int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base := wl.Run(core.None{}).TailLatency(0.95)
+	base := wl.Run(reissue.None{}).TailLatency(0.95)
 	fmt.Fprintf(out, "baseline P95: %.1f\n\n", base)
 
 	// Phase 1: adaptive refinement at a fixed 30% budget, lambda 0.2
 	// (the setup of the paper's Figure 2b).
 	fmt.Fprintln(out, "adaptive refinement (B=30%, lambda=0.2):")
 	fmt.Fprintf(out, "%5s  %10s  %10s  %8s  %22s\n", "trial", "predicted", "actual", "rate", "policy")
-	ar, err := core.AdaptiveOptimize(wl, core.AdaptiveConfig{
+	ar, err := reissue.AdaptiveOptimize(wl, reissue.AdaptiveConfig{
 		K: 0.95, B: 0.30, Lambda: 0.2, Trials: trials, Correlated: true,
 	})
 	if err != nil {
@@ -56,7 +56,7 @@ func run(queries, trials int, out io.Writer) error {
 
 	// Phase 2: search for the best budget for the P95.
 	fmt.Fprintln(out, "budget binary search (P95):")
-	bs, err := core.BudgetSearch(wl, core.BudgetSearchConfig{
+	bs, err := reissue.BudgetSearch(wl, reissue.BudgetSearchConfig{
 		K: 0.95, Lambda: 0.5, AdaptiveSteps: 4, Trials: trials,
 		InitialDelta: 0.01, MaxBudget: 0.5, Correlated: true,
 	})

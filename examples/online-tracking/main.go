@@ -4,7 +4,7 @@
 // The paper's Section 4.4 sketches applying the adaptive optimizer
 // "in an on-line fashion" for systems whose response-time
 // distributions drift over hours or days. This example wires a
-// core.OnlineAdapter into a simulated cluster whose arrival rate
+// reissue.OnlineAdapter into a simulated cluster whose arrival rate
 // doubles mid-run: the adapter observes live request completions,
 // re-solves the policy optimization over a sliding window, and tracks
 // the shift — keeping the reissue spend pinned at the budget the
@@ -21,9 +21,9 @@ import (
 	"os"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func main() {
@@ -39,7 +39,7 @@ func run(queries, window int, out io.Writer) error {
 	const servers = 10
 	baseRate := cluster.ArrivalRateForUtilization(0.25, servers, dist.Mean())
 
-	adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
+	adapter, err := reissue.NewOnlineAdapter(reissue.OnlineConfig{
 		K: 0.99, B: 0.10, Lambda: 0.5, Window: window,
 	})
 	if err != nil {
@@ -82,9 +82,9 @@ func run(queries, window int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base99 := metrics.TailLatency(bc.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+	base99 := metrics.TailLatency(bc.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
 	frozen99 := metrics.TailLatency(
-		bc.RunDetailed(core.SingleR{D: 0, Q: 0.10}).Log.ResponseTimes(), 99)
+		bc.RunDetailed(reissue.SingleR{D: 0, Q: 0.10}).Log.ResponseTimes(), 99)
 
 	fmt.Fprintf(out, "load steps 25%% -> 50%% utilization at t=%.0f ms\n\n", stepTime)
 	fmt.Fprintf(out, "no reissue:          P99 = %6.1f ms\n", base99)

@@ -14,8 +14,8 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func main() {
@@ -44,7 +44,7 @@ func run(samples int, out io.Writer) error {
 	// Find the SingleR policy minimizing P99 while reissuing at most
 	// 2% of requests. Primary and reissue requests hit identical
 	// replicas here, so one sample set serves as both RX and RY.
-	pol, pred, err := core.ComputeOptimalSingleR(responses, nil, 0.99, 0.02)
+	pol, pred, err := reissue.ComputeOptimalSingleR(responses, nil, 0.99, 0.02)
 	if err != nil {
 		return err
 	}
@@ -55,11 +55,11 @@ func run(samples int, out io.Writer) error {
 	// Compare with the best deterministic policy ("The Tail at
 	// Scale" style): with a 2% budget it must wait until only 2% of
 	// requests remain outstanding — far too late to help the P99.
-	polD, err := core.OptimalSingleD(responses, 0.02)
+	polD, err := reissue.OptimalSingleD(responses, 0.02)
 	if err != nil {
 		return err
 	}
-	predD := core.PredictSingleR(responses, nil, core.SingleR{D: polD.D, Q: 1}, 0.99)
+	predD := reissue.PredictSingleR(responses, nil, reissue.SingleR{D: polD.D, Q: 1}, 0.99)
 	fmt.Fprintf(out, "singled:   delay %.1f ms -> predicted P99=%.1f ms (%.2fx)\n",
 		polD.D, predD.TailLatency, baseline/predD.TailLatency)
 	return nil

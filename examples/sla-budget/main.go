@@ -3,7 +3,7 @@
 //
 // Section 4.4 of the paper: "a system designer may be interested in
 // minimizing the resources required to satisfy the SLA". This example
-// runs core.MinimizeBudgetForSLA on the Queueing workload for a range
+// runs reissue.MinimizeBudgetForSLA on the Queueing workload for a range
 // of P95 targets, showing how the required budget grows as the SLA
 // tightens — and where it becomes infeasible. Run with:
 //
@@ -16,8 +16,8 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 func main() {
@@ -33,13 +33,13 @@ func run(queries int, fracs []float64, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	base := wl.Run(core.None{}).TailLatency(0.95)
+	base := wl.Run(reissue.None{}).TailLatency(0.95)
 	fmt.Fprintf(out, "baseline P95 without reissue: %.0f ms\n\n", base)
 	fmt.Fprintf(out, "%-14s  %-10s  %-12s  %s\n", "SLA target", "feasible", "min budget", "achieved P95")
 
 	for _, frac := range fracs {
 		target := base * frac
-		res, err := core.MinimizeBudgetForSLA(wl, core.SLAConfig{
+		res, err := reissue.MinimizeBudgetForSLA(wl, reissue.SLAConfig{
 			K: 0.95, Target: target, Lambda: 0.5,
 			AdaptiveSteps: 4, MaxBudget: 0.5, Tolerance: 0.01,
 			Correlated: true,

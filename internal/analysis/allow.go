@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	line     int
+	file     string
+}
+
+// allowSet indexes a package's //lint:allow directives by analyzer,
+// file and line.
+type allowSet map[string]map[string]map[int]bool
+
+// covers reports whether a finding by the named analyzer at pos is
+// suppressed: a directive suppresses findings on its own line (a
+// trailing comment) and on the line immediately below (a comment on
+// its own line above the offending statement).
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	byFile := s[analyzer]
+	if byFile == nil {
+		return false
+	}
+	lines := byFile[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the package.
+// A directive must name an analyzer and state a reason; one that does
+// not is returned as a finding itself — suppressions are audit
+// records, and an unexplained suppression defeats the audit.
+func collectAllows(pkg *Package) (allowSet, []Finding) {
+	set := allowSet{}
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "lintdirective",
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\" — a suppression must state its reason",
+					})
+					continue
+				}
+				name := fields[0]
+				if set[name] == nil {
+					set[name] = map[string]map[int]bool{}
+				}
+				if set[name][pos.Filename] == nil {
+					set[name][pos.Filename] = map[int]bool{}
+				}
+				set[name][pos.Filename][pos.Line] = true
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// Each testdata package demonstrates at least one violation the stock
+// go vet toolchain does not catch, plus the matching negative cases.
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, analysis.SimDeterminism, "detsim/internal/des")
+}
+
+// The fault package is graph-scoped: only Decide's call graph is
+// checked, so the live injector's wall-clock use passes.
+func TestSimDeterminismFaultGraph(t *testing.T) {
+	analysistest.Run(t, analysis.SimDeterminism, "detsim/reissue/hedge/fault")
+}
+
+func TestSaltDiscipline(t *testing.T) {
+	analysistest.Run(t, analysis.SaltDiscipline, "salt")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflow")
+}
+
+func TestCtxFlowMainExempt(t *testing.T) {
+	analysistest.Run(t, analysis.CtxFlow, "ctxflowmain")
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	analysistest.Run(t, analysis.SnapshotAccounting, "acct/reissue/hedge")
+}
+
+// acctuser imports the real repro/reissue/hedge: the cross-package
+// write is resolved through compiled export data.
+func TestSnapshotAccountingCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysis.SnapshotAccounting, "acctuser")
+}
+
+func TestCoreImport(t *testing.T) {
+	analysistest.Run(t, analysis.CoreImport, "coreimport")
+}
+
+func TestCoreImportShimExempt(t *testing.T) {
+	analysistest.Run(t, analysis.CoreImport, "shim/internal/core")
+}

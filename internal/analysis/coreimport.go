@@ -1,0 +1,37 @@
+package analysis
+
+import "strconv"
+
+// coreShimPath is the deprecated alias shim over the public reissue
+// package.
+const coreShimPath = "repro/internal/core"
+
+// CoreImport flags imports of the repro/internal/core alias shim
+// anywhere outside the shim's own package (whose compile-time alias
+// test is the one legitimate consumer left). The shim survives so
+// stale branches keep compiling, but every name in it is an alias of
+// repro/reissue — new code must import the public package directly,
+// and this analyzer is what turns that convention into a CI gate.
+var CoreImport = &Analyzer{
+	Name: "coreimport",
+	Doc:  "no new imports of the deprecated repro/internal/core alias shim",
+	Run:  runCoreImport,
+}
+
+func runCoreImport(pass *Pass) error {
+	if PathHasSuffix(pass.Pkg.Path(), "internal/core") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == coreShimPath {
+				pass.Reportf(imp.Pos(), "import of deprecated alias shim %s: import repro/reissue directly (every core name is an alias of it)", coreShimPath)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract of the hedging stack:
+// the context a caller hands in is how losing copies are reclaimed,
+// how deadline budgets propagate through tier/shard/topo seams, and
+// how the transport's 499 path works at all. Two checks:
+//
+//  1. context.Background() and context.TODO() are banned outside
+//     package main and test files: library code that mints a fresh
+//     root context has disconnected itself from its caller's
+//     cancellation, which is invisible to the race detector and to
+//     every tier-1 test until a copy leaks under real load. The few
+//     deliberate roots (e.g. reissue.System.Run implementations,
+//     whose interface predates context) carry //lint:allow ctxflow
+//     annotations.
+//
+//  2. A hedge.Fn-shaped function — func(context.Context, int)
+//     (any, error) — must mention its context parameter somewhere in
+//     its body: an Fn that ignores ctx cannot be cancelled, so the
+//     client's loser-reclamation silently degrades to LetLoserRun.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "ban fresh root contexts in library code and require hedge.Fn " +
+		"implementations to honor their context",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		// stack holds the ancestors of the node being visited;
+		// ast.Inspect signals subtree exit with a nil node, matching
+		// every push with a pop because the walker below always
+		// returns true.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				// The declared signature lives on the name's object,
+				// not in Types (go/types records only expressions
+				// there).
+				if obj, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok {
+					sig, _ := obj.Type().(*types.Signature)
+					checkFnShape(pass, sig, n.Type, n.Body, "hedge.Fn-shaped function "+n.Name.Name)
+				}
+			case *ast.FuncLit:
+				sig, _ := pass.TypesInfo.TypeOf(n).(*types.Signature)
+				checkFnShape(pass, sig, n.Type, n.Body, "hedge.Fn-shaped function literal")
+			case *ast.CallExpr:
+				if pass.Pkg.Name() == "main" {
+					return true
+				}
+				pkgPath, fn := calleePkgFunc(pass, n)
+				if pkgPath == "context" && (fn == "Background" || fn == "TODO") {
+					if enclosingHasCtx(pass, stack) {
+						pass.Reportf(n.Pos(), "context.%s() in a function that already has a context.Context: thread the caller's context instead of minting a new root", fn)
+					} else {
+						pass.Reportf(n.Pos(), "context.%s() outside package main and tests: library code must accept its caller's context", fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingHasCtx reports whether any enclosing function declares a
+// context.Context parameter.
+func enclosingHasCtx(pass *Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ft = n.Type
+		case *ast.FuncLit:
+			ft = n.Type
+		}
+		if ft != nil && ctxParam(pass, ft) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParam returns the first parameter field of ft whose type is
+// context.Context, or nil.
+func ctxParam(pass *Pass, ft *ast.FuncType) *ast.Field {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return field
+		}
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkFnShape flags a hedge.Fn-shaped function whose body never
+// references its context parameter.
+func checkFnShape(pass *Pass, sig *types.Signature, ft *ast.FuncType, body *ast.BlockStmt, what string) {
+	if body == nil || !isFnShape(sig) {
+		return
+	}
+	field := ctxParam(pass, ft)
+	if field == nil {
+		return
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		pass.Reportf(ft.Pos(), "%s discards its context parameter: the hedging client cancels losing copies through it", what)
+		return
+	}
+	obj := pass.TypesInfo.Defs[field.Names[0]]
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(ft.Pos(), "%s never uses its context: the hedging client cancels losing copies through it", what)
+	}
+}
+
+// isFnShape reports whether t is hedge.Fn's exact signature:
+// func(context.Context, int) (any, error).
+func isFnShape(t *types.Signature) bool {
+	if t == nil || t.Params().Len() != 2 || t.Results().Len() != 2 || t.Variadic() {
+		return false
+	}
+	if !isContextType(t.Params().At(0).Type()) {
+		return false
+	}
+	if b, ok := t.Params().At(1).Type().(*types.Basic); !ok || b.Kind() != types.Int {
+		return false
+	}
+	if iface, ok := t.Results().At(0).Type().Underlying().(*types.Interface); !ok || !iface.Empty() {
+		return false
+	}
+	named, ok := t.Results().At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// SaltDiscipline enforces the repository's one rule for deriving
+// random streams from one another: a seed or salt built from other
+// runtime values must route through stats.Mix64/Mix64NonZero (or an
+// explicitly *Salt-named value, whose own definition is held to the
+// same rule). Ad-hoc arithmetic like `shardSeed := seed + shard` is
+// exactly the pre-PR-4 class of bug: xoshiro/splitmix streams seeded
+// with arithmetically related values are measurably correlated, which
+// silently breaks the independent-coin assumptions the sharded and
+// tiered agreement tests pin.
+//
+// Deriving with compile-time constants only (`seed ^ 0xbeef`,
+// `seed*7 + 1`) stays legal: a constant tag decorrelates generators
+// that mix at construction and cannot reintroduce a runtime
+// correlation.
+var SaltDiscipline = &Analyzer{
+	Name: "saltdiscipline",
+	Doc: "derived seeds/salts must flow through stats.Mix64/Mix64NonZero " +
+		"or a *Salt-named value, not ad-hoc arithmetic",
+	Run: runSaltDiscipline,
+}
+
+var (
+	seedishRE = regexp.MustCompile(`(?i)(seed|salt)`)
+	saltishRE = regexp.MustCompile(`(?i)salt`)
+)
+
+func isSeedish(name string) bool { return seedishRE.MatchString(name) }
+func isSaltish(name string) bool { return saltishRE.MatchString(name) }
+
+// mixerName reports whether a callee name is one of the sanctioned
+// mixing finalizers.
+func mixerName(name string) bool {
+	return strings.HasPrefix(name, "Mix64")
+}
+
+func runSaltDiscipline(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkSaltAssign(pass, n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if isSeedish(name.Name) && i < len(n.Values) {
+					checkSaltDerivation(pass, n.Values[i], 0)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && isSeedish(key.Name) {
+					checkSaltDerivation(pass, kv.Value, 0)
+				}
+			}
+		case *ast.FuncDecl:
+			// A function NAMED like a salt is a sanctioned carrier at
+			// its call sites, so its own return values must obey the
+			// discipline.
+			if n.Body != nil && isSeedish(n.Name.Name) {
+				ast.Inspect(n.Body, func(m ast.Node) bool {
+					if ret, ok := m.(*ast.ReturnStmt); ok {
+						for _, r := range ret.Results {
+							checkSaltDerivation(pass, r, 0)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// checkSaltAssign applies the discipline to plain assignments with a
+// seed-named destination and to ^=, +=, *= op-assignments (where the
+// destination itself is one of the derivation's operands).
+func checkSaltAssign(pass *Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			if name, ok := lhsName(lhs); ok && isSeedish(name) {
+				checkSaltDerivation(pass, as.Rhs[i], 0)
+			}
+		}
+	case token.XOR_ASSIGN, token.ADD_ASSIGN, token.MUL_ASSIGN:
+		if name, ok := lhsName(as.Lhs[0]); ok && isSeedish(name) {
+			// The op-assign itself is the arithmetic, and the
+			// seed-named LHS is one non-constant operand.
+			checkSaltOpAssign(pass, as.Rhs[0])
+		}
+	}
+}
+
+func lhsName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	}
+	return "", false
+}
+
+// saltScan is the result of walking a derivation expression.
+type saltScan struct {
+	arith      bool // contains ^, + or * on values
+	sanctioned bool // contains a Mix64*/*Salt* call or *salt*-named operand
+	nonConst   int  // non-constant leaf operands
+}
+
+// scanSalt classifies expression e. Constant subexpressions are
+// skipped wholesale; conversions are transparent; calls either
+// sanction the whole derivation (Mix64*, *Salt*) or count as one
+// opaque non-constant operand.
+func scanSalt(pass *Pass, e ast.Expr, sc *saltScan) {
+	if e == nil {
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return // compile-time constant
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		scanSalt(pass, e.X, sc)
+	case *ast.UnaryExpr:
+		scanSalt(pass, e.X, sc)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.XOR, token.ADD, token.MUL:
+			sc.arith = true
+		}
+		scanSalt(pass, e.X, sc)
+		scanSalt(pass, e.Y, sc)
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: transparent.
+			for _, a := range e.Args {
+				scanSalt(pass, a, sc)
+			}
+			return
+		}
+		name := calleeName(e)
+		if mixerName(name) || isSaltish(name) {
+			sc.sanctioned = true
+			return
+		}
+		sc.nonConst++
+	case *ast.Ident:
+		if isSaltish(e.Name) {
+			sc.sanctioned = true
+			return
+		}
+		sc.nonConst++
+	case *ast.SelectorExpr:
+		if isSaltish(e.Sel.Name) {
+			sc.sanctioned = true
+			return
+		}
+		sc.nonConst++
+	default:
+		sc.nonConst++
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// checkSaltDerivation flags e when it derives an integer seed value
+// by combining two or more non-constant operands with ^, + or *
+// without a sanctioned mixer anywhere in the expression. extra
+// accounts for operands outside e itself (the LHS of an
+// op-assignment).
+func checkSaltDerivation(pass *Pass, e ast.Expr, extra int) {
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			return
+		}
+	}
+	sc := &saltScan{}
+	scanSalt(pass, e, sc)
+	if sc.arith && !sc.sanctioned && sc.nonConst+extra >= 2 {
+		pass.Reportf(e.Pos(), "seed/salt derived with ad-hoc arithmetic: route the derivation through stats.Mix64NonZero (or combine with a Mix64-derived *Salt value)")
+	}
+}
+
+// checkSaltOpAssign is checkSaltDerivation for `seed ^= e` and
+// friends: the operator supplies the arithmetic and the seed-named
+// destination supplies one non-constant operand.
+func checkSaltOpAssign(pass *Pass, e ast.Expr) {
+	if t := pass.TypesInfo.TypeOf(e); t != nil {
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			return
+		}
+	}
+	sc := &saltScan{arith: true, nonConst: 1}
+	scanSalt(pass, e, sc)
+	if !sc.sanctioned && sc.nonConst >= 2 {
+		pass.Reportf(e.Pos(), "seed/salt derived with ad-hoc arithmetic: route the derivation through stats.Mix64NonZero (or combine with a Mix64-derived *Salt value)")
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simScopes are the deterministic-replay packages: everything the
+// byte-identical figure goldens, the sim-vs-live agreement tests and
+// the any-worker-count sweep identity rest on. Matched by
+// whole-segment path suffix so the analysistest twins under
+// testdata/src/ are scoped identically.
+var simScopes = []string{
+	"internal/des",
+	"internal/cluster",
+	"internal/experiments",
+}
+
+// simGraphScopes restricts mixed live/sim packages to the call graph
+// of their pure simulator-shared entry point: reissue/hedge/fault's
+// live Injector legitimately uses wall-clock timers, but everything
+// reachable from Decide — the one function both worlds consult — must
+// stay pure.
+var simGraphScopes = map[string]string{
+	"reissue/hedge/fault": "Decide",
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time; a
+// deterministic-replay package that calls one produces runs that
+// cannot replay. (Pure conversions and constants like time.Duration
+// or time.Millisecond remain fine.)
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRandFuncs are the math/rand constructors that produce
+// explicitly seeded generators; every other top-level math/rand
+// function draws from the global, interleaving-dependent source.
+var allowedRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// SimDeterminism forbids, inside the deterministic-replay packages,
+// the four constructs that make a simulated run depend on anything
+// but its inputs: wall-clock reads (time.Now/Since/Sleep/...),
+// global math/rand draws (seeded *rand.Rand values are fine), `go`
+// statements (scheduler-order dependence), and `range` over maps
+// (iteration-order dependence). In mixed live/sim packages only the
+// simulator-shared call graph (fault.Decide and everything it
+// reaches) is checked.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock, global rand, goroutines and map iteration " +
+		"in the deterministic-replay packages",
+	Run: runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	path := pass.Pkg.Path()
+	inScope := false
+	for _, s := range simScopes {
+		if PathHasSuffix(path, s) {
+			inScope = true
+			break
+		}
+	}
+	var reachable map[*types.Func]bool
+	if !inScope {
+		for suffix, root := range simGraphScopes {
+			if PathHasSuffix(path, suffix) {
+				reachable = reachableFuncs(pass, root)
+				inScope = len(reachable) > 0
+				break
+			}
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	check := func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in a deterministic-replay package: scheduling order is not replayable")
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "range over map in a deterministic-replay package: iteration order is not replayable")
+				}
+			}
+		case *ast.CallExpr:
+			pkgPath, fn := calleePkgFunc(pass, n)
+			switch pkgPath {
+			case "time":
+				if bannedTimeFuncs[fn] {
+					pass.Reportf(n.Pos(), "time.%s in a deterministic-replay package: simulated time must not read the wall clock", fn)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn] {
+					pass.Reportf(n.Pos(), "global %s.%s in a deterministic-replay package: draw from an explicitly seeded generator instead", pathBase(pkgPath), fn)
+				}
+			}
+		}
+		return true
+	}
+
+	if reachable == nil {
+		pass.Inspect(check)
+		return nil
+	}
+	// Graph-scoped package: only walk the bodies of reachable
+	// functions.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil || !reachable[obj] {
+				continue
+			}
+			ast.Inspect(fd.Body, check)
+		}
+	}
+	return nil
+}
+
+// calleePkgFunc resolves a call of the form pkg.Fn where pkg is an
+// imported package name, returning the package's import path and the
+// function name; otherwise it returns "", "".
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// reachableFuncs computes the functions of this package reachable
+// from the named root function (or method) through intra-package
+// references — the static call graph, conservatively including
+// method values and function references.
+func reachableFuncs(pass *Pass, rootName string) map[*types.Func]bool {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if fd.Name.Name == rootName {
+				roots = append(roots, obj)
+			}
+		}
+	}
+	reach := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if reach[fn] {
+			return
+		}
+		reach[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && callee.Pkg() == pass.Pkg {
+				if _, local := decls[callee]; local {
+					visit(callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return reach
+}

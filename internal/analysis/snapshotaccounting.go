@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// hedgePkgSuffix identifies the hedging client's package (and its
+// analysistest twin) by whole-segment path suffix.
+const hedgePkgSuffix = "reissue/hedge"
+
+// accountingFiles are the designated accounting sites: the only
+// non-test files of the hedge package allowed to write the counters
+// below.
+var accountingFiles = map[string]bool{
+	"hedge.go":   true,
+	"breaker.go": true,
+}
+
+// counterFields lists, per guarded hedge type, the counter fields
+// whose writes are accounting. Snapshot/AttemptStats are the
+// published view; Client/attemptAgg hold the live atomics behind it.
+var counterFields = map[string]map[string]bool{
+	"Snapshot": {
+		"Issued": true, "Completed": true, "Reissued": true,
+		"PrimaryWins": true, "ReissueWins": true, "Failures": true,
+		"Cancelled": true, "Faulted": true, "Retried": true,
+		"BreakerOpen": true, "Degraded": true, "ReissueRate": true,
+	},
+	"AttemptStats": {
+		"Dispatched": true, "Wins": true,
+	},
+	"Client": {
+		"issued": true, "completed": true, "reissued": true,
+		"primaryWins": true, "reissueWins": true, "failures": true,
+		"cancelled": true, "faulted": true, "retried": true,
+		"breakerOpen": true, "degraded": true,
+	},
+	"attemptAgg": {
+		"dispatched": true, "wins": true,
+	},
+}
+
+// atomicWriteMethods are the mutating methods of the sync/atomic
+// counter types.
+var atomicWriteMethods = map[string]bool{
+	"Add": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+// SnapshotAccounting confines writes of the hedging client's
+// counters — the numerators and denominators every reissue-rate
+// agreement test pins — to the designated accounting code in
+// hedge.go/breaker.go. A future retry, breaker or drain path that
+// bumps Reissued (or zeroes a Snapshot field it merely meant to
+// read) would corrupt sim-vs-live and chaos parity in ways the
+// race detector cannot see; this analyzer makes that a compile-gate
+// error instead of a debugging session.
+var SnapshotAccounting = &Analyzer{
+	Name: "snapshotaccounting",
+	Doc: "hedge.Snapshot/Client counters are written only by the " +
+		"designated accounting functions in hedge.go/breaker.go",
+	Run: runSnapshotAccounting,
+}
+
+func runSnapshotAccounting(pass *Pass) error {
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		allowed := PathHasSuffix(pass.Pkg.Path(), hedgePkgSuffix) && accountingFiles[filename]
+		if allowed {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if typ, field, ok := counterSelector(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(), "write to hedge.%s.%s outside the accounting functions in hedge.go/breaker.go", typ, field)
+					}
+				}
+			case *ast.IncDecStmt:
+				if typ, field, ok := counterSelector(pass, n.X); ok {
+					pass.Reportf(n.Pos(), "write to hedge.%s.%s outside the accounting functions in hedge.go/breaker.go", typ, field)
+				}
+			case *ast.CompositeLit:
+				typ := namedHedgeType(pass.TypesInfo.TypeOf(n))
+				if typ == "" {
+					return true
+				}
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok && counterFields[typ][key.Name] {
+							pass.Reportf(kv.Pos(), "hedge.%s literal sets counter %s outside the accounting functions in hedge.go/breaker.go", typ, key.Name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !atomicWriteMethods[sel.Sel.Name] {
+					return true
+				}
+				if typ, field, ok := counterSelector(pass, sel.X); ok {
+					pass.Reportf(n.Pos(), "atomic %s of hedge.%s.%s outside the accounting functions in hedge.go/breaker.go", sel.Sel.Name, typ, field)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// counterSelector reports whether e selects a guarded counter field
+// of one of the hedge package's accounting types, returning the type
+// and field names.
+func counterSelector(pass *Pass, e ast.Expr) (string, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return "", "", false
+	}
+	typ := namedHedgeType(selection.Recv())
+	if typ == "" || !counterFields[typ][field.Name()] {
+		return "", "", false
+	}
+	return typ, field.Name(), true
+}
+
+// namedHedgeType resolves t (through pointers) to the name of a
+// guarded hedge type, or "".
+func namedHedgeType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !PathHasSuffix(obj.Pkg().Path(), hedgePkgSuffix) {
+		return ""
+	}
+	if _, guarded := counterFields[obj.Name()]; !guarded {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,6 @@
+package hedge
+
+// trip lives in breaker.go, the other designated accounting file.
+func trip(s *Snapshot) {
+	s.Faulted++
+}

@@ -1,0 +1,31 @@
+// Package hedge is snapshotaccounting's testdata twin: the counter
+// types mirror the real hedging client's, the synthetic import path
+// ends in reissue/hedge, and this file plus breaker.go are the
+// designated accounting sites.
+package hedge
+
+import "sync/atomic"
+
+type Snapshot struct {
+	Issued, Reissued, Faulted uint64
+	ReissueRate               float64
+	Attempts                  []AttemptStats
+}
+
+type AttemptStats struct {
+	Dispatched, Wins uint64
+}
+
+type Client struct {
+	issued  atomic.Uint64
+	retried atomic.Uint64
+}
+
+// account is accounting code in an accounting file: every write below
+// is legal.
+func account(c *Client, s *Snapshot) {
+	c.issued.Add(1)
+	s.Issued++
+	s.Reissued = 2
+	s.Attempts = append(s.Attempts, AttemptStats{Dispatched: 1})
+}

@@ -1,0 +1,12 @@
+package hedge
+
+// leak is hedge-package code outside the accounting files: reads stay
+// legal, writes do not.
+func leak(c *Client, s *Snapshot) uint64 {
+	s.Reissued++              // want `write to hedge.Snapshot.Reissued`
+	s.ReissueRate = 0.5       // want `write to hedge.Snapshot.ReissueRate`
+	c.retried.Add(1)          // want `atomic Add of hedge.Client.retried`
+	s.Attempts[0].Wins = 1    // want `write to hedge.AttemptStats.Wins`
+	_ = Snapshot{Reissued: 3} // want `literal sets counter Reissued`
+	return s.Reissued + c.retried.Load()
+}

@@ -1,0 +1,14 @@
+// Package acctuser writes the REAL hedging client's counters from
+// outside its package: the cross-package case the analyzer must catch
+// via export data.
+package acctuser
+
+import "repro/reissue/hedge"
+
+func tamper(s *hedge.Snapshot) {
+	s.Reissued++ // want `write to hedge.Snapshot.Reissued`
+}
+
+func observe(s *hedge.Snapshot) int64 {
+	return s.Reissued
+}

@@ -1,0 +1,7 @@
+// Package coreimport imports the deprecated alias shim, which the
+// coreimport analyzer turns into a CI failure.
+package coreimport
+
+import "repro/internal/core" // want `deprecated alias shim`
+
+var _ core.Policy

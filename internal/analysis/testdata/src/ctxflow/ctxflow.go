@@ -1,0 +1,55 @@
+// Package ctxflow exercises the ctxflow analyzer: no fresh root
+// contexts in library code, and hedge.Fn-shaped functions must honor
+// their context parameter.
+package ctxflow
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `outside package main and tests`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `outside package main and tests`
+}
+
+// threaded already holds a caller context, so minting a root gets the
+// sharper message.
+func threaded(ctx context.Context) context.Context {
+	return context.Background() // want `already has a context.Context`
+}
+
+// ignores has hedge.Fn's exact shape and never touches ctx: the
+// client's loser reclamation silently degrades to LetLoserRun.
+func ignores(ctx context.Context, attempt int) (any, error) { // want `never uses its context`
+	return attempt, nil
+}
+
+func discards(_ context.Context, attempt int) (any, error) { // want `discards its context parameter`
+	return attempt, nil
+}
+
+// honors threads its context, the contract every Fn must meet.
+func honors(ctx context.Context, attempt int) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return attempt, nil
+}
+
+// lit pins that function literals are held to the same Fn contract.
+var lit = func(ctx context.Context, attempt int) (any, error) { // want `function literal never uses its context`
+	return attempt, nil
+}
+
+// notFnShaped differs from hedge.Fn (three params) and is exempt from
+// the ctx-use requirement.
+func notFnShaped(ctx context.Context, attempt, fanout int) (any, error) {
+	return attempt + fanout, nil
+}
+
+// annotatedRoot pins the allowlist: an explicit, reasoned exception.
+func annotatedRoot() context.Context {
+	//lint:allow ctxflow testdata: a deliberate root with its reason on record
+	return context.Background()
+}

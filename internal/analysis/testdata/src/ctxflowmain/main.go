@@ -1,0 +1,14 @@
+// Command ctxflowmain pins ctxflow's package-main exemption: a binary
+// entry point is where root contexts legitimately come from.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}

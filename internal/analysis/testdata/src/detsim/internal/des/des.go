@@ -1,0 +1,46 @@
+// Package des is simdeterminism's testdata twin of the event-queue
+// package: its synthetic import path ends in internal/des, so the
+// whole package is in the deterministic-replay scope.
+package des
+
+import (
+	"math/rand"
+	"time"
+)
+
+func tick() time.Duration {
+	t0 := time.Now()             // want `time.Now in a deterministic-replay package`
+	time.Sleep(time.Millisecond) // want `time.Sleep in a deterministic-replay package`
+	return time.Since(t0)        // want `time.Since in a deterministic-replay package`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `global rand.Float64 in a deterministic-replay package`
+}
+
+// seeded draws from an explicitly seeded generator: the legal way to
+// be random in a replayable package.
+func seeded() float64 {
+	r := rand.New(rand.NewSource(1))
+	return r.Float64()
+}
+
+func schedule(pending map[string]int) int {
+	go tick() // want `go statement in a deterministic-replay package`
+	total := 0
+	for _, v := range pending { // want `range over map in a deterministic-replay package`
+		total += v
+	}
+	// Ranging over a slice is order-stable and stays legal.
+	for _, v := range []int{1, 2} {
+		total += v
+	}
+	return total + int(seeded()) + int(draw())
+}
+
+// annotated pins that a //lint:allow with a reason suppresses the
+// finding on the next line.
+func annotated() time.Time {
+	//lint:allow simdeterminism testdata: the directive grammar must suppress this call
+	return time.Now()
+}

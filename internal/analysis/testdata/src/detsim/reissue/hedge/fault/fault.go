@@ -1,0 +1,23 @@
+// Package fault is simdeterminism's testdata twin of the mixed
+// live/sim fault package: only Decide's call graph is in scope, so
+// the live injector below may read the wall clock.
+package fault
+
+import "time"
+
+// Decide is the simulator-shared entry point; everything it reaches
+// must stay pure.
+func Decide(at float64) bool {
+	return activeAt(at)
+}
+
+func activeAt(at float64) bool {
+	_ = time.Now() // want `time.Now in a deterministic-replay package`
+	return at > 0
+}
+
+// liveTick is not reachable from Decide: the live injector's
+// wall-clock use is legitimate and must not be flagged.
+func liveTick() time.Time {
+	return time.Now()
+}

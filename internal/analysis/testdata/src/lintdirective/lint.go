@@ -1,0 +1,13 @@
+// Package lintdirective pins the suppression grammar: a //lint:allow
+// without a reason is itself a finding and suppresses nothing, while
+// a well-formed directive suppresses the line below it.
+package lintdirective
+
+func combine(seed, shard uint64) uint64 {
+	//lint:allow saltdiscipline
+	badSeed := seed + shard
+
+	//lint:allow saltdiscipline the twin above is malformed; this one carries its reason
+	goodSeed := seed + shard
+	return badSeed ^ goodSeed
+}

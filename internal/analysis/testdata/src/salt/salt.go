@@ -1,0 +1,54 @@
+// Package salt exercises the saltdiscipline analyzer: derivations
+// into seed/salt-named destinations must route through a Mix64*
+// finalizer or combine with a *salt*-named value.
+package salt
+
+// Mix64 and Mix64NonZero stand in for the real stats mixers: the
+// analyzer sanctions callees by name.
+func Mix64(x uint64) uint64        { return x * 0x9e3779b97f4a7c15 }
+func Mix64NonZero(x uint64) uint64 { return Mix64(x) | 1 }
+
+type config struct {
+	Seed uint64
+	N    int
+}
+
+func derive(seed, shard uint64) uint64 {
+	shardSeed := seed + shard // want `ad-hoc arithmetic`
+	shardSeed = Mix64NonZero(seed ^ shard)
+
+	// Constant tags cannot reintroduce a runtime correlation.
+	tagSeed := seed ^ 0xbeef
+
+	var coinSeed = seed * shard // want `ad-hoc arithmetic`
+
+	seed ^= shard // want `ad-hoc arithmetic`
+	seed ^= 0x1234
+
+	cfg := config{
+		Seed: seed + shard, // want `ad-hoc arithmetic`
+		N:    int(seed + shard),
+	}
+
+	return shardSeed ^ tagSeed ^ coinSeed ^ uint64(cfg.N)
+}
+
+// shardSalt is a sanctioned *Salt carrier at its call sites, so its
+// own returns are held to the discipline.
+func shardSalt(s, base uint64) uint64 {
+	return base + s // want `ad-hoc arithmetic`
+}
+
+// tierSalt routes through the mixer: the blessed carrier shape.
+func tierSalt(base uint64) uint64 {
+	return Mix64(base + 1)
+}
+
+// combineWithSalt pins the other escape hatch: combining with a
+// *salt*-named value is sanctioned because that value's own
+// definition is checked.
+func combineWithSalt(seed uint64) uint64 {
+	newSeed := seed ^ tierSalt(seed)
+	newSeed ^= shardSalt(1, seed)
+	return newSeed
+}

@@ -1,0 +1,8 @@
+// Package core pins coreimport's one exemption: a package whose own
+// path ends in internal/core (the shim and its test) may import the
+// shim.
+package core
+
+import "repro/internal/core" // the shim's own test is the legitimate consumer
+
+var _ core.Policy

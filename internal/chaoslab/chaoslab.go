@@ -183,6 +183,7 @@ func (l *Lab) RunLive() (Outcome, error) {
 		failed[i].Store(true)
 		return nil
 	}
+	//lint:allow ctxflow the chaos harness is the run root: there is no caller context to thread
 	lats, err := backend.OpenLoop(context.Background(), sc.Unit, sc.N, l.Lambda(), sc.Seed, do, hc.Wait)
 	if err != nil {
 		return Outcome{}, err

@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func queueingCfg(seed uint64) Config {
@@ -44,10 +44,10 @@ func sameRun(t *testing.T, label string, a, b *Result) {
 // sweep harness's warm engines: a cluster that adopts another's
 // pooled state replays exactly the run a cold cluster would.
 func TestAdoptStateReplayIdentical(t *testing.T) {
-	pol := core.SingleR{D: 5, Q: 0.2}
+	pol := reissue.SingleR{D: 5, Q: 0.2}
 
 	donor := mustCluster(t, queueingCfg(7))
-	donor.RunDetailed(core.None{}) // builds and dirties the pooled state
+	donor.RunDetailed(reissue.None{}) // builds and dirties the pooled state
 
 	cold := mustCluster(t, queueingCfg(9))
 	want := cold.RunDetailed(pol)
@@ -82,13 +82,13 @@ func TestAdoptStateReplayIdentical(t *testing.T) {
 // an engine and reproduces its original results.
 func TestAdoptStateDonorRebuilds(t *testing.T) {
 	donor := mustCluster(t, queueingCfg(7))
-	before := donor.RunDetailed(core.None{})
+	before := donor.RunDetailed(reissue.None{})
 
 	thief := mustCluster(t, queueingCfg(9))
 	thief.AdoptState(donor)
-	thief.RunDetailed(core.None{})
+	thief.RunDetailed(reissue.None{})
 
-	sameRun(t, "donor after adoption", before, donor.RunDetailed(core.None{}))
+	sameRun(t, "donor after adoption", before, donor.RunDetailed(reissue.None{}))
 }
 
 // TestAdoptStateNoops pins the degenerate cases: nil/self/never-run
@@ -104,8 +104,8 @@ func TestAdoptStateNoops(t *testing.T) {
 	}
 
 	donor := mustCluster(t, queueingCfg(7))
-	donor.RunDetailed(core.None{})
-	c.RunDetailed(core.None{})
+	donor.RunDetailed(reissue.None{})
+	c.RunDetailed(reissue.None{})
 	own := c.rs
 	c.AdoptState(donor) // c already warm: keeps its own engine
 	if c.rs != own {
@@ -122,17 +122,17 @@ func TestAdoptStateNoops(t *testing.T) {
 func TestAdoptStateAllocFree(t *testing.T) {
 	cfg := queueingCfg(7)
 	single := mustCluster(t, cfg)
-	single.RunDetailed(core.None{})
+	single.RunDetailed(reissue.None{})
 	baseline := testing.AllocsPerRun(3, func() {
-		single.RunDetailed(core.None{})
+		single.RunDetailed(reissue.None{})
 	})
 
 	warm := mustCluster(t, cfg)
-	warm.RunDetailed(core.None{})
+	warm.RunDetailed(reissue.None{})
 	adopted := testing.AllocsPerRun(3, func() {
 		next := mustCluster(t, cfg)
 		next.AdoptState(warm)
-		next.RunDetailed(core.None{})
+		next.RunDetailed(reissue.None{})
 		warm = next
 	})
 

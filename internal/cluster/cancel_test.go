@@ -3,9 +3,9 @@ package cluster
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // cancelConfig builds a loaded queueing cluster with aggressive
@@ -35,8 +35,8 @@ func TestCancelOnCompleteReducesLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runBase := base.RunDetailed(core.Immediate{N: 1})
-	runTied := tied.RunDetailed(core.Immediate{N: 1})
+	runBase := base.RunDetailed(reissue.Immediate{N: 1})
+	runTied := tied.RunDetailed(reissue.Immediate{N: 1})
 
 	if runTied.Utilization >= runBase.Utilization {
 		t.Fatalf("cancellation did not reduce utilization: %v >= %v",
@@ -54,7 +54,7 @@ func TestCancelOnCompleteBookkeeping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.Immediate{N: 1})
+	res := c.RunDetailed(reissue.Immediate{N: 1})
 
 	sawCancelledReissue := false
 	for _, rec := range res.Log.Records {
@@ -100,8 +100,8 @@ func TestCancelOnCompleteNoReissueIsNoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra := a.RunDetailed(core.None{})
-	rb := b.RunDetailed(core.None{})
+	ra := a.RunDetailed(reissue.None{})
+	rb := b.RunDetailed(reissue.None{})
 	for i := range ra.Log.Records {
 		if ra.Log.Records[i] != rb.Log.Records[i] {
 			t.Fatal("cancellation changed a no-reissue run")
@@ -121,7 +121,7 @@ func TestCancelInfiniteServersNeverCancels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.Immediate{N: 1})
+	res := c.RunDetailed(reissue.Immediate{N: 1})
 	for _, rec := range res.Log.Records {
 		if !rec.PrimaryDone || !rec.ReissueDone {
 			t.Fatal("copy cancelled despite infinite servers")

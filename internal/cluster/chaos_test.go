@@ -3,8 +3,8 @@ package cluster
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 	"repro/reissue/hedge/fault"
 )
 
@@ -54,7 +54,7 @@ func TestChaosCrashBreakerDeterministic(t *testing.T) {
 		BreakerThreshold: 3,
 		BreakerCooldown:  1e9,
 	}))
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 
 	if res.FaultedCopies != 3 {
 		t.Errorf("FaultedCopies = %d, want exactly Threshold=3 (rest re-routed)", res.FaultedCopies)
@@ -89,7 +89,7 @@ func TestChaosStallReissueRescues(t *testing.T) {
 	c := mustCluster(t, chaosConfig(1500, &FaultPlan{
 		Profiles: []fault.Profile{{Replica: 0, Kind: fault.Stall}},
 	}))
-	res := c.RunDetailed(core.SingleR{D: 0.01, Q: 1})
+	res := c.RunDetailed(reissue.SingleR{D: 0.01, Q: 1})
 
 	if res.StalledCopies == 0 {
 		t.Fatal("StalledCopies = 0, want the dead server's copies stalled")
@@ -112,7 +112,7 @@ func TestChaosErrorRateAndSlowDeterministic(t *testing.T) {
 		{Replica: 2, Kind: fault.Slow, Factor: 4},
 	}}
 	run := func() *Result {
-		return mustCluster(t, chaosConfig(3000, plan)).RunDetailed(core.SingleR{D: 5, Q: 0.3})
+		return mustCluster(t, chaosConfig(3000, plan)).RunDetailed(reissue.SingleR{D: 5, Q: 0.3})
 	}
 	a, b := run(), run()
 	if a.FaultedCopies != b.FaultedCopies || a.FailedQueries != b.FailedQueries ||
@@ -123,7 +123,7 @@ func TestChaosErrorRateAndSlowDeterministic(t *testing.T) {
 		t.Error("FaultedCopies = 0, want error-rate coin flips landing")
 	}
 
-	clean := mustCluster(t, chaosConfig(3000, nil)).RunDetailed(core.SingleR{D: 5, Q: 0.3})
+	clean := mustCluster(t, chaosConfig(3000, nil)).RunDetailed(reissue.SingleR{D: 5, Q: 0.3})
 	slowTail := stats.Summarize(a.Log.ResponseTimes()).Max
 	cleanTail := stats.Summarize(clean.Log.ResponseTimes()).Max
 	if slowTail <= cleanTail {

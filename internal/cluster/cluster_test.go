@@ -5,9 +5,9 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func mustCluster(t *testing.T, cfg Config) *Cluster {
@@ -42,7 +42,7 @@ func TestInfiniteServersResponseEqualsService(t *testing.T) {
 		Source:  DistSource{Dist: stats.NewExponential(0.1)},
 		Seed:    1,
 	})
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	if got := res.Log.Len(); got != 5000 {
 		t.Fatalf("log has %d records", got)
 	}
@@ -69,7 +69,7 @@ func TestQueueingUtilizationMatchesTarget(t *testing.T) {
 			Source:      DistSource{Dist: dist},
 			Seed:        2,
 		})
-		res := c.RunDetailed(core.None{})
+		res := c.RunDetailed(reissue.None{})
 		if math.Abs(res.Utilization-rho) > 0.05 {
 			t.Errorf("rho=%v: measured utilization %v", rho, res.Utilization)
 		}
@@ -86,7 +86,7 @@ func TestQueueingAddsDelay(t *testing.T) {
 		Source:      DistSource{Dist: dist},
 		Seed:        3,
 	})
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	meanResp := stats.Summarize(res.Log.ResponseTimes()).Mean
 	if meanResp <= dist.Mean()*1.05 {
 		t.Fatalf("mean response %v shows no queueing delay over service mean %v",
@@ -105,7 +105,7 @@ func TestSingleDReissueRateMatchesBudget(t *testing.T) {
 		Source:  DistSource{Dist: dist},
 		Seed:    4,
 	})
-	res := c.RunDetailed(core.SingleD{D: d})
+	res := c.RunDetailed(reissue.SingleD{D: d})
 	if math.Abs(res.ReissueRate-0.1) > 0.01 {
 		t.Fatalf("SingleD reissue rate %v, want ~0.1", res.ReissueRate)
 	}
@@ -120,7 +120,7 @@ func TestSingleRReissueRateMatchesBudget(t *testing.T) {
 		Source:  DistSource{Dist: dist},
 		Seed:    5,
 	})
-	res := c.RunDetailed(core.SingleR{D: d, Q: q})
+	res := c.RunDetailed(reissue.SingleR{D: d, Q: q})
 	if math.Abs(res.ReissueRate-0.1) > 0.01 {
 		t.Fatalf("SingleR reissue rate %v, want ~0.1", res.ReissueRate)
 	}
@@ -133,13 +133,13 @@ func TestReissueReducesTailOnIndependentWorkload(t *testing.T) {
 		Source:  DistSource{Dist: dist},
 		Seed:    6,
 	})
-	base := c.RunDetailed(core.None{})
+	base := c.RunDetailed(reissue.None{})
 	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
 
 	// Reissue at the 85th percentile with probability chosen to spend
 	// a 10% budget, the regime of Figure 3.
 	d := dist.Quantile(0.85)
-	res := c.RunDetailed(core.SingleR{D: d, Q: 0.1 / 0.15})
+	res := c.RunDetailed(reissue.SingleR{D: d, Q: 0.1 / 0.15})
 	p95 := metrics.TailLatency(res.Log.ResponseTimes(), 95)
 	if p95 >= baseP95 {
 		t.Fatalf("SingleR did not reduce P95: %v >= %v", p95, baseP95)
@@ -165,9 +165,9 @@ func TestImmediateReissueOverloadsHighUtilization(t *testing.T) {
 		Seed:        7,
 	}
 	c := mustCluster(t, cfg)
-	base := c.RunDetailed(core.None{})
+	base := c.RunDetailed(reissue.None{})
 	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
-	imm := c.RunDetailed(core.Immediate{N: 1})
+	imm := c.RunDetailed(reissue.Immediate{N: 1})
 	immP95 := metrics.TailLatency(imm.Log.ResponseTimes(), 95)
 	if immP95 <= baseP95 {
 		t.Fatalf("immediate reissue at 60%% util should hurt: %v <= %v", immP95, baseP95)
@@ -185,9 +185,9 @@ func TestImmediateReissueHelpsAtLowUtilization(t *testing.T) {
 		Seed:        8,
 	}
 	c := mustCluster(t, cfg)
-	base := c.RunDetailed(core.None{})
+	base := c.RunDetailed(reissue.None{})
 	baseP95 := metrics.TailLatency(base.Log.ResponseTimes(), 95)
-	imm := c.RunDetailed(core.Immediate{N: 1})
+	imm := c.RunDetailed(reissue.Immediate{N: 1})
 	immP95 := metrics.TailLatency(imm.Log.ResponseTimes(), 95)
 	if immP95 >= baseP95 {
 		t.Fatalf("immediate reissue at 10%% util should help: %v >= %v", immP95, baseP95)
@@ -204,7 +204,7 @@ func TestWarmupExcluded(t *testing.T) {
 		Source:      DistSource{Dist: dist},
 		Seed:        9,
 	})
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	if res.Log.Len() != 100 {
 		t.Fatalf("measured %d queries, want 100 (warmup excluded)", res.Log.Len())
 	}
@@ -224,8 +224,8 @@ func TestRunsAreIndependentButDeterministic(t *testing.T) {
 			FreshPerRun: fresh,
 		})
 	}
-	a1 := mk(false).RunDetailed(core.None{})
-	a2 := mk(false).RunDetailed(core.None{})
+	a1 := mk(false).RunDetailed(reissue.None{})
+	a2 := mk(false).RunDetailed(reissue.None{})
 	// Same seed, same run index: identical.
 	for i := range a1.Log.Records {
 		if a1.Log.Records[i] != a2.Log.Records[i] {
@@ -235,8 +235,8 @@ func TestRunsAreIndependentButDeterministic(t *testing.T) {
 	// Common random numbers (default): consecutive runs replay the
 	// same sample path.
 	c := mk(false)
-	r1 := c.RunDetailed(core.None{})
-	r2 := c.RunDetailed(core.None{})
+	r1 := c.RunDetailed(reissue.None{})
+	r2 := c.RunDetailed(reissue.None{})
 	for i := range r1.Log.Records {
 		if r1.Log.Records[i].Primary != r2.Log.Records[i].Primary {
 			t.Fatal("common-random-numbers runs diverged")
@@ -244,8 +244,8 @@ func TestRunsAreIndependentButDeterministic(t *testing.T) {
 	}
 	// FreshPerRun: consecutive runs use fresh randomness.
 	cf := mk(true)
-	f1 := cf.RunDetailed(core.None{})
-	f2 := cf.RunDetailed(core.None{})
+	f1 := cf.RunDetailed(reissue.None{})
+	f2 := cf.RunDetailed(reissue.None{})
 	same := 0
 	for i := range f1.Log.Records {
 		if f1.Log.Records[i].Primary == f2.Log.Records[i].Primary {
@@ -293,13 +293,13 @@ func TestTraceSourceEmptyRejectedByConfig(t *testing.T) {
 }
 
 func TestClusterImplementsSystem(t *testing.T) {
-	var _ core.System = (*Cluster)(nil)
+	var _ reissue.System = (*Cluster)(nil)
 	c := mustCluster(t, Config{
 		Queries: 500,
 		Source:  DistSource{Dist: stats.NewExponential(1)},
 		Seed:    11,
 	})
-	run := c.Run(core.SingleR{D: 0.5, Q: 0.5})
+	run := c.Run(reissue.SingleR{D: 0.5, Q: 0.5})
 	if len(run.Primary) != 500 || len(run.Query) != 500 {
 		t.Fatalf("RunResult sizes: %d primary, %d query", len(run.Primary), len(run.Query))
 	}
@@ -317,7 +317,7 @@ func TestCorrelatedSourceProducesCorrelation(t *testing.T) {
 		Source:  DistSource{Dist: stats.NewExponential(0.5), Corr: 0.5},
 		Seed:    12,
 	})
-	res := c.RunDetailed(core.SingleD{D: 0}) // reissue everything immediately
+	res := c.RunDetailed(reissue.SingleD{D: 0}) // reissue everything immediately
 	var xs, ys []float64
 	for _, p := range res.Pairs {
 		xs = append(xs, p.X)
@@ -337,7 +337,7 @@ func TestCorrelatedSourceProducesCorrelation(t *testing.T) {
 		Source:  DistSource{Dist: stats.NewExponential(0.5), Corr: 0},
 		Seed:    13,
 	})
-	res0 := c0.RunDetailed(core.SingleD{D: 0})
+	res0 := c0.RunDetailed(reissue.SingleD{D: 0})
 	xs, ys = nil, nil
 	for _, p := range res0.Pairs {
 		xs = append(xs, p.X)
@@ -387,7 +387,7 @@ func TestSimulationInvariantsProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res := c.RunDetailed(core.SingleR{D: d, Q: q})
+		res := c.RunDetailed(reissue.SingleR{D: d, Q: q})
 		if len(res.Pairs) != len(res.Log.ReissueTimes()) {
 			return false
 		}

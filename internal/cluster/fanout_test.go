@@ -3,9 +3,9 @@ package cluster
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func TestFanOutValidation(t *testing.T) {
@@ -42,7 +42,7 @@ func mkFanOut(t *testing.T, fan int, seed uint64) *Cluster {
 
 func TestFanOutBookkeeping(t *testing.T) {
 	c := mkFanOut(t, 10, 61)
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	if got := len(res.FanOutResponses); got != 2000 {
 		t.Fatalf("fan-out batches = %d, want 2000", got)
 	}
@@ -54,7 +54,7 @@ func TestFanOutBookkeeping(t *testing.T) {
 		t.Fatalf("batch median %v not above request median %v", batchMed, reqMed)
 	}
 	// No-fan-out run leaves the field empty.
-	plain := mkFanOut(t, 1, 61).RunDetailed(core.None{})
+	plain := mkFanOut(t, 1, 61).RunDetailed(reissue.None{})
 	if plain.FanOutResponses != nil {
 		t.Fatal("FanOutResponses set without fan-out")
 	}
@@ -65,7 +65,7 @@ func TestFanOutTailAmplification(t *testing.T) {
 	// ~P90 becomes the batch median, and the batch P99 digs deep into
 	// the per-request tail — "the slower servers typically dominate".
 	c := mkFanOut(t, 10, 63)
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	reqP50 := metrics.TailLatency(res.Log.ResponseTimes(), 50)
 	batchP50 := metrics.TailLatency(res.FanOutResponses, 50)
 	if batchP50 < reqP50*2 {
@@ -78,12 +78,12 @@ func TestFanOutHedgingRecoversTail(t *testing.T) {
 	// Per-sub-request SingleR hedging shrinks the batch tail: this is
 	// the deployment scenario hedging was invented for.
 	c := mkFanOut(t, 10, 65)
-	base := c.RunDetailed(core.None{})
+	base := c.RunDetailed(reissue.None{})
 	baseP99 := metrics.TailLatency(base.FanOutResponses, 99)
 
 	// Tune on the sub-request distribution, evaluate on batches.
 	rx := base.Log.PrimaryTimes()
-	pol, _, err := core.ComputeOptimalSingleR(rx, nil, 0.99, 0.10)
+	pol, _, err := reissue.ComputeOptimalSingleR(rx, nil, 0.99, 0.10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // This file composes the existing simulator pairings — Sharded's
@@ -36,7 +36,7 @@ type GraphNode interface {
 	// runAll replays the shared arrival process for every query
 	// (warmup included) and returns per-query response times in query
 	// order; the Graph root trims warmup.
-	runAll(polFor func(path string) core.Policy) []float64
+	runAll(polFor func(path string) reissue.Policy) []float64
 	// addMask registers an enclosing tier's shielded stream: leaves
 	// mask shielded queries to zero service, and every node excludes
 	// them from its rate denominators.
@@ -122,7 +122,7 @@ func NewGraphLeaf(path string, cfg Config) (*GraphLeaf, error) {
 // AdoptState, configuration inspection).
 func (l *GraphLeaf) Cluster() *Cluster { return l.cluster }
 
-func (l *GraphLeaf) runAll(polFor func(string) core.Policy) []float64 {
+func (l *GraphLeaf) runAll(polFor func(string) reissue.Policy) []float64 {
 	l.last = l.cluster.RunDetailed(polFor(l.path))
 	rts := l.last.Log.ResponseTimes()
 	if len(rts) != l.total {
@@ -175,7 +175,7 @@ func NewGraphShard(path string, total int, children ...GraphNode) (*GraphShard, 
 	return &GraphShard{path: path, children: children, total: total}, nil
 }
 
-func (g *GraphShard) runAll(polFor func(string) core.Policy) []float64 {
+func (g *GraphShard) runAll(polFor func(string) reissue.Policy) []float64 {
 	resp := make([]float64, g.total)
 	for s, ch := range g.children {
 		rts := ch.runAll(polFor)
@@ -250,7 +250,7 @@ func NewGraphTier(path string, cache, store GraphNode, hits []bool, delay float6
 	return t, nil
 }
 
-func (t *GraphTier) runAll(polFor func(string) core.Policy) []float64 {
+func (t *GraphTier) runAll(polFor func(string) reissue.Policy) []float64 {
 	crt := t.cache.runAll(polFor)
 	if len(crt) != t.total {
 		panic(fmt.Sprintf("cluster: graph tier %q cache returned %d queries, want %d", t.path, len(crt), t.total))
@@ -356,15 +356,15 @@ type GraphResult struct {
 // end-to-end response times, with the same nearest-rank formula as
 // the single-fleet RunResult.
 func (r *GraphResult) TailLatency(k float64) float64 {
-	return core.RunResult{Query: r.Query}.TailLatency(k)
+	return reissue.RunResult{Query: r.Query}.TailLatency(k)
 }
 
 // Run replays the graph once: polFor supplies each leaf's
-// within-fleet policy by leaf path (return core.None{} for
+// within-fleet policy by leaf path (return reissue.None{} for
 // no-reissue). Composite edges have no policy here by construction —
 // reissuing a whole subtree has no live counterpart the builder
 // permits.
-func (g *Graph) Run(polFor func(path string) core.Policy) *GraphResult {
+func (g *Graph) Run(polFor func(path string) reissue.Policy) *GraphResult {
 	resp := g.root.runAll(polFor)
 	out := &GraphResult{
 		Query:     append([]float64(nil), resp[g.warmup:]...),

@@ -4,8 +4,8 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // graphTrace builds a deterministic heavy-tailed service trace.
@@ -31,14 +31,14 @@ func graphBase(n, warmup int, times []float64) Config {
 	}
 }
 
-func polConst(p core.Policy) func(string) core.Policy {
-	return func(string) core.Policy { return p }
+func polConst(p reissue.Policy) func(string) reissue.Policy {
+	return func(string) reissue.Policy { return p }
 }
 
 // plainRun runs an uncomposed Cluster over the same trace, load, and
 // seeds, measuring the same post-warmup window, and returns the
 // per-query responses plus the reissue rate over measured queries.
-func plainRun(t *testing.T, cfg Config, warmup int, pol core.Policy) ([]float64, float64) {
+func plainRun(t *testing.T, cfg Config, warmup int, pol reissue.Policy) ([]float64, float64) {
 	t.Helper()
 	c, err := New(cfg)
 	if err != nil {
@@ -58,7 +58,7 @@ func plainRun(t *testing.T, cfg Config, warmup int, pol core.Policy) ([]float64,
 func TestGraphLeafIdentity(t *testing.T) {
 	const n, warmup = 400, 50
 	times := graphTrace(n+warmup, 3)
-	pol := core.SingleR{D: 2, Q: 0.3}
+	pol := reissue.SingleR{D: 2, Q: 0.3}
 
 	leaf, err := NewGraphLeaf("root", graphBase(n, warmup, times))
 	if err != nil {
@@ -89,7 +89,7 @@ func TestGraphLeafIdentity(t *testing.T) {
 func TestGraphShardDegenerateIdentity(t *testing.T) {
 	const n, warmup = 400, 50
 	times := graphTrace(n+warmup, 4)
-	pol := core.SingleR{D: 2, Q: 0.3}
+	pol := reissue.SingleR{D: 2, Q: 0.3}
 
 	leaf, err := NewGraphLeaf("shard0", graphBase(n, warmup, times))
 	if err != nil {
@@ -124,7 +124,7 @@ func TestGraphTierDegenerateIdentity(t *testing.T) {
 	total := n + warmup
 	cacheTimes := graphTrace(total, 5)
 	storeTimes := graphTrace(total, 6)
-	pol := core.SingleR{D: 2, Q: 0.3}
+	pol := reissue.SingleR{D: 2, Q: 0.3}
 	hits := make([]bool, total)
 	for i := range hits {
 		hits[i] = true
@@ -173,7 +173,7 @@ func TestGraphTierDegenerateIdentity(t *testing.T) {
 func TestGraphMatchesSharded(t *testing.T) {
 	const n, warmup, S = 400, 50, 3
 	total := n + warmup
-	pol := core.SingleR{D: 2, Q: 0.3}
+	pol := reissue.SingleR{D: 2, Q: 0.3}
 
 	children := make([]GraphNode, S)
 	traces := make([][]float64, S)
@@ -181,8 +181,8 @@ func TestGraphMatchesSharded(t *testing.T) {
 		traces[s] = graphTrace(total, uint64(10+s))
 		cfg := graphBase(n, warmup, traces[s])
 		if s > 0 {
-			cfg.PolicySeed = shardMix(s)
-			cfg.ServiceSeed = shardMix(s)
+			cfg.PolicySeed = shardSalt(s)
+			cfg.ServiceSeed = shardSalt(s)
 		}
 		leaf, err := NewGraphLeaf("", cfg)
 		if err != nil {
@@ -236,8 +236,8 @@ func TestGraphMatchesTiered(t *testing.T) {
 	for i := range hits {
 		hits[i] = hrng.Float64() < 0.7
 	}
-	cachePol := core.SingleR{D: 2, Q: 0.3}
-	storePol := core.SingleR{D: 4, Q: 0.2}
+	cachePol := reissue.SingleR{D: 2, Q: 0.3}
+	storePol := reissue.SingleR{D: 4, Q: 0.2}
 
 	cache, err := NewGraphLeaf("cache", graphBase(n, warmup, cacheTimes))
 	if err != nil {
@@ -257,7 +257,7 @@ func TestGraphMatchesTiered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := g.Run(func(path string) core.Policy {
+	got := g.Run(func(path string) reissue.Policy {
 		if path == "store" {
 			return storePol
 		}
@@ -318,8 +318,8 @@ func TestGraphDepth2Composes(t *testing.T) {
 		cfg.PolicySeed = tierSalt()
 		cfg.ServiceSeed = 0
 		if s > 0 {
-			cfg.PolicySeed ^= shardMix(s)
-			cfg.ServiceSeed = shardMix(s)
+			cfg.PolicySeed ^= shardSalt(s)
+			cfg.ServiceSeed = shardSalt(s)
 		}
 		leaf, err := NewGraphLeaf("store/shard"+string(rune('0'+s)), cfg)
 		if err != nil {
@@ -339,7 +339,7 @@ func TestGraphDepth2Composes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := g.Run(polConst(core.SingleR{D: 2, Q: 0.25}))
+	res := g.Run(polConst(reissue.SingleR{D: 2, Q: 0.25}))
 
 	if len(res.Query) != n {
 		t.Fatalf("measured %d queries, want %d", len(res.Query), n)

@@ -3,9 +3,9 @@ package cluster
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func TestSpeedFactorsValidation(t *testing.T) {
@@ -39,7 +39,7 @@ func TestSpeedFactorsSlowServer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return c.RunDetailed(core.None{})
+		return c.RunDetailed(reissue.None{})
 	}
 	uniform := mk(nil)
 	// One replica at one-third speed: the straggler drags the tail.
@@ -68,8 +68,8 @@ func TestHedgingDodgesStraggler(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := metrics.TailLatency(c.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
-	ar, err := core.AdaptiveOptimize(c, core.AdaptiveConfig{
+	base := metrics.TailLatency(c.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
+	ar, err := reissue.AdaptiveOptimize(c, reissue.AdaptiveConfig{
 		K: 0.99, B: 0.25, Lambda: 0.5, Trials: 6,
 	})
 	if err != nil {

@@ -4,12 +4,12 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
-// TestOnlineAdapterInVaryingLoadCluster wires a core.OnlineAdapter
+// TestOnlineAdapterInVaryingLoadCluster wires a reissue.OnlineAdapter
 // into a simulated cluster whose arrival rate steps up mid-run — the
 // Section 4.4 "varying load" scenario. The adapter observes request
 // completions live (OnRequestComplete), re-tunes its SingleR
@@ -23,7 +23,7 @@ func TestOnlineAdapterInVaryingLoadCluster(t *testing.T) {
 	const servers = 10
 	baseRate := ArrivalRateForUtilization(0.25, servers, dist.Mean())
 
-	adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
+	adapter, err := reissue.NewOnlineAdapter(reissue.OnlineConfig{
 		K: 0.99, B: 0.10, Lambda: 0.5, Window: 2000,
 	})
 	if err != nil {
@@ -87,8 +87,8 @@ func TestOnlineAdapterInVaryingLoadCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	baseRes := bc.RunDetailed(core.None{})
-	seedRes := bc.RunDetailed(core.SingleR{D: 0, Q: 0.10})
+	baseRes := bc.RunDetailed(reissue.None{})
+	seedRes := bc.RunDetailed(reissue.SingleR{D: 0, Q: 0.10})
 	p99Base := metrics.TailLatency(baseRes.Log.ResponseTimes(), 99)
 	p99Seed := metrics.TailLatency(seedRes.Log.ResponseTimes(), 99)
 	p99Online := metrics.TailLatency(res.Log.ResponseTimes(), 99)
@@ -114,7 +114,7 @@ func TestRateMultiplierShapesArrivals(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return c.RunDetailed(core.None{})
+		return c.RunDetailed(reissue.None{})
 	}
 	constant := mk(nil)
 	doubled := mk(func(float64) float64 { return 2 })
@@ -142,5 +142,5 @@ func TestRateMultiplierInvalidPanics(t *testing.T) {
 			t.Fatal("zero rate multiplier did not panic")
 		}
 	}()
-	c.RunDetailed(core.None{})
+	c.RunDetailed(reissue.None{})
 }

@@ -3,8 +3,8 @@ package cluster
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // ShardedConfig describes a partitioned fleet: S shards, each a
@@ -42,13 +42,13 @@ type Sharded struct {
 	shards []*Cluster
 }
 
-// shardMix derives shard s's stream-decorrelation constant —
+// shardSalt derives shard s's stream-decorrelation salt —
 // non-zero so the Config seed overrides always take effect for
 // s > 0. The live router (reissue/hedge/shard) salts its per-shard
 // coin seeds through the same stats.Mix64NonZero; the correspondence
 // is structural (independent per-shard streams over a shared base),
 // not a bit-identical coin sequence.
-func shardMix(s int) uint64 {
+func shardSalt(s int) uint64 {
 	return stats.Mix64NonZero(uint64(s) + 1)
 }
 
@@ -71,8 +71,8 @@ func NewSharded(cfg ShardedConfig) (*Sharded, error) {
 			// its own data, so a stochastic source must not replay
 			// shard 0's service times (trace sources ignore the
 			// stream). Arrivals stay shared through the common Seed.
-			c.PolicySeed = cfg.Base.PolicySeed ^ shardMix(s)
-			c.ServiceSeed = cfg.Base.ServiceSeed ^ shardMix(s)
+			c.PolicySeed = cfg.Base.PolicySeed ^ shardSalt(s)
+			c.ServiceSeed = cfg.Base.ServiceSeed ^ shardSalt(s)
 		}
 		cl, err := New(c)
 		if err != nil {
@@ -108,13 +108,13 @@ type ShardedResult struct {
 // (max-over-shards) response times, k in (0, 1), using the same
 // nearest-rank formula as the single-shard RunResult.
 func (r *ShardedResult) TailLatency(k float64) float64 {
-	return core.RunResult{Query: r.Query}.TailLatency(k)
+	return reissue.RunResult{Query: r.Query}.TailLatency(k)
 }
 
 // Run simulates one sharded run under policy p: every shard replays
 // the same arrivals with its own trace and coin stream, and the
 // merged result carries the max-over-shards response per query.
-func (sh *Sharded) Run(p core.Policy) *ShardedResult {
+func (sh *Sharded) Run(p reissue.Policy) *ShardedResult {
 	out := &ShardedResult{
 		PerShard:   make([]*Result, len(sh.shards)),
 		ShardRates: make([]float64, len(sh.shards)),

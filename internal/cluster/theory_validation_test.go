@@ -4,9 +4,9 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/queueing"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // These tests hold the discrete-event simulator to closed-form
@@ -31,7 +31,7 @@ func simulateQueue(t *testing.T, servers int, lambda float64, dist stats.Dist, l
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	return stats.Summarize(res.Log.ResponseTimes()).Mean
 }
 

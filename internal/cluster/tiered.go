@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 // TierConfig describes one tier of a two-tier (cache -> store)
@@ -118,7 +118,14 @@ func NewTiered(cfg TieredConfig) (*Tiered, error) {
 	if math.IsNaN(cfg.TierDelay) || cfg.TierDelay < 0 {
 		return nil, fmt.Errorf("cluster: TierDelay=%v must be non-negative (math.Inf(1) disables the proactive hedge)", cfg.TierDelay)
 	}
-	for name, tc := range map[string]TierConfig{"cache": cfg.Cache, "store": cfg.Store} {
+	// A slice, not a map: validation must report the same tier first
+	// on every run (map iteration order would make the error message
+	// nondeterministic when both tiers are misconfigured).
+	for _, tier := range []struct {
+		name string
+		tc   TierConfig
+	}{{"cache", cfg.Cache}, {"store", cfg.Store}} {
+		name, tc := tier.name, tier.tc
 		if tc.Source == nil {
 			return nil, fmt.Errorf("cluster: %s tier needs a service source", name)
 		}
@@ -198,7 +205,7 @@ type TieredResult struct {
 // end-to-end response times, with the same nearest-rank formula as
 // the single-tier RunResult.
 func (r *TieredResult) TailLatency(k float64) float64 {
-	return core.RunResult{Query: r.Query}.TailLatency(k)
+	return reissue.RunResult{Query: r.Query}.TailLatency(k)
 }
 
 // Run simulates one tiered run: the cache tier replays every arrival
@@ -212,7 +219,7 @@ func (r *TieredResult) TailLatency(k float64) float64 {
 // and a miss at min(TierDelay, cache response) + its store response
 // (the store dispatches at the tier delay or the moment the miss is
 // known, whichever comes first).
-func (tv *Tiered) Run(cachePol, storePol core.Policy) *TieredResult {
+func (tv *Tiered) Run(cachePol, storePol reissue.Policy) *TieredResult {
 	cacheRes := tv.cache.RunDetailed(cachePol)
 	crt := cacheRes.Log.ResponseTimes()
 	if len(crt) != tv.total {

@@ -3,8 +3,14 @@
 // families, optimizers, adaptive loops and budget searches now live.
 // Every name here is a type alias or a forwarding variable, so values
 // flow freely between old internal callers and the public API —
-// core.SingleR and reissue.SingleR are the same type. New code should
-// import repro/reissue directly.
+// core.SingleR and reissue.SingleR are the same type.
+//
+// Deprecated: import repro/reissue directly. The last internal
+// importers were migrated off this shim; it survives only so stale
+// branches keep compiling, and its compile-time alias test
+// (core_test.go) is the one import left. reissue-vet's coreimport
+// analyzer flags any new import of this package outside internal/core
+// itself, and CI runs that check on every push.
 package core
 
 import "repro/reissue"

@@ -15,11 +15,11 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/searchengine"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/reissue"
 )
 
 // Scale controls experiment sizes.
@@ -267,7 +267,8 @@ func NewSystemCluster(kind SystemKind, util float64, sc Scale) (*cluster.Cluster
 		Source:       &cluster.TraceSource{Times: times},
 		Discipline:   disc,
 		Interference: SystemInterference(),
-		Seed:         sc.Seed ^ uint64(kind+1)*0x9e37,
+		//lint:allow saltdiscipline golden-pinned per-kind seed split; changing the derivation regenerates every figure
+		Seed: sc.Seed ^ uint64(kind+1)*0x9e37,
 	})
 }
 
@@ -281,8 +282,8 @@ func meanOf(xs []float64) float64 {
 
 // adaptiveCfg builds the adaptive-optimizer configuration used by the
 // figure harnesses.
-func adaptiveCfg(k, b float64, sc Scale, correlated bool) core.AdaptiveConfig {
-	return core.AdaptiveConfig{
+func adaptiveCfg(k, b float64, sc Scale, correlated bool) reissue.AdaptiveConfig {
+	return reissue.AdaptiveConfig{
 		K: k, B: b, Lambda: 0.5, Trials: sc.AdaptiveTrials, Correlated: correlated,
 	}
 }

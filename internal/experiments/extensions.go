@@ -5,11 +5,11 @@ import (
 	"math"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // This file holds experiments beyond the paper's figures, exercising
@@ -46,7 +46,7 @@ func ExtensionOnlineTrackingJob(sc Scale) *Job {
 	type epochRow struct{ epoch, d, q float64 }
 	var epochs []epochRow
 	var onlineP99, baseP99, frozenP99 float64
-	var finalPolicy core.SingleR
+	var finalPolicy reissue.SingleR
 	var onlineRate float64
 
 	j := &Job{Name: "extensionX1"}
@@ -54,7 +54,7 @@ func ExtensionOnlineTrackingJob(sc Scale) *Job {
 		{
 			Label: "X1/online",
 			Run: func(env *sweep.Env) error {
-				adapter, err := core.NewOnlineAdapter(core.OnlineConfig{
+				adapter, err := reissue.NewOnlineAdapter(reissue.OnlineConfig{
 					K: 0.99, B: 0.10, Lambda: 0.5, Window: min(sc.Queries/8, 2000),
 				})
 				if err != nil {
@@ -92,8 +92,8 @@ func ExtensionOnlineTrackingJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				base := bc.RunDetailed(core.None{})
-				frozen := bc.RunDetailed(core.SingleR{D: 0, Q: 0.10})
+				base := bc.RunDetailed(reissue.None{})
+				frozen := bc.RunDetailed(reissue.SingleR{D: 0, Q: 0.10})
 				baseP99 = metrics.TailLatency(base.Log.ResponseTimes(), 99)
 				frozenP99 = metrics.TailLatency(frozen.Log.ResponseTimes(), 99)
 				return nil
@@ -165,7 +165,7 @@ func ExtensionCancellationJob(sc Scale) *Job {
 					if err != nil {
 						return err
 					}
-					res := c.RunDetailed(core.Immediate{N: 1})
+					res := c.RunDetailed(reissue.Immediate{N: 1})
 					outs[ri][ci] = out{
 						p99:  metrics.TailLatency(res.Log.ResponseTimes(), 99),
 						util: res.Utilization,
@@ -234,7 +234,7 @@ func ExtensionFanOutJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				base := c.RunDetailed(core.None{})
+				base := c.RunDetailed(reissue.None{})
 				batch := base.FanOutResponses
 				if fan <= 1 {
 					batch = base.Log.ResponseTimes()
@@ -244,7 +244,7 @@ func ExtensionFanOutJob(sc Scale) *Job {
 				// tune the sub-request policy for that target, not for
 				// P99.
 				kEff := math.Pow(0.99, 1/float64(max(fan, 1)))
-				pol, _, err := core.ComputeOptimalSingleR(base.Log.PrimaryTimes(), nil, kEff, 0.10)
+				pol, _, err := reissue.ComputeOptimalSingleR(base.Log.PrimaryTimes(), nil, kEff, 0.10)
 				if err != nil {
 					return err
 				}
@@ -328,7 +328,7 @@ func ExtensionBurstinessJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				pBase := metrics.TailLatency(poisson.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+				pBase := metrics.TailLatency(poisson.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
 				bursty, err := env.WarmCluster(cluster.New(cluster.Config{
 					Servers:     servers,
 					ArrivalRate: cluster.ArrivalRateForUtilization(rho, servers, dist.Mean()) / avg,
@@ -340,8 +340,8 @@ func ExtensionBurstinessJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				bBase := metrics.TailLatency(bursty.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
-				ar, err := core.AdaptiveOptimize(bursty, adaptiveCfg(0.99, 0.05, sc, false))
+				bBase := metrics.TailLatency(bursty.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
+				ar, err := reissue.AdaptiveOptimize(bursty, adaptiveCfg(0.99, 0.05, sc, false))
 				if err != nil {
 					return err
 				}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // figure2Trials is the adaptive-trial count Figures 2a and 2b use:
@@ -26,7 +26,7 @@ func Figure2aJob(sc Scale) *Job {
 	trials := figure2Trials(sc)
 
 	var baseResp []float64
-	var ar core.AdaptiveResult
+	var ar reissue.AdaptiveResult
 	j := &Job{Name: "figure2a"}
 	j.Points = []sweep.Point{
 		{
@@ -38,7 +38,7 @@ func Figure2aJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				baseResp = wl.RunDetailed(core.None{}).Log.ResponseTimes()
+				baseResp = wl.RunDetailed(reissue.None{}).Log.ResponseTimes()
 				return nil
 			},
 		},
@@ -51,7 +51,7 @@ func Figure2aJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				ar, err = core.AdaptiveOptimize(wl, core.AdaptiveConfig{
+				ar, err = reissue.AdaptiveOptimize(wl, reissue.AdaptiveConfig{
 					K: k, B: B, Lambda: 0.2, Trials: trials, Correlated: true,
 				})
 				return err
@@ -107,7 +107,7 @@ func Figure2bJob(sc Scale) *Job {
 	const k, B = 0.95, 0.30
 	trials := figure2Trials(sc)
 
-	var ar core.AdaptiveResult
+	var ar reissue.AdaptiveResult
 	j := &Job{Name: "figure2b"}
 	j.Points = []sweep.Point{{
 		Label: "2b/adaptive",
@@ -118,7 +118,7 @@ func Figure2bJob(sc Scale) *Job {
 			if err != nil {
 				return err
 			}
-			ar, err = core.AdaptiveOptimize(wl, core.AdaptiveConfig{
+			ar, err = reissue.AdaptiveOptimize(wl, reissue.AdaptiveConfig{
 				K: k, B: B, Lambda: 0.2, Trials: trials, Correlated: true,
 			})
 			return err

@@ -5,10 +5,10 @@ import (
 	"math"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // Figure3Budgets is the reissue-budget sweep of the paper's Figure 3.
@@ -89,7 +89,7 @@ func Figure3Job(kind WorkloadKind, sc Scale) *Job {
 			if err != nil {
 				return err
 			}
-			base := wl.RunDetailed(core.None{})
+			base := wl.RunDetailed(reissue.None{})
 			baseP95 = metrics.TailLatency(base.Log.ResponseTimes(), 95)
 			return nil
 		},
@@ -175,29 +175,29 @@ func Figure3(kind WorkloadKind, sc Scale) (*Figure3Result, error) {
 // response times (reissue load cannot perturb an infinite-server
 // system); the Queueing workload uses adaptive refinement for both
 // families, as in the paper.
-func tunePolicies(wl *cluster.Cluster, kind WorkloadKind, k, B float64, sc Scale) (core.SingleR, core.SingleD, error) {
+func tunePolicies(wl *cluster.Cluster, kind WorkloadKind, k, B float64, sc Scale) (reissue.SingleR, reissue.SingleD, error) {
 	if kind == Queueing {
-		ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
+		ar, err := reissue.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
 		if err != nil {
-			return core.SingleR{}, core.SingleD{}, err
+			return reissue.SingleR{}, reissue.SingleD{}, err
 		}
-		ad, err := core.AdaptiveOptimizeSingleD(wl, adaptiveCfg(k, B, sc, false))
+		ad, err := reissue.AdaptiveOptimizeSingleD(wl, adaptiveCfg(k, B, sc, false))
 		if err != nil {
-			return core.SingleR{}, core.SingleD{}, err
+			return reissue.SingleR{}, reissue.SingleD{}, err
 		}
-		return ar.Policy, core.SingleD{D: ad.Policy.D}, nil
+		return ar.Policy, reissue.SingleD{D: ad.Policy.D}, nil
 	}
 
 	// Collect paired logs by reissuing everything immediately once:
 	// with infinite servers this does not perturb response times.
-	probe := wl.RunDetailed(core.SingleD{D: 0})
-	polR, _, err := core.ComputeOptimalSingleRCorrelated(probe.Log.PrimaryTimes(), probe.Pairs, k, B)
+	probe := wl.RunDetailed(reissue.SingleD{D: 0})
+	polR, _, err := reissue.ComputeOptimalSingleRCorrelated(probe.Log.PrimaryTimes(), probe.Pairs, k, B)
 	if err != nil {
-		return core.SingleR{}, core.SingleD{}, err
+		return reissue.SingleR{}, reissue.SingleD{}, err
 	}
-	polD, err := core.OptimalSingleD(probe.Log.PrimaryTimes(), B)
+	polD, err := reissue.OptimalSingleD(probe.Log.PrimaryTimes(), B)
 	if err != nil {
-		return core.SingleR{}, core.SingleD{}, err
+		return reissue.SingleR{}, reissue.SingleD{}, err
 	}
 	return polR, polD, nil
 }

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/rangequery"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // Figure4Job decomposes Figure 4 into its two independent panels:
@@ -32,7 +32,7 @@ func Figure4Job(sc Scale) *Job {
 				// Reissue everything at t=0: with infinite servers this
 				// samples the joint service-time distribution without
 				// perturbing it.
-				corrRun := corrWL.RunDetailed(core.SingleD{D: 0})
+				corrRun := corrWL.RunDetailed(reissue.SingleD{D: 0})
 				a = scatterTable("4a", "Correlated workload: primary vs reissue response times",
 					corrRun.Pairs, maxPoints)
 				return nil
@@ -50,7 +50,7 @@ func Figure4Job(sc Scale) *Job {
 				// On the finite-server workload reissue only a fraction
 				// of queries, immediately, to sample pairs while
 				// bounding added load.
-				queueRun := queueWL.RunDetailed(core.SingleR{D: 0, Q: 0.3})
+				queueRun := queueWL.RunDetailed(reissue.SingleR{D: 0, Q: 0.3})
 				b = scatterTable("4b", "Queueing workload: primary vs reissue response times",
 					queueRun.Pairs, maxPoints)
 				return nil

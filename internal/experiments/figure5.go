@@ -4,10 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // Figure5Rates is the reissue-rate sweep used by Figures 5b and 5c.
@@ -36,9 +36,9 @@ func Figure5aJob(sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				base := wl.RunDetailed(core.None{})
+				base := wl.RunDetailed(reissue.None{})
 				outs[ri].base = metrics.TailLatency(base.Log.ResponseTimes(), 95)
-				ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
+				ar, err := reissue.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, true))
 				if err != nil {
 					return fmt.Errorf("corr %v: %w", r, err)
 				}
@@ -98,7 +98,7 @@ func figure5Grid(name, id, title string, columns []string, sc Scale,
 				if err != nil {
 					return err
 				}
-				base := wl.RunDetailed(core.None{})
+				base := wl.RunDetailed(reissue.None{})
 				rows[0][vi] = metrics.TailLatency(base.Log.ResponseTimes(), 95)
 				return nil
 			},
@@ -112,7 +112,7 @@ func figure5Grid(name, id, title string, columns []string, sc Scale,
 					if err != nil {
 						return err
 					}
-					ar, err := core.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, false))
+					ar, err := reissue.AdaptiveOptimize(wl, adaptiveCfg(k, B, sc, false))
 					if err != nil {
 						return fmt.Errorf("%s budget %v: %w", variantLabel(vi), B, err)
 					}

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // Figure6Rates is the reissue-rate sweep of the paper's Figure 6.
@@ -45,7 +45,7 @@ func Figure6Job(dist stats.Dist, label string, sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				base := wl.RunDetailed(core.None{})
+				base := wl.RunDetailed(reissue.None{})
 				base95[ui] = metrics.TailLatency(base.Log.ResponseTimes(), 95)
 				base99[ui] = metrics.TailLatency(base.Log.ResponseTimes(), 99)
 				return nil
@@ -63,11 +63,11 @@ func Figure6Job(dist stats.Dist, label string, sc Scale) *Job {
 					// The optimal policy depends on the target
 					// percentile, so tune separately for P95 and P99 as
 					// the paper does.
-					ar95, err := core.AdaptiveOptimize(wl, adaptiveCfg(0.95, B, sc, false))
+					ar95, err := reissue.AdaptiveOptimize(wl, adaptiveCfg(0.95, B, sc, false))
 					if err != nil {
 						return fmt.Errorf("util %v budget %v (P95): %w", util, B, err)
 					}
-					ar99, err := core.AdaptiveOptimize(wl, adaptiveCfg(0.99, B, sc, false))
+					ar99, err := reissue.AdaptiveOptimize(wl, adaptiveCfg(0.99, B, sc, false))
 					if err != nil {
 						return fmt.Errorf("util %v budget %v (P99): %w", util, B, err)
 					}

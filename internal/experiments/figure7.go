@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/reissue"
 )
 
 // figure7aBudgets is the small-budget sweep of Figure 7a.
@@ -29,7 +29,7 @@ func Figure7aJob(kind SystemKind, sc Scale) *Job {
 			if err != nil {
 				return err
 			}
-			baseP99 = sys.Run(core.None{}).TailLatency(k)
+			baseP99 = sys.Run(reissue.None{}).TailLatency(k)
 			return nil
 		},
 	}}
@@ -42,11 +42,11 @@ func Figure7aJob(kind SystemKind, sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				ar, err := core.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
+				ar, err := reissue.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
 				if err != nil {
 					return fmt.Errorf("SingleR budget %v: %w", B, err)
 				}
-				ad, err := core.AdaptiveOptimizeSingleD(sys, adaptiveCfg(k, B, sc, false))
+				ad, err := reissue.AdaptiveOptimizeSingleD(sys, adaptiveCfg(k, B, sc, false))
 				if err != nil {
 					return fmt.Errorf("SingleD budget %v: %w", B, err)
 				}
@@ -122,7 +122,7 @@ func Figure7bJob(kind SystemKind, sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				rows[0][ui] = sys.Run(core.None{}).TailLatency(k)
+				rows[0][ui] = sys.Run(reissue.None{}).TailLatency(k)
 				return nil
 			},
 		})
@@ -135,7 +135,7 @@ func Figure7bJob(kind SystemKind, sc Scale) *Job {
 					if err != nil {
 						return err
 					}
-					ar, err := core.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
+					ar, err := reissue.AdaptiveOptimize(sys, adaptiveCfg(k, B, sc, true))
 					if err != nil {
 						return fmt.Errorf("util %v budget %v: %w", util, B, err)
 					}
@@ -193,7 +193,7 @@ func Figure7cJob(kind SystemKind, sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				outs[ui].baseP99 = sys.Run(core.None{}).TailLatency(k)
+				outs[ui].baseP99 = sys.Run(reissue.None{}).TailLatency(k)
 				return nil
 			},
 		}, sweep.Point{
@@ -203,7 +203,7 @@ func Figure7cJob(kind SystemKind, sc Scale) *Job {
 				if err != nil {
 					return err
 				}
-				bs, err := core.BudgetSearch(sys, core.BudgetSearchConfig{
+				bs, err := reissue.BudgetSearch(sys, reissue.BudgetSearchConfig{
 					K: k, Lambda: 0.5,
 					AdaptiveSteps: min(sc.AdaptiveTrials, 5),
 					Trials:        8,

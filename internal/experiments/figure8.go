@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sweep"
+	"repro/reissue"
 )
 
 // Figure8Job decomposes Figure 8: the budget binary search is one
@@ -13,7 +13,7 @@ func Figure8Job(sc Scale) *Job {
 	sc = sc.withDefaults()
 	const k, util = 0.99, 0.20
 
-	var bs core.BudgetSearchResult
+	var bs reissue.BudgetSearchResult
 	j := &Job{Name: "figure8"}
 	j.Points = []sweep.Point{{
 		Label: "8/search",
@@ -22,7 +22,7 @@ func Figure8Job(sc Scale) *Job {
 			if err != nil {
 				return err
 			}
-			bs, err = core.BudgetSearch(sys, core.BudgetSearchConfig{
+			bs, err = reissue.BudgetSearch(sys, reissue.BudgetSearchConfig{
 				K: k, Lambda: 0.5,
 				AdaptiveSteps: min(sc.AdaptiveTrials, 5),
 				Trials:        14, // the paper plots 14 trials

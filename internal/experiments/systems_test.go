@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"repro/internal/core"
+	"repro/reissue"
 )
 
 func TestNewSystemClusterRedis(t *testing.T) {
@@ -12,7 +12,7 @@ func TestNewSystemClusterRedis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.RunDetailed(core.None{})
+	res := sys.RunDetailed(reissue.None{})
 	if math.Abs(res.Utilization-0.40) > 0.08 {
 		t.Errorf("redis cluster utilization %v, want ~0.40", res.Utilization)
 	}
@@ -29,7 +29,7 @@ func TestNewSystemClusterLucene(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := sys.RunDetailed(core.None{})
+	res := sys.RunDetailed(reissue.None{})
 	if math.Abs(res.Utilization-0.40) > 0.08 {
 		t.Errorf("lucene cluster utilization %v, want ~0.40", res.Utilization)
 	}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
+	"repro/reissue"
 )
 
 // TestTheorem31EndToEnd verifies the paper's headline theorem in the
@@ -23,9 +23,9 @@ func TestTheorem31EndToEnd(t *testing.T) {
 	}
 
 	// Tune SingleR from a probe run's logs.
-	probe := wl.RunDetailed(core.SingleD{D: 0})
+	probe := wl.RunDetailed(reissue.SingleD{D: 0})
 	rx := probe.Log.PrimaryTimes()
-	polR, _, err := core.ComputeOptimalSingleR(rx, probe.Log.ReissueTimes(), k, B)
+	polR, _, err := reissue.ComputeOptimalSingleR(rx, probe.Log.ReissueTimes(), k, B)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func TestTheorem31EndToEnd(t *testing.T) {
 		if q2 > 1 {
 			q2 = 1
 		}
-		pol, err := core.DoubleR(d1, q1, d2, q2)
+		pol, err := reissue.DoubleR(d1, q1, d2, q2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,14 +83,14 @@ func TestImmediateVsSingleREndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe := wl.RunDetailed(core.SingleD{D: 0})
-	polR, _, err := core.ComputeOptimalSingleR(probe.Log.PrimaryTimes(), probe.Log.ReissueTimes(), k, B)
+	probe := wl.RunDetailed(reissue.SingleD{D: 0})
+	polR, _, err := reissue.ComputeOptimalSingleR(probe.Log.PrimaryTimes(), probe.Log.ReissueTimes(), k, B)
 	if err != nil {
 		t.Fatal(err)
 	}
 	singleP95 := metrics.TailLatency(wl.RunDetailed(polR).Log.ResponseTimes(), 95)
 	immediateP95 := metrics.TailLatency(
-		wl.RunDetailed(core.SingleR{D: 0, Q: B}).Log.ResponseTimes(), 95)
+		wl.RunDetailed(reissue.SingleR{D: 0, Q: B}).Log.ResponseTimes(), 95)
 	if singleP95 >= immediateP95 {
 		t.Fatalf("tuned SingleR P95 %.2f not below immediate-reissue %.2f",
 			singleP95, immediateP95)

@@ -36,6 +36,7 @@ func (r *RNG) Seed(seed uint64) {
 		z := sm
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		//lint:allow saltdiscipline this IS the splitmix64 finalizer the discipline routes derivations through
 		return z ^ (z >> 31)
 	}
 	for i := range r.s {

@@ -9,8 +9,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func TestMapPreservesItemOrder(t *testing.T) {
@@ -145,7 +145,7 @@ func TestWarmEnginesReplayIdentical(t *testing.T) {
 					if err != nil {
 						return err
 					}
-					out[i] = c.RunDetailed(core.SingleR{D: 2, Q: 0.1}).Duration
+					out[i] = c.RunDetailed(reissue.SingleR{D: 2, Q: 0.1}).Duration
 					return nil
 				},
 			}

@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func TestNewBurstyMultiplierValidation(t *testing.T) {
@@ -120,8 +120,8 @@ func TestBurstinessDeepensTailAndHedgingHelps(t *testing.T) {
 	poisson := mk(nil, cluster.ArrivalRateForUtilization(0.40, servers, dist.Mean()))
 	bursty := mk(mult, baseRate)
 
-	pBase := metrics.TailLatency(poisson.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
-	bBase := metrics.TailLatency(bursty.RunDetailed(core.None{}).Log.ResponseTimes(), 99)
+	pBase := metrics.TailLatency(poisson.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
+	bBase := metrics.TailLatency(bursty.RunDetailed(reissue.None{}).Log.ResponseTimes(), 99)
 	if bBase <= pBase {
 		t.Fatalf("bursty P99 %v not above Poisson %v at equal average load", bBase, pBase)
 	}
@@ -131,7 +131,7 @@ func TestBurstinessDeepensTailAndHedgingHelps(t *testing.T) {
 	// The adaptive optimizer must recognize this and at least not
 	// make things worse (contrast with server-local interference,
 	// where hedging shines: see the system experiments).
-	ar, err := core.AdaptiveOptimize(bursty, core.AdaptiveConfig{
+	ar, err := reissue.AdaptiveOptimize(bursty, reissue.AdaptiveConfig{
 		K: 0.99, B: 0.05, Lambda: 0.5, Trials: 5,
 	})
 	if err != nil {

@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/reissue"
 )
 
 func TestPaperServiceDist(t *testing.T) {
@@ -29,7 +29,7 @@ func TestIndependentNoQueueing(t *testing.T) {
 	if c.Config().Servers != 0 {
 		t.Fatal("Independent should use infinite servers")
 	}
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	// Response == service: minimum equals the Pareto mode.
 	if min := stats.Summarize(res.Log.ResponseTimes()).Min; min < 2 {
 		t.Fatalf("response %v below Pareto mode", min)
@@ -41,7 +41,7 @@ func TestIndependentUncorrelated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.SingleD{D: 0})
+	res := c.RunDetailed(reissue.SingleD{D: 0})
 	var xs, ys []float64
 	for _, p := range res.Pairs {
 		xs = append(xs, p.X)
@@ -57,7 +57,7 @@ func TestCorrelatedWorkloadCorrelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.SingleD{D: 0})
+	res := c.RunDetailed(reissue.SingleD{D: 0})
 	var xs, ys []float64
 	for _, p := range res.Pairs {
 		xs = append(xs, p.X)
@@ -91,7 +91,7 @@ func TestQueueingUtilizationOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	if math.Abs(res.Utilization-0.5) > 0.05 {
 		t.Fatalf("measured utilization %v, want ~0.5", res.Utilization)
 	}
@@ -109,7 +109,7 @@ func TestWithCorrZeroDisablesCorrelation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.SingleD{D: 0})
+	res := c.RunDetailed(reissue.SingleD{D: 0})
 	var xs, ys []float64
 	for _, p := range res.Pairs {
 		xs = append(xs, p.X)
@@ -129,7 +129,7 @@ func TestQueueingTailFarAboveMedian(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := c.RunDetailed(core.None{})
+	res := c.RunDetailed(reissue.None{})
 	rts := res.Log.ResponseTimes()
 	med := metrics.TailLatency(rts, 50)
 	p99 := metrics.TailLatency(rts, 99)

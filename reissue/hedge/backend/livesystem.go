@@ -137,6 +137,7 @@ func (m *MeasuredSource) Logs() (primary, reissue []float64) {
 // supervision — a transport.WatchFleet context that dies with a
 // crashed replica — use RunContext.
 func (s *LiveSystem) Run(p reissue.Policy) reissue.RunResult {
+	//lint:allow ctxflow reissue.System.Run predates context; RunContext is the threaded path
 	res, err := s.RunContext(context.Background(), p)
 	if err != nil {
 		panic(err)
@@ -156,6 +157,7 @@ func (s *LiveSystem) RunContext(ctx context.Context, p reissue.Policy) (reissue.
 	seed := s.Seed
 	if s.FreshPerRun {
 		s.runs++
+		//lint:allow saltdiscipline FreshPerRun reseed must match the simulator byte-for-byte (agreement tests pin it)
 		seed += s.runs * 0x9e3779b9
 	}
 	src := NewMeasuredSource(s.Back, s.Warmup)

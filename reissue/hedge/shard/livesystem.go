@@ -78,6 +78,7 @@ func (s *LiveSystem) Run(p reissue.Policy) RunResult {
 	seed := s.Seed
 	if s.FreshPerRun {
 		s.runs++
+		//lint:allow saltdiscipline FreshPerRun reseed must match the simulator byte-for-byte (agreement tests pin it)
 		seed += s.runs * 0x9e3779b9
 	}
 	nShards := len(s.Shards)
@@ -105,6 +106,7 @@ func (s *LiveSystem) Run(p reissue.Policy) RunResult {
 	if err != nil {
 		panic(err)
 	}
+	//lint:allow ctxflow reissue.System.Run predates context; the open loop is the run root here
 	lats, err := RunOpenLoop(context.Background(), router, s.N, s.Lambda, seed)
 	if err != nil {
 		panic(err)

@@ -86,6 +86,7 @@ func (s *LiveSystem) Run(cachePol, storePol reissue.Policy) RunResult {
 	seed := s.Seed
 	if s.FreshPerRun {
 		s.runs++
+		//lint:allow saltdiscipline FreshPerRun reseed must match the simulator byte-for-byte (agreement tests pin it)
 		seed += s.runs * 0x9e3779b9
 	}
 	cacheM := backend.NewMeasuredSource(s.Cache, s.Warmup)
@@ -105,6 +106,7 @@ func (s *LiveSystem) Run(cachePol, storePol reissue.Policy) RunResult {
 	if err != nil {
 		panic(err)
 	}
+	//lint:allow ctxflow reissue.System.Run predates context; the open loop is the run root here
 	lats, err := RunOpenLoop(context.Background(), client, s.N, s.Lambda, seed)
 	if err != nil {
 		panic(err)

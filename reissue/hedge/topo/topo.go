@@ -44,7 +44,6 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/stats"
 	"repro/reissue"
@@ -206,8 +205,8 @@ type Topology struct {
 	closed     bool
 }
 
-func tierSalt() uint64      { return stats.Mix64NonZero(1) }
-func shardMix(k int) uint64 { return stats.Mix64NonZero(uint64(k) + 1) }
+func tierSalt() uint64       { return stats.Mix64NonZero(1) }
+func shardSalt(k int) uint64 { return stats.Mix64NonZero(uint64(k) + 1) }
 func join(parent, seg string) string {
 	if parent == "" {
 		return seg
@@ -303,8 +302,8 @@ func (t *Topology) build(w *kvstore.Workload, spec Spec, path, slot string, salt
 				// The salt shard.New will XOR into shard k's hedge
 				// seed, and the salt the sharded simulator gives shard
 				// k's policy and service streams.
-				cp ^= shardMix(k)
-				cs ^= shardMix(k)
+				cp ^= shardSalt(k)
+				cs ^= shardSalt(k)
 			}
 			ch, err := t.build(part, spec.Shard.Child, join(path, fmt.Sprintf("shard%d", k)), join(slot, "shard"), cp, cs)
 			if err != nil {
@@ -437,6 +436,7 @@ func measureWireOverheadMS(client *transport.Client, times, speeds []float64, pr
 	overs := make([]float64, 0, probes)
 	for i := 0; i < probes; i++ {
 		t0 := time.Now()
+		//lint:allow ctxflow calibration probe at build time, before any caller context exists
 		if _, err := client.Request(i)(context.Background(), 0); err != nil {
 			return 0, fmt.Errorf("calibrating wire overhead: %w", err)
 		}
@@ -740,6 +740,7 @@ func (t *Topology) RunLive(rs RunSpec) (*Result, error) {
 	// dies mid-run cancels the open loop immediately and the run
 	// fails with the replica's real error, not downstream timeout
 	// noise.
+	//lint:allow ctxflow the topology runner is the run root; WatchFleet scopes cancellation below
 	runCtx := context.Background()
 	fatal := func() error { return nil }
 	if len(t.servers) > 0 {
@@ -819,7 +820,7 @@ func (t *Topology) RunSim(rs RunSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gr := g.Run(func(path string) core.Policy { return polFor(slotOf(path)) })
+	gr := g.Run(func(path string) reissue.Policy { return polFor(slotOf(path)) })
 	return &Result{Query: gr.Query, LeafRates: gr.LeafRates, TierRates: gr.TierRates}, nil
 }
 
