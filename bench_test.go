@@ -2,7 +2,7 @@
 // section, one per figure, at a reduced scale suitable for the
 // testing.B driver. Run the paper-scale versions with
 // cmd/reissue-figures -scale paper. Optimizer micro-benchmarks live
-// in internal/core; data-structure benchmarks in internal/rangequery.
+// in reissue; data-structure benchmarks in internal/rangequery.
 package repro_test
 
 import (

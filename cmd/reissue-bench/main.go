@@ -29,8 +29,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/inference"
 	"repro/internal/stats"
 	"repro/reissue"
 )
@@ -46,9 +48,10 @@ type benchResult struct {
 }
 
 // benchFile is the BENCH_sim.json schema (v2 adds the parallel-sweep
-// entries and SweepWorkers). Config fields identify the workload
-// scale; comparisons across different scales — including different
-// sweep worker-pool sizes — are refused.
+// entries and SweepWorkers; v3 the batched-inference entry). Config
+// fields identify the workload scale; comparisons across different
+// scales — including different sweep worker-pool sizes — are
+// refused.
 type benchFile struct {
 	Schema         int           `json:"schema"`
 	GoVersion      string        `json:"go_version"`
@@ -81,7 +84,7 @@ func main() {
 	}
 
 	file := benchFile{
-		Schema:         2,
+		Schema:         3,
 		GoVersion:      runtime.Version(),
 		Short:          *short,
 		Queries:        sc.Queries,
@@ -185,6 +188,7 @@ func benchmarks(sc experiments.Scale, sweepWorkers int) []bench {
 		{"ExtensionFanOut", errOnly(func() error { _, err := experiments.ExtensionFanOut(sc); return err })},
 		{"DES/ScheduleFireFresh", desFresh},
 		{"DES/ScheduleFireReused", desReusedBench()},
+		{"Sim/BatchedInference", batchedBench(sc)},
 		{"Optimizer/ComputeOptimalSingleR", optimizerBench()},
 		{"Sweep/Figures/seq", sweepBench(sc, 1)},
 		{"Sweep/Figures/par", sweepBench(sc, sweepWorkers)},
@@ -235,6 +239,39 @@ func desReusedBench() func() error {
 		s.Run()
 		if s.Fired() != 10000 {
 			return fmt.Errorf("fired %d events, want 10000", s.Fired())
+		}
+		return nil
+	}
+}
+
+// batchedBench runs the inference workload through the simulator's
+// Batch discipline — the batched serving regime's engine cost (the
+// shared sched queue, linger-window events, size-dependent service
+// times, and batch-membership records) on the trajectory alongside
+// the unbatched figures.
+func batchedBench(sc experiments.Scale) func() error {
+	return func() error {
+		w, err := inference.Generate(inference.Config{Requests: sc.Queries, Seed: sc.Seed})
+		if err != nil {
+			return err
+		}
+		warmup := sc.Queries / 10
+		c, err := cluster.New(cluster.Config{
+			Servers:     4,
+			ArrivalRate: 0.5 * 4 / w.MeanServiceMS(),
+			Queries:     sc.Queries - warmup,
+			Warmup:      warmup,
+			Source:      inference.TraceSource(w.Times),
+			Discipline:  cluster.Batch,
+			Batch:       w.BatchConfig(4, 2),
+			Seed:        sc.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		res := c.RunDetailed(reissue.SingleR{D: 12, Q: 0.2})
+		if res.Log.Len() != sc.Queries-warmup {
+			return fmt.Errorf("measured %d queries, want %d", res.Log.Len(), sc.Queries-warmup)
 		}
 		return nil
 	}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fast returns options scaled down for a smoke run: one sweep point,
+// light load, sub-millisecond unit.
+func fast() options {
+	return options{
+		batchSizes: "4",
+		utils:      "0.4",
+		queries:    400,
+		warmup:     80,
+		replicas:   3,
+		lingerMS:   2,
+		unitMS:     0.3,
+		seed:       29,
+		d:          12,
+		q:          0.2,
+		sim:        true,
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	pts, err := run(fast(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("sweep points = %+v", pts)
+	}
+	if pts[0].liveP99 <= 0 || pts[0].simP99 <= 0 {
+		t.Fatalf("non-positive tail latency in %+v", pts[0])
+	}
+	out := buf.String()
+	for _, want := range []string{"B=4 util=0.40", "live:", "sim:", "cross-validation:", "sweep summary"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseValidation(t *testing.T) {
+	if _, err := parseInts("0"); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+	if _, err := parseFloats("1.5"); err == nil {
+		t.Error("utilization 1.5 accepted")
+	}
+	o := fast()
+	o.warmup = o.queries
+	if _, err := run(o, &bytes.Buffer{}); err == nil {
+		t.Error("warmup == queries accepted")
+	}
+}

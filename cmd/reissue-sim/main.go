@@ -12,6 +12,9 @@
 //
 //	# deterministic delayed reissue (SingleD) on Lucene at 20% util
 //	reissue-sim -workload lucene -util 0.2 -d 60 -q 1
+//
+//	# batched execution: size-4 batches, 2 model-ms linger window
+//	reissue-sim -workload queueing -discipline batch -batch-size 4 -batch-linger 2
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/reissue"
@@ -36,18 +40,20 @@ func main() {
 		d       = flag.Float64("d", 0, "reissue delay (policy parameter)")
 		q       = flag.Float64("q", 0, "reissue probability; 0 disables reissue, 1 = SingleD")
 		lb      = flag.String("lb", "random", "load balancer: random, min2, minall")
-		disc    = flag.String("discipline", "fifo", "queue discipline: fifo, prio-fifo, prio-lifo, round-robin")
+		disc    = flag.String("discipline", "fifo", "queue discipline: fifo, prio-fifo, prio-lifo, round-robin, batch")
+		batchB  = flag.Int("batch-size", 0, "batch size B (required > 0 with -discipline batch)")
+		linger  = flag.Float64("batch-linger", 0, "batch linger window in model ms (0 launches as soon as the server frees)")
 		logPath = flag.String("log", "", "write the per-query response log to this CSV file")
 	)
 	flag.Parse()
-	if err := run(*wl, *util, *queries, *seed, *d, *q, *lb, *disc, *logPath); err != nil {
+	if err := run(*wl, *util, *queries, *seed, *d, *q, *lb, *disc, *batchB, *linger, *logPath); err != nil {
 		fmt.Fprintln(os.Stderr, "reissue-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName, discName, logPath string) error {
-	sys, err := buildSystem(wl, util, queries, seed, lbName, discName)
+func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName, discName string, batchSize int, lingerMS float64, logPath string) error {
+	sys, err := buildSystem(wl, util, queries, seed, lbName, discName, batchSize, lingerMS)
 	if err != nil {
 		return err
 	}
@@ -93,7 +99,7 @@ func run(wl string, util float64, queries int, seed uint64, d, q float64, lbName
 	return nil
 }
 
-func buildSystem(wl string, util float64, queries int, seed uint64, lbName, discName string) (*cluster.Cluster, error) {
+func buildSystem(wl string, util float64, queries int, seed uint64, lbName, discName string, batchSize int, lingerMS float64) (*cluster.Cluster, error) {
 	lb, err := cluster.LoadBalancerByName(lbName)
 	if err != nil {
 		return nil, err
@@ -102,9 +108,22 @@ func buildSystem(wl string, util float64, queries int, seed uint64, lbName, disc
 	if err != nil {
 		return nil, err
 	}
+	var bcfg sched.BatchConfig
+	switch {
+	case disc == cluster.Batch:
+		if batchSize <= 0 {
+			return nil, fmt.Errorf("-discipline batch requires -batch-size > 0 (got %d)", batchSize)
+		}
+		// Zero cost parameters: a batch takes as long as its slowest
+		// member. Workload presets with richer cost models set
+		// Options.Batch directly.
+		bcfg = sched.BatchConfig{Size: batchSize, LingerMS: lingerMS}
+	case batchSize != 0 || lingerMS != 0:
+		return nil, fmt.Errorf("-batch-size/-batch-linger are only meaningful with -discipline batch (got %q)", discName)
+	}
 	opts := workload.Options{
 		Queries: queries, Seed: seed, Utilization: util,
-		LB: lb, Discipline: disc,
+		LB: lb, Discipline: disc, Batch: bcfg,
 	}
 	switch wl {
 	case "independent":

@@ -5,11 +5,12 @@
 // The paper's contribution — the SingleR reissue-policy family, its
 // optimality theorems, the data-driven parameter optimizer, and the
 // adaptive refinement and budget-search procedures — lives in the
-// public reissue package; internal/core remains as a thin alias shim
-// for older callers. The reissue/hedge subpackage executes policies
-// for real: a goroutine-based hedging client with context
-// cancellation, live replicated backends over the in-repo kvstore
-// and searchengine workloads (reissue/hedge/backend), an HTTP
+// public reissue package. The reissue/hedge subpackage executes
+// policies for real: a goroutine-based hedging client with context
+// cancellation, live replicated backends over the in-repo kvstore,
+// searchengine, and inference workloads (reissue/hedge/backend,
+// internal/inference) with per-replica serving disciplines and
+// size-B batching driven by the shared internal/sched core, an HTTP
 // transport for out-of-process replicas (reissue/hedge/transport),
 // and a sharded fan-out layer that partitions the workload over S
 // shards and hedges each shard's sub-query independently
@@ -24,6 +25,12 @@
 // simulation engines; all cmd/reissue-* tools take -workers (default
 // NumCPU) and -progress, and their output is byte-identical at any
 // worker count (see DESIGN.md's "Parallel sweeps").
+//
+// Per-replica serving — queue disciplines, round-robin fairness, and
+// size-B batched execution with linger windows — is decided by the
+// pure internal/sched core in both the simulator and the live
+// replicas, so batch membership agrees exactly across the two worlds
+// (see DESIGN.md's "Serving disciplines & batched execution").
 //
 // See DESIGN.md for the system inventory, the public-API layering,
 // and the simulator-for-testbed substitution argument; bench_test.go

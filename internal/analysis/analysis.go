@@ -16,8 +16,6 @@
 //     and hedge.Fn implementations must honor their context.
 //   - snapshotaccounting: hedge.Snapshot counters are written only by
 //     the designated accounting code in hedge.go/breaker.go.
-//   - coreimport: no new imports of the deprecated repro/internal/core
-//     alias shim.
 //
 // cmd/reissue-vet is the multichecker binary; scripts/lint.sh and the
 // CI workflow run it alongside go vet. Deliberate exceptions are
@@ -129,7 +127,6 @@ func All() []*Analyzer {
 		SaltDiscipline,
 		CtxFlow,
 		SnapshotAccounting,
-		CoreImport,
 	}
 }
 

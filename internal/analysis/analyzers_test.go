@@ -14,6 +14,14 @@ func TestSimDeterminism(t *testing.T) {
 	analysistest.Run(t, analysis.SimDeterminism, "detsim/internal/des")
 }
 
+// The shared scheduling core joined the deterministic-replay scope
+// when the live replicas started deferring to it: a wall-clock read
+// or goroutine inside internal/sched would desynchronize the two
+// worlds' batch membership.
+func TestSimDeterminismSched(t *testing.T) {
+	analysistest.Run(t, analysis.SimDeterminism, "detsim/internal/sched")
+}
+
 // The fault package is graph-scoped: only Decide's call graph is
 // checked, so the live injector's wall-clock use passes.
 func TestSimDeterminismFaultGraph(t *testing.T) {
@@ -40,12 +48,4 @@ func TestSnapshotAccounting(t *testing.T) {
 // write is resolved through compiled export data.
 func TestSnapshotAccountingCrossPackage(t *testing.T) {
 	analysistest.Run(t, analysis.SnapshotAccounting, "acctuser")
-}
-
-func TestCoreImport(t *testing.T) {
-	analysistest.Run(t, analysis.CoreImport, "coreimport")
-}
-
-func TestCoreImportShimExempt(t *testing.T) {
-	analysistest.Run(t, analysis.CoreImport, "shim/internal/core")
 }

@@ -12,6 +12,7 @@ import (
 // testdata/src/ are scoped identically.
 var simScopes = []string{
 	"internal/des",
+	"internal/sched",
 	"internal/cluster",
 	"internal/experiments",
 }

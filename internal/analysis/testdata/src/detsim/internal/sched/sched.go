@@ -1,0 +1,40 @@
+// Package sched is simdeterminism's testdata twin of the shared
+// scheduling core: its synthetic import path ends in internal/sched,
+// so the whole package is in the deterministic-replay scope — the
+// queue/batch decisions it makes must replay bit-identically in the
+// simulator, and so may consult neither the wall clock nor the
+// scheduler.
+package sched
+
+import "time"
+
+type queue struct {
+	items []int
+	conns map[int][]int
+}
+
+func (q *queue) lingerDeadline() time.Time {
+	return time.Now().Add(time.Millisecond) // want `time.Now in a deterministic-replay package`
+}
+
+func (q *queue) fill(done chan<- int) {
+	go func() { done <- len(q.items) }() // want `go statement in a deterministic-replay package`
+}
+
+func (q *queue) drainConns() int {
+	total := 0
+	for _, items := range q.conns { // want `range over map in a deterministic-replay package`
+		total += len(items)
+	}
+	return total
+}
+
+// drainOrdered iterates connections through an explicit order slice —
+// the legal pattern the real core's round-robin cursor uses.
+func (q *queue) drainOrdered(order []int) int {
+	total := 0
+	for _, c := range order {
+		total += len(q.conns[c])
+	}
+	return total
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/rangequery"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/reissue"
@@ -121,9 +122,21 @@ type Config struct {
 	LB LoadBalancer
 	// Discipline orders each server's queue.
 	Discipline Discipline
+	// Batch parametrizes the Batch discipline (batch size, linger
+	// window, size-dependent cost model); ignored — and unvalidated —
+	// under every other discipline.
+	Batch sched.BatchConfig
 	// Connections is the number of client connections (round-robin
 	// discipline only); defaults to 20.
 	Connections int
+	// ArrivalTimes, when set, replaces the Poisson arrival process
+	// with an explicit non-decreasing schedule: query i arrives at
+	// ArrivalTimes[i] (warmup queries included). Length must be at
+	// least Queries+Warmup and FanOut at most 1. The sim-vs-live
+	// batch-agreement tests use it to replay the exact instants a live
+	// driver used, making batch membership comparable query by query
+	// rather than only statistically.
+	ArrivalTimes []float64
 	// Seed drives all randomness.
 	Seed uint64
 	// PolicySeed, when non-zero, re-derives the policy-coin stream
@@ -218,8 +231,28 @@ func (c Config) validate() error {
 	if c.Servers < 0 {
 		return fmt.Errorf("cluster: Servers=%d must be non-negative", c.Servers)
 	}
-	if c.Servers > 0 && (c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate)) {
+	if c.Servers > 0 && c.ArrivalTimes == nil && (c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate)) {
 		return fmt.Errorf("cluster: ArrivalRate=%v must be positive with finite servers", c.ArrivalRate)
+	}
+	if c.ArrivalTimes != nil {
+		if len(c.ArrivalTimes) < c.Queries+c.Warmup {
+			return fmt.Errorf("cluster: %d arrival times for %d queries (+%d warmup)",
+				len(c.ArrivalTimes), c.Queries, c.Warmup)
+		}
+		if c.FanOut > 1 {
+			return fmt.Errorf("cluster: ArrivalTimes and FanOut=%d cannot be combined", c.FanOut)
+		}
+		for i := 1; i < c.Queries+c.Warmup; i++ {
+			if c.ArrivalTimes[i] < c.ArrivalTimes[i-1] {
+				return fmt.Errorf("cluster: ArrivalTimes must be non-decreasing (index %d: %v < %v)",
+					i, c.ArrivalTimes[i], c.ArrivalTimes[i-1])
+			}
+		}
+	}
+	if c.Discipline == Batch {
+		if err := c.Batch.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.Source == nil {
 		return fmt.Errorf("cluster: Source must be set")
@@ -301,6 +334,18 @@ type Result struct {
 	// without a breaker-armed Config.Faults.
 	BreakerTrips []int
 	BreakerOpen  []bool
+	// Batches logs every launched batch in launch order (warmup
+	// included), Batch discipline only: the server it ran on and its
+	// membership in admission order. The sim-vs-live agreement tests
+	// compare it against the live replicas' batch logs.
+	Batches []BatchRecord
+}
+
+// BatchRecord is one launched batch: where it ran and which request
+// copies it served, in admission order.
+type BatchRecord struct {
+	Server  int
+	Members []sched.Member
 }
 
 // Cluster is a reusable simulation harness. It implements
@@ -352,11 +397,11 @@ func (c *Cluster) AdoptState(prev *Cluster) {
 	prev.rs = nil
 	rs.cfg = &c.cfg
 	n := c.cfg.Servers
-	if n != len(rs.servers) || (n > 0 && rs.servers[0].discipline != c.cfg.Discipline) {
+	if n != len(rs.servers) || (n > 0 && (rs.servers[0].discipline != c.cfg.Discipline || rs.servers[0].bcfg != c.cfg.Batch)) {
 		rs.servers = make([]*server, n)
 		rs.lengths = make([]int, n)
 		for i := range rs.servers {
-			rs.servers[i] = newServer(i, c.cfg.Discipline, rs.sim, rs.onComplete)
+			rs.servers[i] = newServer(i, c.cfg.Discipline, c.cfg.Batch, rs.sim, rs.onComplete, rs.recordBatch)
 		}
 	}
 	c.rs = rs
@@ -452,6 +497,11 @@ type runState struct {
 	policyRNG *stats.RNG
 	lbRNG     *stats.RNG
 
+	// batches is the current run's batch log (Batch discipline only).
+	// It starts nil every run and is handed to the Result verbatim, so
+	// logs survive later runs without copying.
+	batches []BatchRecord
+
 	// chaos is non-nil only while a Faults-configured run is active;
 	// chaosPool is its pooled backing store.
 	chaos     *chaosState
@@ -481,13 +531,14 @@ func (c *Cluster) state() *runState {
 			rs.servers = make([]*server, n)
 			rs.lengths = make([]int, n)
 			for i := range rs.servers {
-				rs.servers[i] = newServer(i, c.cfg.Discipline, rs.sim, rs.onComplete)
+				rs.servers[i] = newServer(i, c.cfg.Discipline, c.cfg.Batch, rs.sim, rs.onComplete, rs.recordBatch)
 			}
 		}
 		c.rs = rs
 	}
 	rs.sim.Reset()
 	rs.arena.reset()
+	rs.batches = nil
 	if c.cfg.Faults != nil {
 		rs.chaosPool.reset(c.cfg.Faults, c.cfg.Servers)
 		rs.chaos = &rs.chaosPool
@@ -508,6 +559,17 @@ func (c *Cluster) state() *runState {
 		}
 	}
 	return rs
+}
+
+// recordBatch logs one launched batch's membership — the simulator's
+// half of the batch-agreement evidence. Records are fresh per run
+// (rs.batches starts nil) so results stay valid across runs.
+func (rs *runState) recordBatch(server int, members []*request) {
+	ms := make([]sched.Member, len(members))
+	for i, r := range members {
+		ms[i] = sched.Member{Query: r.q.id, Reissue: r.reissue}
+	}
+	rs.batches = append(rs.batches, BatchRecord{Server: server, Members: ms})
 }
 
 func (rs *runState) queueLens() []int {
@@ -759,8 +821,12 @@ func (c *Cluster) RunDetailed(p reissue.Policy) *Result {
 		fan = 1
 	}
 	for i := 0; i < total; i++ {
-		// Sub-requests within a fan-out batch share one arrival time.
-		if cfg.Servers > 0 && i > 0 && i%fan == 0 {
+		if cfg.ArrivalTimes != nil {
+			// Explicit schedule: replay the caller's instants verbatim
+			// (the live-agreement tests' shared trace).
+			at = cfg.ArrivalTimes[i]
+		} else if cfg.Servers > 0 && i > 0 && i%fan == 0 {
+			// Sub-requests within a fan-out batch share one arrival time.
 			rate := cfg.ArrivalRate
 			if cfg.RateMultiplier != nil {
 				m := cfg.RateMultiplier(at)
@@ -869,6 +935,7 @@ func (c *Cluster) RunDetailed(p reissue.Policy) *Result {
 			res.FanOutResponses = append(res.FanOutResponses, max)
 		}
 	}
+	res.Batches = rs.batches
 	res.Duration = rs.sim.Now()
 	if cfg.Servers > 0 && res.Duration > 0 {
 		var busy float64

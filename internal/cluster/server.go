@@ -1,63 +1,43 @@
 package cluster
 
 import (
-	"fmt"
-
 	"repro/internal/des"
+	"repro/internal/sched"
 )
 
 // Discipline selects how a server orders the requests waiting in its
-// queue. The paper's Figure 5c compares FIFO against two prioritized
-// schemes, and the Redis system experiment motivates the round-robin
-// connection scheduler.
-type Discipline int
+// queue. It is the shared serving-discipline core's type
+// (internal/sched): the simulator and the live replicas
+// (reissue/hedge/backend) drive the SAME pure queue/batch scheduler,
+// so the disciplines are defined once and aliased here for the
+// simulator's historical callers.
+type Discipline = sched.Discipline
 
 const (
 	// FIFO is a single first-in-first-out queue that does not
 	// distinguish primary from reissue requests ("Baseline FIFO").
-	FIFO Discipline = iota
+	FIFO = sched.FIFO
 	// PrioFIFO keeps separate FIFO queues for primary and reissue
 	// requests and serves reissues only when no primary waits
 	// ("Prioritized FIFO").
-	PrioFIFO
+	PrioFIFO = sched.PrioFIFO
 	// PrioLIFO is PrioFIFO with the reissue queue served in LIFO
 	// order ("Prioritized LIFO").
-	PrioLIFO
+	PrioLIFO = sched.PrioLIFO
 	// RoundRobin serves one request per client connection in
 	// round-robin order — the Redis event-loop model from Section
 	// 6.2, where a single long request delays every connection.
-	RoundRobin
+	RoundRobin = sched.RoundRobin
+	// Batch coalesces queued requests into batches of up to
+	// Config.Batch.Size served together with a size-dependent
+	// service time — the inference-serving regime. See
+	// sched.BatchConfig.
+	Batch = sched.Batch
 )
-
-func (d Discipline) String() string {
-	switch d {
-	case FIFO:
-		return "FIFO"
-	case PrioFIFO:
-		return "PrioFIFO"
-	case PrioLIFO:
-		return "PrioLIFO"
-	case RoundRobin:
-		return "RoundRobin"
-	default:
-		return fmt.Sprintf("Discipline(%d)", int(d))
-	}
-}
 
 // DisciplineByName parses a discipline name — used by the CLI tools.
 func DisciplineByName(name string) (Discipline, error) {
-	switch name {
-	case "fifo":
-		return FIFO, nil
-	case "prio-fifo":
-		return PrioFIFO, nil
-	case "prio-lifo":
-		return PrioLIFO, nil
-	case "round-robin", "rr":
-		return RoundRobin, nil
-	default:
-		return 0, fmt.Errorf("cluster: unknown discipline %q (want fifo, prio-fifo, prio-lifo, or round-robin)", name)
-	}
+	return sched.DisciplineByName(name)
 }
 
 // request is one dispatched copy of a query: the primary or a
@@ -87,29 +67,31 @@ type request struct {
 	deferred bool
 }
 
-// server is a single-threaded simulated server: it serves exactly one
-// request at a time and queues the rest per its discipline. Servers
-// are created once per Cluster and recycled run over run (reset); the
+// server is a single-threaded simulated server. Its queue state lives
+// entirely in the shared scheduling core (sched.Queue); the server
+// owns only the des-time machinery — when service starts, how long a
+// batch holds the server, when the linger window expires. Under the
+// single-serve disciplines it serves exactly one request at a time;
+// under Batch it serves whole batches back to back. Servers are
+// created once per Cluster and recycled run over run (reset); the
 // service-completion event is a single shared func value, so serving
 // a request schedules no closures.
 type server struct {
 	id         int
 	discipline Discipline
+	bcfg       sched.BatchConfig
 	sim        *des.Sim
 
-	busy    bool
-	cur     *request // request in service, valid while busy
-	waiting int      // total queued (excluding in-service)
+	q     *sched.Queue[*request]
+	busy  bool
+	cur   *request   // request in service (single-serve disciplines)
+	batch []*request // batch in service (Batch discipline)
 
-	// FIFO / prioritized queues. fifo doubles as the primary queue
-	// for the prioritized disciplines.
-	fifo []*request
-	reis []*request
-
-	// Round-robin per-connection queues.
-	conns  map[int][]*request
-	order  []int // round-robin visit order of connections with traffic
-	cursor int
+	// epoch invalidates armed linger events: it increments at every
+	// batch launch, and a linger event carrying a stale epoch is a
+	// no-op. lingerArmed keeps at most one live linger event pending.
+	epoch       int
+	lingerArmed bool
 
 	busyTime float64 // accumulated service time, for utilization
 
@@ -122,18 +104,23 @@ type server struct {
 	baseSpeed float64
 
 	onComplete func(r *request, now float64)
+	// onBatch reports a launched batch's membership (Batch discipline
+	// only); nil disables the batch log.
+	onBatch    func(id int, members []*request)
 	completeEv des.ArgEvent // bound method value, allocated once
+	lingerEv   des.ArgEvent
 }
 
-func newServer(id int, d Discipline, sim *des.Sim, onComplete func(*request, float64)) *server {
-	s := &server{id: id, discipline: d, sim: sim, onComplete: onComplete, slowFactor: 1, baseSpeed: 1}
-	s.completeEv = s.complete
-	if d == RoundRobin {
-		s.conns = make(map[int][]*request)
-		// Start before the first connection so the initial pop visits
-		// connections in arrival order.
-		s.cursor = -1
+func newServer(id int, d Discipline, bcfg sched.BatchConfig, sim *des.Sim,
+	onComplete func(*request, float64), onBatch func(int, []*request)) *server {
+	s := &server{
+		id: id, discipline: d, bcfg: bcfg, sim: sim,
+		onComplete: onComplete, onBatch: onBatch,
+		slowFactor: 1, baseSpeed: 1,
+		q: sched.MustQueue[*request](sched.Config{Discipline: d, Batch: bcfg}),
 	}
+	s.completeEv = s.complete
+	s.lingerEv = s.lingerFire
 	return s
 }
 
@@ -142,109 +129,63 @@ func newServer(id int, d Discipline, sim *des.Sim, onComplete func(*request, flo
 func (s *server) reset() {
 	s.busy = false
 	s.cur = nil
-	s.waiting = 0
-	s.fifo = s.fifo[:0]
-	s.reis = s.reis[:0]
-	if s.discipline == RoundRobin {
-		clear(s.conns)
-		s.order = s.order[:0]
-		s.cursor = -1
-	}
+	s.batch = s.batch[:0]
+	s.epoch = 0
+	s.lingerArmed = false
+	s.q.Reset()
 	s.busyTime = 0
 	s.slowFactor = 1
 	s.baseSpeed = 1
 }
 
 // Len returns the instantaneous queue length: waiting requests plus
-// the one in service. Load balancers use it as the server's load
+// those in service (one under the single-serve disciplines, the batch
+// membership under Batch). Load balancers use it as the server's load
 // signal.
 func (s *server) Len() int {
-	n := s.waiting
+	n := s.q.Waiting()
 	if s.busy {
-		n++
+		if s.discipline == Batch {
+			n += len(s.batch)
+		} else {
+			n++
+		}
 	}
 	return n
 }
 
-// Enqueue accepts a request at time now, starting service immediately
-// if the server is idle.
+// Enqueue accepts a request at time now. Single-serve disciplines
+// start service immediately when the server is idle; the Batch
+// discipline always admits through the core and then decides whether
+// a batch launches now (full, or zero linger) or the linger window
+// arms.
 func (s *server) Enqueue(r *request, now float64) {
+	if s.discipline == Batch {
+		s.q.Push(r, r.reissue, r.conn)
+		if !s.busy {
+			s.considerLaunch(now)
+		}
+		return
+	}
 	if !s.busy {
 		s.start(r, now)
 		return
 	}
-	s.waiting++
-	switch s.discipline {
-	case FIFO:
-		s.fifo = append(s.fifo, r)
-	case PrioFIFO, PrioLIFO:
-		if r.reissue {
-			s.reis = append(s.reis, r)
-		} else {
-			s.fifo = append(s.fifo, r)
-		}
-	case RoundRobin:
-		if _, ok := s.conns[r.conn]; !ok {
-			s.order = append(s.order, r.conn)
-		}
-		s.conns[r.conn] = append(s.conns[r.conn], r)
-	}
+	s.q.Push(r, r.reissue, r.conn)
 }
 
 // pop removes and returns the next live request to serve, skipping
 // lazily over cancelled ones; returns nil when nothing remains.
 func (s *server) pop() *request {
 	for {
-		r := s.popAny()
-		if r == nil {
+		r, ok := s.q.Pop()
+		if !ok {
 			return nil
 		}
 		if !r.cancelled {
 			return r
 		}
 	}
-}
-
-// popAny removes and returns the next queued request (cancelled or
-// not), or nil.
-func (s *server) popAny() *request {
-	if s.waiting == 0 {
-		return nil
-	}
-	s.waiting--
-	switch s.discipline {
-	case FIFO:
-		r := s.fifo[0]
-		s.fifo = s.fifo[1:]
-		return r
-	case PrioFIFO, PrioLIFO:
-		if len(s.fifo) > 0 {
-			r := s.fifo[0]
-			s.fifo = s.fifo[1:]
-			return r
-		}
-		if s.discipline == PrioLIFO {
-			r := s.reis[len(s.reis)-1]
-			s.reis = s.reis[:len(s.reis)-1]
-			return r
-		}
-		r := s.reis[0]
-		s.reis = s.reis[1:]
-		return r
-	case RoundRobin:
-		// Advance the cursor to the next connection with pending
-		// requests, serving one request per connection per turn.
-		for i := 0; i < len(s.order); i++ {
-			s.cursor = (s.cursor + 1) % len(s.order)
-			conn := s.order[s.cursor]
-			if q := s.conns[conn]; len(q) > 0 {
-				r := q[0]
-				s.conns[conn] = q[1:]
-				return r
-			}
-		}
-	}
-	return nil
 }
 
 func (s *server) start(r *request, now float64) {
@@ -256,9 +197,83 @@ func (s *server) start(r *request, now float64) {
 	s.sim.AfterArg(svc, s.completeEv, 0, 0)
 }
 
-// complete fires when the in-service request finishes: report it,
-// then start the next queued request, chaining service back to back.
+// considerLaunch decides, for an idle batch server with new or
+// leftover queue state, whether to launch now or linger: a batch
+// launches immediately when Size requests wait (cancelled-but-queued
+// copies count, exactly as they count in the live replica's window)
+// or when the linger is zero; otherwise a single linger event arms at
+// now+LingerMS.
+func (s *server) considerLaunch(now float64) {
+	w := s.q.Waiting()
+	if w == 0 {
+		return
+	}
+	if w >= s.bcfg.Size || s.bcfg.LingerMS == 0 {
+		s.launchBatch(now)
+		return
+	}
+	if !s.lingerArmed {
+		s.lingerArmed = true
+		s.sim.AfterArg(s.bcfg.LingerMS, s.lingerEv, s.epoch, 0)
+	}
+}
+
+// lingerFire fires when a batch window expires. A stale epoch means
+// the window's batch already launched (it filled to Size first).
+func (s *server) lingerFire(now float64, epoch int, _ float64) {
+	if epoch != s.epoch || s.busy {
+		return
+	}
+	s.lingerArmed = false
+	if s.q.Waiting() == 0 {
+		return
+	}
+	s.launchBatch(now)
+}
+
+// launchBatch pops the batch membership from the core and holds the
+// server for the size-dependent service time. Membership is the first
+// Size live requests in admission order; if every popped request was
+// cancelled the launch re-evaluates what remains.
+func (s *server) launchBatch(now float64) {
+	s.epoch++
+	s.lingerArmed = false
+	s.batch = s.q.PopBatch(s.batch[:0], s.bcfg.Size, requestLive)
+	if len(s.batch) == 0 {
+		s.considerLaunch(now)
+		return
+	}
+	maxSvc := 0.0
+	for _, r := range s.batch {
+		r.inService = true
+		if r.service > maxSvc {
+			maxSvc = r.service
+		}
+	}
+	svc := s.bcfg.Cost.Service(maxSvc, len(s.batch)) * s.baseSpeed * s.slowFactor
+	s.busyTime += svc
+	s.busy = true
+	if s.onBatch != nil {
+		s.onBatch(s.id, s.batch)
+	}
+	s.sim.AfterArg(svc, s.completeEv, 0, 0)
+}
+
+func requestLive(r *request) bool { return !r.cancelled }
+
+// complete fires when the in-service request (or batch) finishes:
+// report it, then start the next queued work, chaining service back
+// to back.
 func (s *server) complete(now float64, _ int, _ float64) {
+	if s.discipline == Batch {
+		s.busy = false
+		for _, r := range s.batch {
+			s.onComplete(r, now)
+		}
+		s.batch = s.batch[:0]
+		s.considerLaunch(now)
+		return
+	}
 	r := s.cur
 	s.cur = nil
 	s.onComplete(r, now)

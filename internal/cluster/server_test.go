@@ -4,7 +4,14 @@ import (
 	"testing"
 
 	"repro/internal/des"
+	"repro/internal/sched"
 )
+
+// newTestServer builds a server with no batch config and no batch log
+// — the single-serve disciplines these tests exercise.
+func newTestServer(d Discipline, sim *des.Sim, onComplete func(*request, float64)) *server {
+	return newServer(0, d, sched.BatchConfig{}, sim, onComplete, nil)
+}
 
 // collectOrder runs requests through a server and records completion
 // order by query id.
@@ -12,7 +19,7 @@ func runServer(t *testing.T, d Discipline, reqs []*request, arrivals []float64) 
 	t.Helper()
 	var order []int
 	sim := des.New()
-	s := newServer(0, d, sim, func(r *request, now float64) {
+	s := newTestServer(d, sim, func(r *request, now float64) {
 		order = append(order, r.q.id)
 	})
 	for i, r := range reqs {
@@ -99,7 +106,7 @@ func TestServerRoundRobinHeadOfLineBlocking(t *testing.T) {
 	// connection — the Redis "query of death" effect.
 	var doneAt []float64
 	sim := des.New()
-	s := newServer(0, RoundRobin, sim, func(r *request, now float64) {
+	s := newTestServer(RoundRobin, sim, func(r *request, now float64) {
 		doneAt = append(doneAt, now)
 	})
 	long := mkReq(0, 100, false, 0)
@@ -114,7 +121,7 @@ func TestServerRoundRobinHeadOfLineBlocking(t *testing.T) {
 
 func TestServerLenCountsInService(t *testing.T) {
 	sim := des.New()
-	s := newServer(0, FIFO, sim, func(*request, float64) {})
+	s := newTestServer(FIFO, sim, func(*request, float64) {})
 	if s.Len() != 0 {
 		t.Fatalf("idle Len = %d", s.Len())
 	}
@@ -134,7 +141,7 @@ func TestServerLenCountsInService(t *testing.T) {
 
 func TestServerBusyTimeAccumulates(t *testing.T) {
 	sim := des.New()
-	s := newServer(0, FIFO, sim, func(*request, float64) {})
+	s := newTestServer(FIFO, sim, func(*request, float64) {})
 	sim.At(0, func(now float64) {
 		s.Enqueue(mkReq(0, 5, false, 0), now)
 		s.Enqueue(mkReq(1, 7, false, 0), now)

@@ -1,0 +1,286 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// item is the test stand-in for a caller's request record.
+type item struct {
+	id        int
+	cancelled bool
+}
+
+func push(q *Queue[*item], id int, reissue bool, conn int) *item {
+	it := &item{id: id}
+	q.Push(it, reissue, conn)
+	return it
+}
+
+func drainIDs(t *testing.T, q *Queue[*item]) []int {
+	t.Helper()
+	var ids []int
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			return ids
+		}
+		ids = append(ids, it.id)
+	}
+}
+
+func wantOrder(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDisciplineNameRoundTrip(t *testing.T) {
+	// The CLI contract: every discipline's Name() parses back to
+	// itself through DisciplineByName, and String() stays the
+	// documented display form.
+	wantString := map[Discipline]string{
+		FIFO: "FIFO", PrioFIFO: "PrioFIFO", PrioLIFO: "PrioLIFO",
+		RoundRobin: "RoundRobin", Batch: "Batch",
+	}
+	for d, s := range map[Discipline]string{
+		FIFO: "fifo", PrioFIFO: "prio-fifo", PrioLIFO: "prio-lifo",
+		RoundRobin: "round-robin", Batch: "batch",
+	} {
+		if got := d.Name(); got != s {
+			t.Errorf("%v.Name() = %q, want %q", d, got, s)
+		}
+		back, err := DisciplineByName(d.Name())
+		if err != nil || back != d {
+			t.Errorf("DisciplineByName(%q) = %v, %v; want %v", d.Name(), back, err, d)
+		}
+		if got := d.String(); got != wantString[d] {
+			t.Errorf("%v.String() = %q, want %q", d, got, wantString[d])
+		}
+	}
+	// "rr" is the documented short alias.
+	if d, err := DisciplineByName("rr"); err != nil || d != RoundRobin {
+		t.Errorf("DisciplineByName(rr) = %v, %v", d, err)
+	}
+	if _, err := DisciplineByName("lifo"); err == nil || !strings.Contains(err.Error(), "unknown discipline") {
+		t.Errorf("DisciplineByName(lifo) err = %v, want unknown-discipline error", err)
+	}
+}
+
+// TestFIFOOrder pins plain FIFO: admission order is dequeue order,
+// primaries and reissues interleaved, including same-instant
+// admissions (consecutive pushes with no pops between them).
+func TestFIFOOrder(t *testing.T) {
+	q := MustQueue[*item](Config{Discipline: FIFO})
+	push(q, 0, false, 0)
+	push(q, 1, true, 0) // same-instant reissue does not jump the queue
+	push(q, 2, false, 1)
+	wantOrder(t, drainIDs(t, q), []int{0, 1, 2})
+}
+
+// TestPrioLIFOReissueOrdering pins the reissue-queue ordering of the
+// two prioritized disciplines under a same-instant burst: primaries
+// always first in FIFO order; then PrioFIFO serves reissues oldest
+// first while PrioLIFO serves the newest reissue first (the paper's
+// argument: the most recently reissued query is the one whose
+// primary is most likely still alive elsewhere, so LIFO bounds the
+// sojourn of fresh reissues).
+func TestPrioLIFOReissueOrdering(t *testing.T) {
+	mk := func(d Discipline) *Queue[*item] {
+		q := MustQueue[*item](Config{Discipline: d})
+		// Same-instant arrival burst: r10, p0, r11, p1, r12.
+		push(q, 10, true, 0)
+		push(q, 0, false, 0)
+		push(q, 11, true, 0)
+		push(q, 1, false, 0)
+		push(q, 12, true, 0)
+		return q
+	}
+	wantOrder(t, drainIDs(t, mk(PrioFIFO)), []int{0, 1, 10, 11, 12})
+	wantOrder(t, drainIDs(t, mk(PrioLIFO)), []int{0, 1, 12, 11, 10})
+}
+
+// TestPrioFIFOReissueStarvationBound pins the prioritized
+// disciplines' starvation behaviour: a waiting reissue is served the
+// moment no primary waits, and is overtaken by at most the primaries
+// admitted before its pop — a continuously refilled primary queue
+// starves it indefinitely, which is exactly the discipline's
+// documented contract (reissues are strictly lower class).
+func TestPrioFIFOReissueStarvationBound(t *testing.T) {
+	q := MustQueue[*item](Config{Discipline: PrioFIFO})
+	re := push(q, 100, true, 0)
+	// Admit k primaries after the reissue; every pop that finds a
+	// primary must return it, and the reissue must surface on pop
+	// k+1 — the bound: exactly the primaries present, never more.
+	const k = 5
+	for i := 0; i < k; i++ {
+		push(q, i, false, 0)
+	}
+	for i := 0; i < k; i++ {
+		it, ok := q.Pop()
+		if !ok || it.id != i {
+			t.Fatalf("pop %d = %+v, %v; want primary %d", i, it, ok, i)
+		}
+	}
+	it, ok := q.Pop()
+	if !ok || it != re {
+		t.Fatalf("reissue not served after primaries drained: got %+v", it)
+	}
+	// Refill behaviour: a primary admitted while a reissue waits
+	// still overtakes it.
+	push(q, 200, true, 0)
+	push(q, 7, false, 0)
+	it, _ = q.Pop()
+	if it.id != 7 {
+		t.Fatalf("primary admitted later did not overtake waiting reissue: got %d", it.id)
+	}
+	it, _ = q.Pop()
+	if it.id != 200 {
+		t.Fatalf("want reissue 200 after primaries drained, got %d", it.id)
+	}
+}
+
+// TestRoundRobinFairnessUnderSlowConnection pins the Redis event-loop
+// property: with one connection backed up behind a long request (many
+// queued requests on conn 0), the other connections still get one
+// request served per turn — conn 0 cannot monopolize consecutive
+// pops the way it would under FIFO.
+func TestRoundRobinFairnessUnderSlowConnection(t *testing.T) {
+	q := MustQueue[*item](Config{Discipline: RoundRobin})
+	// Conn 0 is the slow connection with a deep backlog, admitted
+	// first (so FIFO would serve all of it before anyone else).
+	for i := 0; i < 4; i++ {
+		push(q, i, false, 0)
+	}
+	push(q, 100, false, 1)
+	push(q, 200, false, 2)
+	// One request per connection per turn, visiting connections in
+	// first-traffic order: 0, 1, 2, then 0's backlog drains one per
+	// full cycle.
+	wantOrder(t, drainIDs(t, q), []int{0, 100, 200, 1, 2, 3})
+
+	// Same-instant arrivals on a fresh connection join the cycle at
+	// the end of the visit order, and the cursor continues from where
+	// the previous turn stopped (it does not reset on drain): the
+	// last pop above served conn 0, so the next turn visits conns 1,
+	// 2, 3 before returning to conn 0's backlog.
+	push(q, 4, false, 0)
+	push(q, 300, false, 3)
+	push(q, 5, false, 0)
+	wantOrder(t, drainIDs(t, q), []int{300, 4, 5})
+}
+
+// TestBatchMembership pins PopBatch: membership is the first max live
+// requests in admission order, cancelled records are popped and
+// discarded without consuming membership, and a hedged copy admitted
+// while the batch is still filling coalesces with its primary.
+func TestBatchMembership(t *testing.T) {
+	q := MustQueue[*item](Config{
+		Discipline: Batch,
+		Batch:      BatchConfig{Size: 3, LingerMS: 1},
+	})
+	p := push(q, 0, false, 0)
+	c := push(q, 1, false, 0)
+	c.cancelled = true
+	h := push(q, 100, true, 0) // the hedged copy of query 0
+	push(q, 2, false, 0)
+	push(q, 3, false, 0)
+
+	live := func(it *item) bool { return !it.cancelled }
+	b1 := q.PopBatch(nil, 3, live)
+	if len(b1) != 3 || b1[0] != p || b1[1] != h || b1[2].id != 2 {
+		t.Fatalf("batch 1 = %v, want [0 100 2]", ids(b1))
+	}
+	b2 := q.PopBatch(nil, 3, live)
+	if len(b2) != 1 || b2[0].id != 3 {
+		t.Fatalf("batch 2 = %v, want [3]", ids(b2))
+	}
+	if q.Waiting() != 0 {
+		t.Fatalf("waiting = %d after drain", q.Waiting())
+	}
+}
+
+func ids(items []*item) []int {
+	out := make([]int, len(items))
+	for i, it := range items {
+		out[i] = it.id
+	}
+	return out
+}
+
+// TestWaitingCountsCancelled pins the load-signal contract: Waiting
+// counts lazily-cancelled requests until they are popped, identically
+// to the pre-refactor simulator server (its LB queue-length signal
+// included them).
+func TestWaitingCountsCancelled(t *testing.T) {
+	q := MustQueue[*item](Config{Discipline: FIFO})
+	a := push(q, 0, false, 0)
+	a.cancelled = true
+	push(q, 1, false, 0)
+	if q.Waiting() != 2 {
+		t.Fatalf("waiting = %d, want 2 (cancelled still queued)", q.Waiting())
+	}
+	it, ok := q.Pop()
+	if !ok || it != a {
+		t.Fatalf("Pop must return cancelled records for the caller to skip")
+	}
+	if q.Waiting() != 1 {
+		t.Fatalf("waiting = %d after one pop, want 1", q.Waiting())
+	}
+}
+
+func TestBatchCostService(t *testing.T) {
+	c := BatchCost{Scale: 0.1, PerItem: 2}
+	if got := c.Service(10, 1); got != 10 {
+		t.Errorf("size-1 batch must cost the solo time, got %v", got)
+	}
+	// size 3: 10*(1+0.1*2) + 2*2 = 16.
+	if got := c.Service(10, 3); got != 16 {
+		t.Errorf("Service(10, 3) = %v, want 16", got)
+	}
+	if got := (BatchCost{}).Service(7, 4); got != 7 {
+		t.Errorf("zero cost model must be max-only, got %v", got)
+	}
+}
+
+func TestQueueValidation(t *testing.T) {
+	if _, err := NewQueue[*item](Config{Discipline: Batch}); err == nil {
+		t.Error("Batch with size 0 must be rejected")
+	}
+	if _, err := NewQueue[*item](Config{Discipline: Batch, Batch: BatchConfig{Size: 2, LingerMS: -1}}); err == nil {
+		t.Error("negative linger must be rejected")
+	}
+	if _, err := NewQueue[*item](Config{Discipline: Batch, Batch: BatchConfig{Size: 2, Cost: BatchCost{Scale: -0.5}}}); err == nil {
+		t.Error("negative cost scale must be rejected")
+	}
+	// Non-batch disciplines ignore the batch parameters.
+	if _, err := NewQueue[*item](Config{Discipline: FIFO}); err != nil {
+		t.Errorf("FIFO config rejected: %v", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, d := range []Discipline{FIFO, PrioFIFO, PrioLIFO, RoundRobin} {
+		q := MustQueue[*item](Config{Discipline: d})
+		push(q, 0, false, 0)
+		push(q, 1, true, 1)
+		q.Reset()
+		if q.Waiting() != 0 {
+			t.Fatalf("%v: waiting = %d after Reset", d, q.Waiting())
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatalf("%v: Pop succeeded after Reset", d)
+		}
+		// The queue must be fully usable after Reset, including the
+		// round-robin cursor restarting in arrival order.
+		push(q, 5, false, 3)
+		push(q, 6, false, 2)
+		wantOrder(t, drainIDs(t, q), []int{5, 6})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/sched"
 	"repro/internal/stats"
 )
 
@@ -50,6 +51,9 @@ type Options struct {
 	LB cluster.LoadBalancer
 	// Discipline overrides the queue discipline (default FIFO).
 	Discipline cluster.Discipline
+	// Batch configures batched execution when Discipline is
+	// cluster.Batch (required there, ignored otherwise).
+	Batch sched.BatchConfig
 	// Queries and Warmup override the workload size.
 	Queries int
 	Warmup  int
@@ -129,6 +133,7 @@ func Queueing(o Options) (*cluster.Cluster, error) {
 		Source:      cluster.DistSource{Dist: o.Dist, Corr: o.Corr},
 		LB:          o.LB,
 		Discipline:  o.Discipline,
+		Batch:       o.Batch,
 		Seed:        o.Seed,
 	})
 }

@@ -12,6 +12,16 @@
 // the cluster simulator applies — while a copy still queued is
 // reclaimable through context cancellation.
 //
+// Queueing itself is NOT implemented here: each replica's serve loop
+// drains the shared pure scheduling core (internal/sched), the same
+// Queue the cluster simulator's servers drive, so admission order,
+// dequeue order, and batch membership are decided by identical code
+// in both worlds. Config.Discipline selects the discipline
+// (historically the implicit one-slot FIFO; now any of the
+// simulator's, including sched.Batch with linger and a
+// size-dependent cost model). See DESIGN.md, "Serving disciplines &
+// batched execution".
+//
 // Because every replica serves the identical data, a reissue executes
 // the same work as the primary and gets the same model service time:
 // the strongest service-time correlation, matching the simulator's
@@ -28,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/sched"
 	"repro/internal/searchengine"
 	"repro/internal/stats"
 	"repro/reissue"
@@ -60,6 +71,25 @@ type Config struct {
 	// the trace above the floor keeps the sleep response linear so
 	// live and simulated runs see the same workload.
 	MinServiceMS float64
+	// Discipline orders each replica's queue — the same disciplines
+	// (and the same scheduling core) as the simulator's
+	// cluster.Config.Discipline. The zero value is FIFO, the
+	// pre-refactor behaviour.
+	Discipline sched.Discipline
+	// Batch parametrizes the sched.Batch discipline (batch size,
+	// linger window in model milliseconds, size-dependent cost
+	// model); ignored under every other discipline.
+	Batch sched.BatchConfig
+	// Connections is the round-robin discipline's connection count:
+	// query i is assigned connection i mod Connections. Defaults to
+	// 20, matching the simulator's default (which draws connections
+	// from an RNG stream rather than round-robin assignment — the one
+	// documented divergence between the worlds' connection models).
+	Connections int
+	// BatchLog, when non-nil, receives every launched batch's
+	// membership (Batch discipline only). The sim-vs-live agreement
+	// tests compare it against cluster.Result.Batches.
+	BatchLog *BatchLog
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -82,43 +112,305 @@ func (c Config) withDefaults() (Config, error) {
 			}
 		}
 	}
+	if c.Discipline == sched.Batch {
+		if err := c.Batch.Validate(); err != nil {
+			return c, err
+		}
+	}
+	if c.Connections <= 0 {
+		c.Connections = 20
+	}
 	return c, nil
 }
 
-// replica is one single-threaded server. The one-slot channel is its
-// run queue: goroutines blocked on it are requests waiting for the
-// server thread.
-type replica struct {
-	slot  chan struct{}
-	speed float64 // static service-time multiplier, 1 = nominal
+// BatchRecord is one launched live batch: the replica it ran on and
+// its membership in admission order — the live twin of
+// cluster.BatchRecord.
+type BatchRecord struct {
+	Replica int
+	Members []sched.Member
 }
 
-// serve executes work on the replica: wait for the server thread
-// (cancellable), then hold the thread for the model service time,
-// running the real computation inside the hold — the model time was
-// calibrated from that computation, so the two overlap rather than
-// add. Service is not preempted once started, matching the
-// simulator's cancellation rule.
+// BatchLog collects the batches a cluster's replicas launch. One log
+// can be shared by several Clusters (single-replica fleets behind a
+// transport); Records returns launches in per-replica launch order,
+// globally ordered by launch time only as far as the wall clock
+// serialized them.
+type BatchLog struct {
+	mu   sync.Mutex
+	recs []BatchRecord
+}
+
+func (l *BatchLog) add(replica int, members []*pending) {
+	ms := make([]sched.Member, len(members))
+	for i, p := range members {
+		ms[i] = sched.Member{Query: p.query, Reissue: p.reissue}
+	}
+	l.mu.Lock()
+	l.recs = append(l.recs, BatchRecord{Replica: replica, Members: ms})
+	l.mu.Unlock()
+}
+
+// Records returns a snapshot of the logged batches.
+func (l *BatchLog) Records() []BatchRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]BatchRecord, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// Reset clears the log for a fresh run.
+func (l *BatchLog) Reset() {
+	l.mu.Lock()
+	l.recs = l.recs[:0]
+	l.mu.Unlock()
+}
+
+// pending is one live request waiting on (or being served by) a
+// replica — the live twin of the simulator's request record, queued
+// through the same sched.Queue code path.
+type pending struct {
+	modelMS float64
+	work    func()
+	query   int
+	reissue bool
+	conn    int
+	// cancelled marks a queued copy withdrawn after its context ended;
+	// the server drops it lazily when popped, exactly like the
+	// simulator's cancellation rule. Guarded by the replica's mu.
+	cancelled bool
+	inService bool
+	// started (single-serve disciplines) is closed when the server
+	// hands this copy the thread; done (Batch) is closed when its
+	// batch's hold completes.
+	started chan struct{}
+	done    chan struct{}
+}
+
+// replica is one single-threaded server whose queue state lives in
+// the shared scheduling core. Under the single-serve disciplines the
+// server "thread" is a baton the caller goroutines pass through the
+// core: an arrival to an idle replica starts its hold directly (zero
+// handoff — the same fast path as the pre-refactor slot channel, so
+// live latencies don't grow a dispatch hop the simulator doesn't
+// model), and a finishing caller pops the next copy in discipline
+// order and wakes exactly that waiter. Under Batch a lazily spawned
+// serve-loop goroutine coordinates the linger window and serves whole
+// batches; it exists only while the queue is non-empty.
+type replica struct {
+	id    int
+	speed float64 // static service-time multiplier, 1 = nominal
+	unit  time.Duration
+	disc  sched.Discipline
+	bcfg  sched.BatchConfig
+	log   *BatchLog // nil disables batch-membership logging
+
+	mu      sync.Mutex
+	q       *sched.Queue[*pending]
+	busy    bool          // single-serve: a caller holds the server thread
+	serving bool          // Batch: serve-loop goroutine alive
+	fill    chan struct{} // signals a lingering batch that it filled
+	scratch []*pending    // PopBatch destination, reused per launch
+}
+
+func newReplica(id int, speed float64, cfg Config) *replica {
+	return &replica{
+		id: id, speed: speed, unit: cfg.Unit,
+		disc: cfg.Discipline, bcfg: cfg.Batch, log: cfg.BatchLog,
+		q:    sched.MustQueue[*pending](sched.Config{Discipline: cfg.Discipline, Batch: cfg.Batch}),
+		fill: make(chan struct{}, 1),
+	}
+}
+
+// serve executes work on the replica: wait for the server thread in
+// discipline order (cancellable), then hold it for the model service
+// time, running the real computation inside the hold — the model time
+// was calibrated from that computation, so the two overlap rather
+// than add. Service is not preempted once started, matching the
+// simulator's cancellation rule: a context that ends while the copy
+// is still queued withdraws it (lazily — it is discarded when
+// popped), but a copy in service runs to completion and serve
+// returns nil.
 //
 // The hold uses a plain time.Sleep, so it inherits the kernel's
 // timer resolution: short holds are rounded up to the sleep floor
 // and long ones overshoot slightly. SleepResponse/EffectiveModelTimes
 // measure that response so the simulator can be driven with the
 // service times the replicas actually deliver.
-func (r *replica) serve(ctx context.Context, unit time.Duration, modelMS float64, work func()) error {
-	select {
-	case r.slot <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
+func (r *replica) serve(ctx context.Context, modelMS float64, query int, reissue bool, conn int, work func()) error {
+	if r.disc == sched.Batch {
+		return r.serveBatched(ctx, modelMS, query, reissue, conn, work)
 	}
-	defer func() { <-r.slot }()
-	deadline := time.Now().Add(time.Duration(modelMS * r.speed * float64(unit)))
+	p := &pending{
+		modelMS: modelMS, work: work,
+		query: query, reissue: reissue, conn: conn,
+	}
+	r.mu.Lock()
+	if !r.busy {
+		// Idle server: take the thread directly, no handoff — keeping
+		// the live dispatch path as short as the pre-refactor slot
+		// channel's (an extra wakeup here measurably suppresses live
+		// reissue rates on small machines).
+		r.busy = true
+		r.mu.Unlock()
+	} else {
+		p.started = make(chan struct{})
+		r.q.Push(p, reissue, conn)
+		r.mu.Unlock()
+		select {
+		case <-p.started:
+		case <-ctx.Done():
+			r.mu.Lock()
+			if !p.inService {
+				p.cancelled = true
+				r.mu.Unlock()
+				return ctx.Err()
+			}
+			// The baton arrived between cancellation and the lock:
+			// this copy holds the server now, so it must serve.
+			r.mu.Unlock()
+			<-p.started
+		}
+	}
+	deadline := time.Now().Add(time.Duration(modelMS * r.speed * float64(r.unit)))
 	work()
 	if rem := time.Until(deadline); rem > 0 {
 		time.Sleep(rem)
 	}
+	r.release()
 	return nil
 }
+
+// release passes the server thread to the next live queued copy in
+// discipline order, or parks it idle when none waits.
+func (r *replica) release() {
+	r.mu.Lock()
+	for {
+		x, ok := r.q.Pop()
+		if !ok {
+			r.busy = false
+			break
+		}
+		if x.cancelled {
+			continue
+		}
+		x.inService = true
+		close(x.started)
+		break
+	}
+	r.mu.Unlock()
+}
+
+// serveBatched admits the copy to the scheduling core and waits for
+// the batch serve loop (spawned lazily, alive only while the queue is
+// non-empty) to run it inside a batch.
+func (r *replica) serveBatched(ctx context.Context, modelMS float64, query int, reissue bool, conn int, work func()) error {
+	p := &pending{
+		modelMS: modelMS, work: work,
+		query: query, reissue: reissue, conn: conn,
+		done: make(chan struct{}),
+	}
+	r.mu.Lock()
+	r.q.Push(p, reissue, conn)
+	if !r.serving {
+		r.serving = true
+		go r.loop()
+	} else if r.q.Waiting() >= r.bcfg.Size {
+		// A lingering underfull batch just filled: wake the loop early.
+		select {
+		case r.fill <- struct{}{}:
+		default:
+		}
+	}
+	r.mu.Unlock()
+
+	select {
+	case <-p.done:
+		return nil
+	case <-ctx.Done():
+	}
+	r.mu.Lock()
+	if !p.inService {
+		p.cancelled = true
+		r.mu.Unlock()
+		return ctx.Err()
+	}
+	r.mu.Unlock()
+	// Already in service: non-preemption — wait out the hold.
+	<-p.done
+	return nil
+}
+
+// loop is the Batch replica's server thread. It drains the scheduling
+// core until the queue is empty, then exits; the next admission
+// respawns it. Invariant: r.mu held at the top of every iteration.
+func (r *replica) loop() {
+	r.mu.Lock()
+	for {
+		if r.q.Waiting() == 0 {
+			r.serving = false
+			r.mu.Unlock()
+			return
+		}
+		r.serveBatch()
+	}
+}
+
+// serveBatch runs one Batch-discipline cycle: linger until the batch
+// fills or the window expires, pop the membership from the core, and
+// hold the server for the size-dependent service time — the same
+// window semantics as the simulator's considerLaunch/lingerFire, with
+// the fill channel playing the role of the early-launch path and the
+// timer the role of the linger event. Called with r.mu held; returns
+// with it held.
+func (r *replica) serveBatch() {
+	if r.q.Waiting() < r.bcfg.Size && r.bcfg.LingerMS > 0 {
+		windowEnd := time.Now().Add(time.Duration(r.bcfg.LingerMS * float64(r.unit)))
+		for r.q.Waiting() < r.bcfg.Size {
+			rem := time.Until(windowEnd)
+			if rem <= 0 {
+				break
+			}
+			r.mu.Unlock()
+			select {
+			case <-r.fill:
+			case <-time.After(rem):
+			}
+			r.mu.Lock()
+		}
+	}
+	r.scratch = r.q.PopBatch(r.scratch[:0], r.bcfg.Size, pendingLive)
+	batch := r.scratch
+	if len(batch) == 0 {
+		return
+	}
+	maxMS := 0.0
+	for _, p := range batch {
+		p.inService = true
+		if p.modelMS > maxMS {
+			maxMS = p.modelMS
+		}
+	}
+	if r.log != nil {
+		r.log.add(r.id, batch)
+	}
+	r.mu.Unlock()
+	svc := r.bcfg.Cost.Service(maxMS, len(batch)) * r.speed * float64(r.unit)
+	deadline := time.Now().Add(time.Duration(svc))
+	for _, p := range batch {
+		p.work()
+	}
+	if rem := time.Until(deadline); rem > 0 {
+		time.Sleep(rem)
+	}
+	for _, p := range batch {
+		close(p.done)
+	}
+	r.mu.Lock()
+}
+
+func pendingLive(p *pending) bool { return !p.cancelled }
 
 // SleepResponse is the measured response of time.Sleep on this
 // machine: a request to sleep d actually sleeps about
@@ -216,7 +508,7 @@ func newCluster(cfg Config, times []float64, exec func(i int) (any, error)) (*Cl
 		if cfg.SpeedFactors != nil {
 			speed = cfg.SpeedFactors[i]
 		}
-		c.replicas = append(c.replicas, &replica{slot: make(chan struct{}, 1), speed: speed})
+		c.replicas = append(c.replicas, newReplica(i, speed, cfg))
 	}
 	return c, nil
 }
@@ -373,18 +665,40 @@ func OpenLoop(ctx context.Context, unit time.Duration, n int, lambda float64, se
 		return nil, fmt.Errorf("backend: n=%d and lambda=%v must be positive", n, lambda)
 	}
 	rng := reissue.NewRNG(seed)
+	times := make([]float64, n)
+	at := 0.0 // next arrival in model ms since start
+	for i := 1; i < n; i++ {
+		at += rng.ExpFloat64() / lambda
+		times[i] = at
+	}
+	return OpenLoopAt(ctx, unit, times, do, waitInFlight)
+}
+
+// OpenLoopAt replays arrivals at the explicit model-millisecond
+// instants times[i] (non-decreasing, times[0] normally 0) instead of
+// drawing a Poisson process — the same schedule the simulator's
+// cluster.Config.ArrivalTimes replays, so a live run and a simulated
+// run can share the exact arrival instants and be compared query by
+// query (the batch-membership agreement tests) rather than only in
+// distribution. See OpenLoop for the driver's semantics; OpenLoop is
+// this function applied to a pre-drawn Poisson schedule.
+func OpenLoopAt(ctx context.Context, unit time.Duration, times []float64,
+	do func(ctx context.Context, i int) error, waitInFlight func()) ([]float64, error) {
+
+	n := len(times)
+	if n == 0 {
+		return nil, fmt.Errorf("backend: empty arrival schedule")
+	}
 	latencies := make([]float64, n)
 	errs := make(chan error, n)
 	var wg sync.WaitGroup
 	start := time.Now()
-	at := 0.0 // next arrival in model ms since start
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			// Arrivals are scheduled against absolute deadlines, like
 			// the simulator's event list: a late wakeup delays one
 			// arrival but does not drift the rate of the whole run.
-			at += rng.ExpFloat64() / lambda
-			deadline := start.Add(time.Duration(at * float64(unit)))
+			deadline := start.Add(time.Duration(times[i] * float64(unit)))
 			if wait := time.Until(deadline); wait > 0 {
 				select {
 				case <-time.After(wait):
@@ -455,11 +769,12 @@ func PrimaryReplica(i, replicas int) int {
 func (c *Cluster) Request(i int) hedge.Fn {
 	idx := i % len(c.times)
 	base := PrimaryReplica(i, len(c.replicas))
+	conn := i % c.cfg.Connections
 	return func(ctx context.Context, attempt int) (any, error) {
 		r := c.replicas[(base+attempt)%len(c.replicas)]
 		var v any
 		var err error
-		serr := r.serve(ctx, c.cfg.Unit, c.times[idx], func() {
+		serr := r.serve(ctx, c.times[idx], i, attempt > 0, conn, func() {
 			v, err = c.exec(idx)
 		})
 		if serr != nil {

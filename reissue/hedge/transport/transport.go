@@ -22,6 +22,15 @@
 // searches) — drive out-of-process replicas unchanged. See
 // cmd/reissue-remote for the end-to-end demo with simulator
 // cross-validation.
+//
+// Queue disciplines and batched execution cross the wire for free:
+// the handler executes each query through the backing cluster's own
+// Request path, whose replicas drain the shared scheduling core
+// (internal/sched). A backend built with Discipline sched.Batch
+// therefore coalesces concurrent HTTP requests into size-B batches
+// behind the handler — two in-flight requests to one replica server
+// can share a single hold — with membership recorded in the
+// backend's BatchLog exactly as in-process.
 package transport
 
 import (

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/kvstore"
+	"repro/internal/sched"
 	"repro/reissue"
 	"repro/reissue/hedge"
 	"repro/reissue/hedge/backend"
@@ -418,5 +420,65 @@ func TestFatalSurfacesServeError(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Fatal channel never closed after Close")
+	}
+}
+
+// TestBatchedReplicaOverHTTP pins that batched execution crosses the
+// wire: a Batch-discipline backend behind a replica server coalesces
+// two concurrent HTTP requests into one batch — the handler executes
+// through the cluster's own Request path, so the shared scheduling
+// core decides membership exactly as in process.
+func TestBatchedReplicaOverHTTP(t *testing.T) {
+	w := kvWorkload(t, 10)
+	log := &backend.BatchLog{}
+	back, err := backend.NewKV(w, backend.Config{
+		Replicas:   1,
+		Unit:       unit,
+		Discipline: sched.Batch,
+		// A generous linger (in model ms) so the second request always
+		// arrives inside the first one's window, whatever the HTTP
+		// stack's jitter; the batch launches early on fill anyway.
+		Batch:    sched.BatchConfig{Size: 2, LingerMS: 500},
+		BatchLog: log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := NewClient(ClientConfig{Replicas: []string{srv.URL()}, Unit: unit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, i := range []int{0, 1} {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Request(i)(context.Background(), 0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	recs := log.Records()
+	if len(recs) != 1 || len(recs[0].Members) != 2 {
+		t.Fatalf("batch log = %+v, want one batch of both queries", recs)
+	}
+	got := map[int]bool{}
+	for _, m := range recs[0].Members {
+		if m.Reissue {
+			t.Fatalf("member %+v marked as reissue", m)
+		}
+		got[m.Query] = true
+	}
+	if !got[0] || !got[1] {
+		t.Fatalf("batch membership = %+v, want queries 0 and 1", recs[0].Members)
 	}
 }
